@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact (figure or table) at a
+reduced Monte-Carlo count — same code path and same shapes as the
+full-size experiments, sized to keep the suite minutes-scale.  Every
+bench prints its experiment report (the paper's rows/series) and writes
+it to ``benchmarks/results/`` so a full run leaves a reviewable record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_technology():
+    """Characterize the shared technology once, outside any timing."""
+    from repro.pipeline import default_technology
+
+    default_technology()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_report(results_dir):
+    """Print an experiment report and persist it under results/."""
+
+    def _record(name: str, report: str) -> None:
+        print(f"\n{report}\n")
+        (results_dir / f"{name}.txt").write_text(report + "\n")
+
+    return _record

@@ -1,0 +1,13 @@
+"""Bench — Sec. I baseline claim: VS beats the alpha-power law on timing."""
+
+from repro.experiments import baseline_alphapower
+
+
+def test_baseline_alphapower(benchmark, record_report):
+    result = benchmark.pedantic(baseline_alphapower.run, rounds=1, iterations=1)
+    record_report("baseline_alphapower", baseline_alphapower.report(result))
+
+    # The paper's comparative claim.
+    assert result.timing_error["vs"] < result.timing_error["alpha-power"]
+    # And in absolute terms the VS model is a usable timing model (<15 %).
+    assert result.timing_error["vs"] < 0.15

@@ -1,0 +1,13 @@
+"""Bench F1 — Fig. 1: nominal VS fit against golden I-V."""
+
+from repro.experiments import fig1_iv_fit
+
+
+def test_fig1_iv_fit(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig1_iv_fit.run, kwargs={"polarity": "nmos"}, rounds=3, iterations=1
+    )
+    record_report("fig1_iv_fit", fig1_iv_fit.report(result))
+    # Fig.-1 quality gates.
+    assert result.rms_log_error < 0.15
+    assert result.idsat_rel_error < 0.05

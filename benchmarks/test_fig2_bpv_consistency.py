@@ -1,0 +1,13 @@
+"""Bench F2 — Fig. 2: individual vs stacked BPV solutions."""
+
+from repro.experiments import fig2_bpv_consistency
+
+
+def test_fig2_bpv_consistency(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig2_bpv_consistency.run, kwargs={"polarity": "nmos"},
+        rounds=3, iterations=1,
+    )
+    record_report("fig2_bpv_consistency", fig2_bpv_consistency.report(result))
+    # Paper: less than 10 % difference between the two solve styles.
+    assert result.max_abs_percent < 10.0

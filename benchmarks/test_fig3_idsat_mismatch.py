@@ -1,0 +1,27 @@
+"""Bench F3 — Fig. 3: Idsat mismatch decomposition across widths."""
+
+import numpy as np
+
+from repro.experiments import fig3_idsat_mismatch
+
+
+def test_fig3_idsat_mismatch(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig3_idsat_mismatch.run,
+        kwargs={"polarity": "nmos", "n_samples": 1500},
+        rounds=1, iterations=1,
+    )
+    record_report("fig3_idsat_mismatch", fig3_idsat_mismatch.report(result))
+
+    # Shape gates: total sigma/mu falls monotonically with width and
+    # follows ~1/sqrt(W); VT0 is the dominant contributor everywhere.
+    total = result.total_mc
+    assert np.all(np.diff(total) < 0.0)
+    ratio = total[0] / total[-1]
+    expected = np.sqrt(result.widths_nm[-1] / result.widths_nm[0])
+    assert ratio == np.clip(ratio, 0.7 * expected, 1.3 * expected)
+    vt0 = result.contributions["vt0"]
+    for other in ("mu", "cinv"):
+        assert np.all(vt0 > result.contributions[other])
+    # Linear propagation tracks the MC within 10 %.
+    np.testing.assert_allclose(result.total_linear, total, rtol=0.1)

@@ -1,0 +1,33 @@
+"""Bench F4 — Fig. 4: Ion/log10(Ioff) scatter and confidence ellipses."""
+
+import numpy as np
+
+from repro.experiments import fig4_scatter_ellipses
+from repro.stats.ellipse import expected_mahalanobis_fraction
+
+
+def test_fig4_scatter_ellipses(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig4_scatter_ellipses.run, kwargs={"n_samples": 1000},
+        rounds=1, iterations=1,
+    )
+    record_report("fig4_scatter_ellipses",
+                  fig4_scatter_ellipses.report(result))
+
+    # Marginal sigmas of the two clouds agree within 10 %.
+    g_ion, g_off = result.golden_cloud
+    v_ion, v_off = result.vs_cloud
+    assert np.std(v_ion, ddof=1) / np.std(g_ion, ddof=1) == np.clip(
+        np.std(v_ion, ddof=1) / np.std(g_ion, ddof=1), 0.9, 1.1
+    )
+    assert abs(np.std(v_off, ddof=1) - np.std(g_off, ddof=1)) < 0.03
+
+    # The golden cloud fills the VS ellipses with Gaussian coverage.
+    for k in (2.0, 3.0):
+        assert abs(
+            result.cross_coverage[k] - expected_mahalanobis_fraction(k)
+        ) < 0.05
+
+    # Positive Ion / log10(Ioff) correlation in both clouds (shared VT0).
+    assert np.corrcoef(g_ion, g_off)[0, 1] > 0.5
+    assert np.corrcoef(v_ion, v_off)[0, 1] > 0.5

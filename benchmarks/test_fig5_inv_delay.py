@@ -1,0 +1,27 @@
+"""Bench F5 — Fig. 5: INV FO3 delay PDFs across sizes, VS vs golden."""
+
+from repro.experiments import fig5_inv_delay
+
+
+def test_fig5_inv_delay(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig5_inv_delay.run,
+        kwargs={"n_samples": 150, "sizes": (("2x", 600.0, 300.0),)},
+        rounds=1, iterations=1,
+    )
+    record_report("fig5_inv_delay", fig5_inv_delay.report(result))
+
+    case = result.cases[0]
+    # Delay PDFs of the two models overlay: means within 10 %, sigmas
+    # within 35 % (KS-style agreement needs the larger full-size run).
+    assert case.vs_summary.mean == min(
+        max(case.vs_summary.mean, 0.9 * case.golden_summary.mean),
+        1.1 * case.golden_summary.mean,
+    )
+    ratio = case.vs_summary.std / case.golden_summary.std
+    assert 0.65 < ratio < 1.35
+    # 40-nm FO3 inverter delays live in the picosecond decade.
+    assert 1e-12 < case.golden_summary.mean < 30e-12
+    # Shape match: after removing the systematic model-to-model mean
+    # offset, the PDFs overlay (paper's "excellent matching").
+    assert case.shape_ks < 0.2

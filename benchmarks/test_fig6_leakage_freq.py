@@ -1,0 +1,23 @@
+"""Bench F6 — Fig. 6: leakage vs frequency scatter metrics."""
+
+from repro.experiments import fig6_leakage_freq
+
+
+def test_fig6_leakage_freq(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig6_leakage_freq.run, kwargs={"n_samples": 300},
+        rounds=1, iterations=1,
+    )
+    record_report("fig6_leakage_freq", fig6_leakage_freq.report(result))
+
+    for model in ("bsim", "vs"):
+        cloud = result.clouds[model]
+        # Multi-x leakage spread (paper: ~37x at 5000 samples; scaled-
+        # down runs see the same decade once a few hundred samples are in).
+        assert cloud.leakage_spread > 3.0
+        # Frequency spread: tens of percent of the mean.
+        assert 0.1 < cloud.frequency_spread_fraction < 1.0
+    # The two models report similar spreads (shape match).
+    s_b = result.clouds["bsim"].frequency_spread_fraction
+    s_v = result.clouds["vs"].frequency_spread_fraction
+    assert abs(s_v - s_b) / s_b < 0.5

@@ -1,0 +1,28 @@
+"""Bench F7 — Fig. 7: NAND2 delay PDFs and QQ curvature vs supply."""
+
+from repro.experiments import fig7_nand2_vdd
+
+
+def test_fig7_nand2_vdd(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig7_nand2_vdd.run,
+        kwargs={"n_samples": 150, "vdds": (0.9, 0.55)},
+        rounds=1, iterations=1,
+    )
+    record_report("fig7_nand2_vdd", fig7_nand2_vdd.report(result))
+
+    nominal, low = result.cases
+    # Delay grows strongly at low supply.
+    assert low.golden_summary.mean > 2.0 * nominal.golden_summary.mean
+    # Relative spread grows at low supply (paper: local variations
+    # increase significantly).
+    assert (
+        low.golden_summary.sigma_over_mu
+        > nominal.golden_summary.sigma_over_mu
+    )
+    assert low.vs_summary.sigma_over_mu > nominal.vs_summary.sigma_over_mu
+    # Non-Gaussianity appears at low Vdd: positive skew in both models.
+    assert low.vs_summary.skewness > 0.2
+    assert low.golden_summary.skewness > 0.2
+    # Distribution *shape* agreement at low supply (mean offset removed).
+    assert low.shape_ks < 0.25

@@ -1,0 +1,22 @@
+"""Bench F8 — Fig. 8: DFF setup-time distribution."""
+
+from repro.experiments import fig8_dff_setup
+
+
+def test_fig8_dff_setup(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig8_dff_setup.run,
+        kwargs={"n_samples": 40, "n_iterations": 6},
+        rounds=1, iterations=1,
+    )
+    record_report("fig8_dff_setup", fig8_dff_setup.report(result))
+
+    # Setup times land in the tens-of-ps decade (paper Fig. 8c).
+    assert 5e-12 < result.golden_summary.mean < 60e-12
+    assert 5e-12 < result.vs_summary.mean < 60e-12
+    # Model agreement on the mean within 25 %.
+    ratio = result.vs_summary.mean / result.golden_summary.mean
+    assert 0.75 < ratio < 1.25
+    # Variation present in both.
+    assert result.vs_summary.std > 0.0
+    assert result.golden_summary.std > 0.0

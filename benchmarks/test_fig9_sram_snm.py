@@ -1,0 +1,29 @@
+"""Bench F9 — Fig. 9: SRAM butterfly curves and READ/HOLD SNM."""
+
+from repro.experiments import fig9_sram_snm
+
+
+def test_fig9_sram_snm(benchmark, record_report):
+    result = benchmark.pedantic(
+        fig9_sram_snm.run, kwargs={"n_samples": 250}, rounds=1, iterations=1
+    )
+    record_report("fig9_sram_snm", fig9_sram_snm.report(result))
+
+    cases = {c.mode: c for c in result.cases}
+    read, hold = cases["read"], cases["hold"]
+
+    # READ SNM is squeezed well below HOLD SNM (access disturb).
+    assert read.vs_summary.mean < 0.6 * hold.vs_summary.mean
+    # Paper decades: READ ~0.05-0.2 V, HOLD ~0.26-0.36 V.
+    assert 0.03 < read.golden_summary.mean < 0.25
+    assert 0.2 < hold.golden_summary.mean < 0.45
+    # VS matches the golden model per mode.
+    for case in (read, hold):
+        ratio = case.vs_summary.mean / case.golden_summary.mean
+        assert 0.85 < ratio < 1.15
+        assert case.ks_distance < 0.35
+    # Butterfly curves present for both modes.
+    for mode in ("read", "hold"):
+        sweep, a, b = result.butterflies[mode]
+        assert a[0] > 0.8 * result.vdd
+        assert a[-1] < 0.35 * result.vdd

@@ -1,0 +1,23 @@
+"""Bench (extension) — Gaussian SSTA degradation at low supply."""
+
+from repro.experiments import ssta_low_vdd
+
+
+def test_ssta_low_vdd(benchmark, record_report):
+    result = benchmark.pedantic(
+        ssta_low_vdd.run,
+        kwargs={"n_device_mc": 150, "n_graph_mc": 20000},
+        rounds=1, iterations=1,
+    )
+    record_report("ssta_low_vdd", ssta_low_vdd.report(result))
+
+    nominal, low = result.cases
+    # Arc skew grows at low supply (the Fig. 7 mechanism).
+    assert low.arc_skewness > nominal.arc_skewness
+    # Clark tracks the Monte-Carlo mean at both supplies (sums are exact;
+    # only the max approximation errs).
+    for case in (nominal, low):
+        assert abs(case.clark_mean - case.mc_mean) / case.mc_mean < 0.05
+    # The sign-off quantile degrades at low supply (more negative =
+    # optimistic Gaussian tail, the dangerous direction).
+    assert abs(low.q999_error) > abs(nominal.q999_error) * 0.999

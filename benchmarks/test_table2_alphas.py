@@ -1,0 +1,18 @@
+"""Bench T2 — Table II: extracted Pelgrom coefficients."""
+
+from repro.experiments import table2_alphas
+
+
+def test_table2_alphas(benchmark, record_report):
+    result = benchmark.pedantic(table2_alphas.run, rounds=3, iterations=1)
+    record_report("table2_alphas", table2_alphas.report(result))
+
+    for pol in ("nmos", "pmos"):
+        extracted = result.extracted[pol]
+        truth = result.truth[pol]
+        # BPV recovers the synthetic fab's coefficients.
+        assert abs(extracted.alpha1_v_nm - truth.alpha1_v_nm) < 0.3 * truth.alpha1_v_nm
+        assert abs(extracted.alpha2_nm - truth.alpha2_nm) < 0.3 * truth.alpha2_nm
+        # And they live in the paper's 40-nm decade.
+        paper = result.paper[pol]
+        assert 0.3 * paper.alpha1_v_nm < extracted.alpha1_v_nm < 3.0 * paper.alpha1_v_nm

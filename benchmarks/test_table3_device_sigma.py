@@ -1,0 +1,24 @@
+"""Bench T3 — Table III: device-level sigma, VS vs golden."""
+
+from repro.experiments import table3_device_sigma
+
+
+def test_table3_device_sigma(benchmark, record_report):
+    result = benchmark.pedantic(
+        table3_device_sigma.run, kwargs={"n_samples": 2000},
+        rounds=1, iterations=1,
+    )
+    record_report("table3_device_sigma", table3_device_sigma.report(result))
+
+    # Headline claim: VS and golden sigmas agree within a few percent
+    # (we allow 10 % at this reduced MC count).
+    assert result.worst_relative_mismatch() < 0.10
+
+    # Pelgrom ordering: short > medium > wide in sigma(log10 Ioff).
+    by_class = {(r.label, r.polarity): r for r in result.rows}
+    for pol in ("nmos", "pmos"):
+        assert (
+            by_class[("Short", pol)].sigma_logioff_vs
+            > by_class[("Medium", pol)].sigma_logioff_vs
+            > by_class[("Wide", pol)].sigma_logioff_vs
+        )

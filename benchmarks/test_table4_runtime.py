@@ -1,0 +1,23 @@
+"""Bench T4 — Table IV: Monte-Carlo runtime / memory, VS vs golden."""
+
+from repro.experiments import table4_runtime
+
+
+def test_table4_runtime(benchmark, record_report):
+    result = benchmark.pedantic(
+        table4_runtime.run,
+        kwargs={"n_nand": 60, "n_dff": 10, "n_sram": 100},
+        rounds=1, iterations=1,
+    )
+    record_report("table4_runtime", table4_runtime.report(result))
+
+    # The VS model's smaller equation count must show up as a speedup in
+    # the shared engine (paper: 4.2x across engines; here expect > 1x on
+    # the transient workloads where model evaluation dominates).
+    by_cell = {row.cell: row for row in result.rows}
+    assert by_cell["NAND2"].speedup > 1.0
+    assert by_cell["SRAM"].speedup > 1.0
+    # All workloads completed with sane timings.
+    for row in result.rows:
+        assert row.vs.runtime_s > 0.0
+        assert row.golden.runtime_s > 0.0

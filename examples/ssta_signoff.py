@@ -1,0 +1,94 @@
+"""Statistical timing sign-off: corners vs Gaussian SSTA vs Monte-Carlo.
+
+The downstream story of the statistical VS model: a designer must bound
+the worst-case arrival time of a reconvergent logic block.  Three ways:
+
+1. corner analysis (SS cards, zero statistics);
+2. Gaussian SSTA (Clark's max on characterized mean/sigma);
+3. Monte-Carlo SSTA bootstrapped from statistical-VS delay samples.
+
+At nominal supply all three roughly agree; the interesting engineering
+output is *how much margin corners waste* and how the Gaussian
+approximation drifts at reduced supply.
+
+Run:  python examples/ssta_signoff.py   (a few minutes)
+"""
+
+import numpy as np
+
+from repro.cells import (
+    InverterSpec,
+    MonteCarloDeviceFactory,
+    NominalDeviceFactory,
+    inverter_delays,
+)
+from repro.cells.factory import DeviceFactory
+from repro.devices.vs.model import VSDevice
+from repro.pipeline import default_technology
+from repro.ssta import EmpiricalDelay, TimingGraph, clark_arrival, monte_carlo_arrival
+from repro.stats.corners import generate_corners
+
+N_CHAINS = 6
+CHAIN_DEPTH = 4
+N_DEVICE_MC = 250
+N_GRAPH_MC = 30000
+SPEC = InverterSpec(600.0, 300.0)
+
+
+class _CornerFactory(DeviceFactory):
+    """Factory serving one corner's cards."""
+
+    batch_shape = ()
+
+    def __init__(self, corner):
+        self.corner = corner
+
+    def __call__(self, polarity, w_nm, l_nm):
+        card = getattr(self.corner, polarity)
+        return VSDevice(card.replace(w_nm=w_nm, l_nm=l_nm))
+
+
+def main() -> None:
+    tech = default_technology()
+    vdd = tech.vdd
+
+    # --- arc characterization (statistical + corner) -------------------
+    mc_factory = MonteCarloDeviceFactory(tech, N_DEVICE_MC, model="vs", seed=3)
+    samples = inverter_delays(mc_factory, SPEC, vdd)["tphl"].delay
+    samples = samples[np.isfinite(samples)]
+
+    corners = generate_corners(tech.nmos.statistical, tech.pmos.statistical,
+                               k_sigma=3.0)
+    ss_delay = float(
+        inverter_delays(_CornerFactory(corners["SS"]), SPEC, vdd)["tphl"].delay
+    )
+    tt_delay = float(
+        inverter_delays(NominalDeviceFactory(tech, "vs"), SPEC, vdd)["tphl"].delay
+    )
+
+    # --- build the block's timing graph ---------------------------------
+    arc = EmpiricalDelay(samples)
+    graph = TimingGraph.parallel_chains(
+        [[arc] * CHAIN_DEPTH for _ in range(N_CHAINS)]
+    )
+    rng = np.random.default_rng(11)
+    arrivals = monte_carlo_arrival(graph, "src", "snk", N_GRAPH_MC, rng)
+    analytic = clark_arrival(graph, "src", "snk")
+
+    mc_q999 = float(np.quantile(arrivals, 0.999))
+    corner_bound = CHAIN_DEPTH * ss_delay
+
+    print(f"timing block: {N_CHAINS} parallel chains of {CHAIN_DEPTH} stages, "
+          f"Vdd = {vdd} V")
+    print(f"  nominal (TT) path delay : {CHAIN_DEPTH * tt_delay * 1e12:9.2f} ps")
+    print(f"  MC SSTA q99.9           : {mc_q999 * 1e12:9.2f} ps")
+    print(f"  Gaussian SSTA q99.9     : {analytic.quantile(0.999) * 1e12:9.2f} ps")
+    print(f"  SS-corner bound         : {corner_bound * 1e12:9.2f} ps")
+    margin = (corner_bound - mc_q999) / mc_q999
+    print(f"\nThe 3-sigma corner over-margins the true q99.9 by "
+          f"{100 * margin:.1f} % — the pessimism statistical sign-off "
+          "recovers.")
+
+
+if __name__ == "__main__":
+    main()

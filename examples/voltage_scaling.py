@@ -1,0 +1,61 @@
+"""Power-delay exploration under voltage scaling with one extraction.
+
+The statistical VS model is extracted once at nominal Vdd, yet remains
+valid across the supply range (Sec. I) — no per-Vdd re-fitting, unlike
+variance-patched approaches.  This example exploits that: it sweeps Vdd,
+Monte-Carlos a NAND2's delay and leakage, and reports how the mean, the
+spread, and the *shape* (Gaussianity) of the delay distribution evolve —
+the dynamic-voltage-scaling design question of Fig. 7.
+
+Run:  python examples/voltage_scaling.py
+"""
+
+import numpy as np
+
+from repro.analysis.leakage import supply_leakage
+from repro.cells import MonteCarloDeviceFactory, Nand2Spec, nand2_delays
+from repro.cells.nand import build_nand2_fo
+from repro.circuit.waveforms import DC
+from repro.pipeline import default_technology
+from repro.stats.distributions import qq_tail_nonlinearity, summarize
+
+N_SAMPLES = 300
+SUPPLIES = (0.9, 0.7, 0.55)
+
+
+def main() -> None:
+    tech = default_technology()
+    spec = Nand2Spec()
+    print(f"NAND2 FO3 voltage-scaling study ({N_SAMPLES} MC samples)\n")
+    print(f"{'Vdd (V)':>8}  {'delay (ps)':>11}  {'sigma/mean':>10}  "
+          f"{'QQ curvature':>12}  {'leakage (nA)':>13}")
+
+    for vdd in SUPPLIES:
+        factory = MonteCarloDeviceFactory(tech, N_SAMPLES, model="vs",
+                                          seed=17 + int(vdd * 100))
+        delays = nand2_delays(factory, spec, vdd)
+        tphl = delays["tphl"].delay
+        tphl = tphl[np.isfinite(tphl)]
+        stats = summarize(tphl)
+        curvature = qq_tail_nonlinearity(tphl)
+
+        # Static leakage of the same cell at input A=0, B=1 (fresh
+        # factory with the same seed reproduces the sampled devices).
+        factory_static = MonteCarloDeviceFactory(
+            tech, N_SAMPLES, model="vs", seed=17 + int(vdd * 100)
+        )
+        circuit, hints = build_nand2_fo(factory_static, spec, vdd,
+                                        input_waveform=DC(0.0))
+        leak = supply_leakage(circuit, "VDD", hints)
+
+        print(f"{vdd:>8.2f}  {stats.mean * 1e12:>11.2f}  "
+              f"{stats.sigma_over_mu:>10.3f}  {curvature:>12.3f}  "
+              f"{np.mean(leak) * 1e9:>13.3f}")
+
+    print("\nAs Vdd drops: delay and its relative spread grow, and the "
+          "QQ curvature shows the distribution leaving Gaussian land — "
+          "captured without any per-Vdd statistical re-fit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig3 table2 ...     # run selected, print reports
+    python -m repro all                  # everything (long: full circuit MC)
+    python -m repro fig5 --quick         # reduced sample counts
+
+Each experiment prints the rows/series of the corresponding figure or
+table of the DATE-2013 paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+#: Experiment registry: name -> (module, quick kwargs, full kwargs).
+EXPERIMENTS = {
+    "fig1": ("repro.experiments.fig1_iv_fit", {}, {}),
+    "fig2": ("repro.experiments.fig2_bpv_consistency", {}, {}),
+    "fig3": ("repro.experiments.fig3_idsat_mismatch",
+             {"n_samples": 1500}, {"n_samples": 3000}),
+    "fig4": ("repro.experiments.fig4_scatter_ellipses",
+             {"n_samples": 600}, {"n_samples": 1000}),
+    "fig5": ("repro.experiments.fig5_inv_delay",
+             {"n_samples": 150}, {"n_samples": 2500}),
+    "fig6": ("repro.experiments.fig6_leakage_freq",
+             {"n_samples": 300}, {"n_samples": 5000}),
+    "fig7": ("repro.experiments.fig7_nand2_vdd",
+             {"n_samples": 150}, {"n_samples": 2500}),
+    "fig8": ("repro.experiments.fig8_dff_setup",
+             {"n_samples": 30, "n_iterations": 6}, {"n_samples": 250}),
+    "fig9": ("repro.experiments.fig9_sram_snm",
+             {"n_samples": 250}, {"n_samples": 2500}),
+    "table2": ("repro.experiments.table2_alphas", {}, {}),
+    "table3": ("repro.experiments.table3_device_sigma",
+               {"n_samples": 2000}, {"n_samples": 4000}),
+    "table4": ("repro.experiments.table4_runtime",
+               {"n_nand": 150, "n_dff": 20, "n_sram": 150},
+               {"n_nand": 2000, "n_dff": 250, "n_sram": 2000}),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate DATE-2013 statistical-VS paper artifacts.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment names (fig1..fig9, table2..table4), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced Monte-Carlo counts (same shapes, minutes not hours)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name, (module, _, _) in EXPERIMENTS.items():
+            print(f"{name:8s} {module}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; try 'list'")
+
+    for name in names:
+        module_name, quick_kwargs, full_kwargs = EXPERIMENTS[name]
+        module = importlib.import_module(module_name)
+        kwargs = quick_kwargs if args.quick else full_kwargs
+        start = time.perf_counter()
+        result = module.run(**kwargs)
+        elapsed = time.perf_counter() - start
+        print(module.report(result))
+        print(f"[{name} done in {elapsed:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

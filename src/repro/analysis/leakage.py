@@ -1,0 +1,51 @@
+"""Static (leakage) supply current of a cell.
+
+The supply current is read from the VDD source's branch unknown — the
+exact current the MNA formulation already solves for, no post-processing
+current probes needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.dcop import dc_operating_point, initial_guess
+from repro.circuit.netlist import Circuit
+
+
+def supply_leakage(
+    circuit: Circuit,
+    supply_name: str,
+    node_hints: Optional[Dict[str, float]] = None,
+) -> np.ndarray:
+    """DC current drawn from the supply source [A] (batched).
+
+    The branch current unknown is the current flowing out of the source's
+    positive node into the source; the current *delivered* by the supply
+    is its negation.
+    """
+    source = circuit[supply_name]
+    v0 = initial_guess(circuit, node_hints)
+    solution = dc_operating_point(circuit, v0=v0)
+    return -solution[..., source.branch_index]
+
+
+def average_leakage(
+    circuit_builder,
+    input_states: Sequence[Dict[str, float]],
+    supply_name: str = "VDD",
+) -> np.ndarray:
+    """Mean leakage over a set of static input states.
+
+    *circuit_builder* is called with each state dict (input node ->
+    voltage) and must return a :class:`Circuit` plus node hints; this
+    matches how the cell builders expose their static configurations.
+    """
+    totals = None
+    for state in input_states:
+        circuit, hints = circuit_builder(state)
+        leak = supply_leakage(circuit, supply_name, hints)
+        totals = leak if totals is None else totals + leak
+    return totals / float(len(input_states))

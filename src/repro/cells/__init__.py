@@ -1,0 +1,33 @@
+"""Benchmark circuits of Sec. IV: INV, NAND2, D flip-flop, 6T SRAM."""
+
+from repro.cells.factory import (
+    DeviceFactory,
+    MonteCarloDeviceFactory,
+    NominalDeviceFactory,
+)
+from repro.cells.inverter import InverterSpec, build_inverter_fo, inverter_delays
+from repro.cells.nand import Nand2Spec, build_nand2_fo, nand2_delays
+from repro.cells.dff import DFFSpec, dff_hold_time, dff_setup_time
+from repro.cells.ringosc import RingOscSpec, build_ring, ring_frequency
+from repro.cells.sram import SRAMSpec, butterfly_curves, sram_snm
+
+__all__ = [
+    "DeviceFactory",
+    "NominalDeviceFactory",
+    "MonteCarloDeviceFactory",
+    "InverterSpec",
+    "build_inverter_fo",
+    "inverter_delays",
+    "Nand2Spec",
+    "build_nand2_fo",
+    "nand2_delays",
+    "DFFSpec",
+    "dff_setup_time",
+    "dff_hold_time",
+    "SRAMSpec",
+    "butterfly_curves",
+    "sram_snm",
+    "RingOscSpec",
+    "build_ring",
+    "ring_frequency",
+]

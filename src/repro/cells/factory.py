@@ -1,0 +1,118 @@
+"""Device factories: how benchmark cells obtain their transistors.
+
+A cell builder never constructs device models directly — it asks a
+factory for "an NMOS of W x L".  Swapping the factory switches the whole
+cell between:
+
+* nominal VS / nominal BSIM evaluation (delay calibration),
+* Monte-Carlo VS / Monte-Carlo BSIM (the paper's statistical runs).
+
+Monte-Carlo factories return a *fresh, independent* batch of sampled
+cards on every call, which is precisely the within-die mismatch model:
+each transistor instance in the cell fluctuates independently, while the
+sample axis ties instance k of sample b across the whole circuit.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.base import DeviceModel
+from repro.devices.bsim.model import BSIMDevice
+from repro.devices.vs.model import VSDevice
+from repro.pipeline import Technology
+
+
+class DeviceFactory(abc.ABC):
+    """Supplies transistors to cell builders."""
+
+    @abc.abstractmethod
+    def __call__(self, polarity: str, w_nm: float, l_nm: float) -> DeviceModel:
+        """Return a device model for a ``W x L`` transistor of *polarity*."""
+
+    #: Batch shape the produced devices carry (``()`` for nominal).
+    batch_shape: tuple = ()
+
+
+class NominalDeviceFactory(DeviceFactory):
+    """Nominal (variation-free) devices from a characterized technology."""
+
+    def __init__(self, technology: Technology, model: str = "vs"):
+        if model not in ("vs", "bsim"):
+            raise ValueError(f"model must be 'vs' or 'bsim', got {model!r}")
+        self.technology = technology
+        self.model = model
+        self.batch_shape = ()
+
+    def __call__(self, polarity: str, w_nm: float, l_nm: float) -> DeviceModel:
+        char = self.technology[polarity]
+        if self.model == "vs":
+            return VSDevice(char.vs_nominal.replace(w_nm=w_nm, l_nm=l_nm))
+        return BSIMDevice(char.golden_nominal.replace(w_nm=w_nm, l_nm=l_nm))
+
+
+class MonteCarloDeviceFactory(DeviceFactory):
+    """Per-instance mismatch sampling over a shared Monte-Carlo axis.
+
+    With ``interdie_sigma`` set (a ``{parameter: sigma}`` map per
+    polarity, or one map for both), each Monte-Carlo sample additionally
+    carries a die-level deviation shared by *every* device instance it
+    receives — the Eq. (1) decomposition: global + local variation.
+    Only supported for the VS model (the golden kit plays the role of
+    within-die silicon in the paper's flow).
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        n_samples: int,
+        rng: Optional[np.random.Generator] = None,
+        model: str = "vs",
+        seed: int = 0,
+        interdie_sigma: Optional[dict] = None,
+    ):
+        if model not in ("vs", "bsim"):
+            raise ValueError(f"model must be 'vs' or 'bsim', got {model!r}")
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if interdie_sigma is not None and model != "vs":
+            raise ValueError("inter-die sampling is implemented for the VS model")
+        self.technology = technology
+        self.n_samples = n_samples
+        self.model = model
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.batch_shape = (n_samples,)
+
+        self._interdie: dict = {}
+        if interdie_sigma is not None:
+            for polarity in ("nmos", "pmos"):
+                sigma_map = interdie_sigma.get(polarity, interdie_sigma)
+                if not isinstance(sigma_map, dict):
+                    raise TypeError("interdie_sigma must map parameters to sigmas")
+                # Drop polarity keys if a flat map was provided.
+                sigma_map = {
+                    k: v for k, v in sigma_map.items()
+                    if k not in ("nmos", "pmos")
+                }
+                self._interdie[polarity] = technology[
+                    polarity
+                ].statistical.sample_interdie_offsets(
+                    n_samples, self.rng, sigma_map
+                )
+
+    def __call__(self, polarity: str, w_nm: float, l_nm: float) -> DeviceModel:
+        char = self.technology[polarity]
+        if self.model == "vs":
+            return char.statistical.sample_device(
+                self.n_samples,
+                self.rng,
+                w_nm=w_nm,
+                l_nm=l_nm,
+                extra_deviations=self._interdie.get(polarity),
+            )
+        return char.golden_mismatch.sample_device(
+            self.n_samples, self.rng, w_nm=w_nm, l_nm=l_nm
+        )

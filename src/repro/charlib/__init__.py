@@ -1,0 +1,19 @@
+"""Standard-cell timing characterization (NLDM-style tables + statistics)."""
+
+from repro.charlib.tables import LookupTable2D
+from repro.charlib.characterize import (
+    ArcStatistics,
+    CellTiming,
+    characterize_cell,
+    characterize_cell_statistics,
+)
+from repro.charlib.liberty import write_liberty
+
+__all__ = [
+    "LookupTable2D",
+    "CellTiming",
+    "ArcStatistics",
+    "characterize_cell",
+    "characterize_cell_statistics",
+    "write_liberty",
+]

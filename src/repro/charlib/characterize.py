@@ -1,0 +1,189 @@
+"""Cell timing characterization against explicit loads.
+
+The characterization testbench is the standard one: drive the cell's
+switching input with a controlled-slew ramp, load the output with a pure
+capacitance, and measure 50 %-to-50 % delay plus 20-80 % output
+transition, for every (input slew, output load) grid point and both
+edges.  Statistical characterization repeats the measurement under a
+Monte-Carlo factory and records the delay samples per arc — the raw
+material for SSTA (:mod:`repro.ssta`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.delay import crossing_time, propagation_delay
+from repro.cells.factory import DeviceFactory
+from repro.cells.inverter import InverterSpec, _add_inverter
+from repro.charlib.tables import LookupTable2D
+from repro.circuit.dcop import initial_guess
+from repro.circuit.netlist import Circuit, GROUND
+from repro.circuit.transient import transient
+from repro.circuit.waveforms import Pulse
+
+#: Default characterization grids (40-nm scale).
+DEFAULT_SLEWS = (4e-12, 12e-12, 30e-12)
+DEFAULT_LOADS = (0.5e-15, 2e-15, 6e-15)
+
+
+def build_loaded_inverter(
+    factory: DeviceFactory,
+    spec: InverterSpec,
+    vdd: float,
+    input_waveform,
+    c_load: float,
+) -> Tuple[Circuit, Dict[str, float]]:
+    """Driver inverter with a pure capacitive load."""
+    circuit = Circuit(title="INV_CL")
+    circuit.add_vsource("vdd", GROUND, vdd, name="VDD")
+    circuit.add_vsource("in", GROUND, input_waveform, name="VIN")
+    _add_inverter(circuit, factory, spec, "in", "out", "drv")
+    circuit.add_capacitor("out", GROUND, c_load, name="CL")
+    return circuit, {"vdd": vdd, "out": vdd}
+
+
+def output_slew(result, node: str, vdd: float, direction: str,
+                t_min: float = 0.0):
+    """20-80 % output transition time (batched)."""
+    lo, hi = 0.2 * vdd, 0.8 * vdd
+    if direction == "rise":
+        t_a = crossing_time(result.times, result[node], lo, "rise", t_min)
+        t_b = crossing_time(result.times, result[node], hi, "rise", t_min)
+    else:
+        t_a = crossing_time(result.times, result[node], hi, "fall", t_min)
+        t_b = crossing_time(result.times, result[node], lo, "fall", t_min)
+    return t_b - t_a
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Nominal NLDM-style tables for one cell."""
+
+    name: str
+    vdd: float
+    #: edge ("tphl"/"tplh") -> delay table.
+    delay: Dict[str, LookupTable2D]
+    #: edge -> output transition table.
+    transition: Dict[str, LookupTable2D]
+
+
+def _measure_point(
+    factory: DeviceFactory,
+    spec: InverterSpec,
+    vdd: float,
+    slew_in: float,
+    c_load: float,
+    dt_factor: float = 25.0,
+):
+    """One grid point: both edges' delay and output slew (batched)."""
+    t_delay = 3.0 * slew_in + 10e-12
+    width = max(12.0 * slew_in, 120e-12)
+    pulse = Pulse(0.0, vdd, delay=t_delay, t_rise=slew_in, t_fall=slew_in,
+                  width=width)
+    circuit, hints = build_loaded_inverter(factory, spec, vdd, pulse, c_load)
+    dt = max(min(slew_in / dt_factor, 1e-12), 0.2e-12)
+    t_stop = t_delay + width + slew_in + max(width, 100e-12)
+    result = transient(circuit, t_stop, dt,
+                       dc_guess=initial_guess(circuit, hints))
+
+    tphl = propagation_delay(result, "in", "out", vdd, input_edge="rise")
+    fall_start = t_delay + slew_in + 0.5 * width
+    tplh = propagation_delay(result, "in", "out", vdd, input_edge="fall",
+                             t_min=fall_start)
+    slew_hl = output_slew(result, "out", vdd, "fall")
+    slew_lh = output_slew(result, "out", vdd, "rise", t_min=fall_start)
+    return {
+        "tphl": (tphl.delay, slew_hl),
+        "tplh": (tplh.delay, slew_lh),
+    }
+
+
+def characterize_cell(
+    factory: DeviceFactory,
+    spec: InverterSpec = InverterSpec(600.0, 300.0),
+    vdd: float = 0.9,
+    slews: Sequence[float] = DEFAULT_SLEWS,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    name: str = "INV",
+) -> CellTiming:
+    """Nominal characterization over the (slew, load) grid."""
+    slews = np.asarray(slews, dtype=float)
+    loads = np.asarray(loads, dtype=float)
+    delay_tables = {e: np.zeros((slews.size, loads.size)) for e in ("tphl", "tplh")}
+    tran_tables = {e: np.zeros((slews.size, loads.size)) for e in ("tphl", "tplh")}
+
+    for i, slew in enumerate(slews):
+        for j, load in enumerate(loads):
+            point = _measure_point(factory, spec, vdd, slew, load)
+            for edge in ("tphl", "tplh"):
+                d, s = point[edge]
+                delay_tables[edge][i, j] = float(np.asarray(d).squeeze())
+                tran_tables[edge][i, j] = float(np.asarray(s).squeeze())
+
+    return CellTiming(
+        name=name,
+        vdd=vdd,
+        delay={
+            e: LookupTable2D(slews, loads, delay_tables[e])
+            for e in ("tphl", "tplh")
+        },
+        transition={
+            e: LookupTable2D(slews, loads, tran_tables[e])
+            for e in ("tphl", "tplh")
+        },
+    )
+
+
+@dataclass(frozen=True)
+class ArcStatistics:
+    """Monte-Carlo delay samples of one timing arc at one operating point."""
+
+    cell: str
+    edge: str
+    slew_in: float
+    c_load: float
+    samples: np.ndarray       #: (n,) delay samples [s]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def sigma(self) -> float:
+        return float(np.std(self.samples, ddof=1))
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Bootstrap-resample arc delays (preserves non-Gaussian shape)."""
+        return rng.choice(self.samples, size=n, replace=True)
+
+
+def characterize_cell_statistics(
+    factory_builder: Callable[[], DeviceFactory],
+    spec: InverterSpec = InverterSpec(600.0, 300.0),
+    vdd: float = 0.9,
+    slew_in: float = DEFAULT_SLEWS[1],
+    c_load: float = DEFAULT_LOADS[1],
+    name: str = "INV",
+) -> Dict[str, ArcStatistics]:
+    """Monte-Carlo characterization of both arcs at one operating point.
+
+    *factory_builder* must return a fresh Monte-Carlo factory (its batch
+    size sets the sample count); a builder rather than a factory so each
+    arc gets independent device draws.
+    """
+    factory = factory_builder()
+    point = _measure_point(factory, spec, vdd, slew_in, c_load)
+    result = {}
+    for edge in ("tphl", "tplh"):
+        delays, _ = point[edge]
+        delays = np.asarray(delays)
+        delays = delays[np.isfinite(delays)]
+        result[edge] = ArcStatistics(
+            cell=name, edge=edge, slew_in=slew_in, c_load=c_load,
+            samples=delays,
+        )
+    return result

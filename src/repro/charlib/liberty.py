@@ -1,0 +1,82 @@
+"""Liberty (.lib) writer for characterized cells.
+
+Emits the minimal NLDM structure downstream tools parse: per-arc
+``cell_fall``/``cell_rise`` delay tables and ``fall_transition``/
+``rise_transition`` tables over the characterized (slew, load) grid.
+Units follow common 40-nm libraries: ns and pF.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.charlib.characterize import CellTiming
+from repro.charlib.tables import LookupTable2D
+
+_NS = 1e-9
+_PF = 1e-12
+
+#: Liberty group names per internal edge label (output falls on tphl).
+_EDGE_GROUPS = {
+    "tphl": ("cell_fall", "fall_transition"),
+    "tplh": ("cell_rise", "rise_transition"),
+}
+
+
+def _format_axis(values: np.ndarray, scale: float) -> str:
+    return ", ".join(f"{v / scale:.6g}" for v in values)
+
+
+def _format_table(table: LookupTable2D, indent: str) -> str:
+    lines = [f'{indent}index_1("{_format_axis(table.slews, _NS)}");',
+             f'{indent}index_2("{_format_axis(table.loads, _PF)}");',
+             f"{indent}values( \\"]
+    for i, row in enumerate(table.values):
+        row_text = ", ".join(f"{v / _NS:.6g}" for v in row)
+        terminator = " \\" if i < table.values.shape[0] - 1 else ");"
+        lines.append(f'{indent}  "{row_text}"{terminator}')
+    return "\n".join(lines)
+
+
+def write_liberty(
+    cells: Sequence[CellTiming],
+    library_name: str = "repro_vs_40nm",
+) -> str:
+    """Render a Liberty library string for *cells*.
+
+    Each cell is emitted as a single-input inverting cell (the cells of
+    this reproduction are INV-class drive characterizations); extending
+    to multi-input cells only multiplies the pin groups.
+    """
+    if not cells:
+        raise ValueError("need at least one characterized cell")
+    out = [
+        f"library ({library_name}) {{",
+        '  delay_model : "table_lookup";',
+        '  time_unit : "1ns";',
+        '  capacitive_load_unit (1, pf);',
+        f"  nom_voltage : {cells[0].vdd};",
+    ]
+    for cell in cells:
+        out.append(f"  cell ({cell.name}) {{")
+        out.append("    pin (A) { direction : input; }")
+        out.append("    pin (Y) {")
+        out.append("      direction : output;")
+        out.append('      function : "(!A)";')
+        out.append("      timing () {")
+        out.append("        related_pin : \"A\";")
+        out.append("        timing_sense : negative_unate;")
+        for edge, (delay_group, tran_group) in _EDGE_GROUPS.items():
+            out.append(f"        {delay_group} (delay_template) {{")
+            out.append(_format_table(cell.delay[edge], "          "))
+            out.append("        }")
+            out.append(f"        {tran_group} (delay_template) {{")
+            out.append(_format_table(cell.transition[edge], "          "))
+            out.append("        }")
+        out.append("      }")
+        out.append("    }")
+        out.append("  }")
+    out.append("}")
+    return "\n".join(out) + "\n"

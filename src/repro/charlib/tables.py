@@ -1,0 +1,67 @@
+"""2-D lookup tables, NLDM style.
+
+Liberty-format delay models tabulate each timing arc's delay and output
+transition over (input slew, output load); tools interpolate bilinearly.
+This is the exact structure we build from the batched engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LookupTable2D:
+    """Bilinear-interpolated table over (input slew, output load)."""
+
+    slews: np.ndarray        #: (S,) input transition times [s], increasing
+    loads: np.ndarray        #: (L,) output load capacitances [F], increasing
+    values: np.ndarray       #: (S, L) tabulated quantity
+
+    def __post_init__(self):
+        slews = np.asarray(self.slews, dtype=float)
+        loads = np.asarray(self.loads, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if slews.ndim != 1 or loads.ndim != 1:
+            raise ValueError("axes must be 1-D")
+        if values.shape != (slews.size, loads.size):
+            raise ValueError(
+                f"values shape {values.shape} does not match axes "
+                f"({slews.size}, {loads.size})"
+            )
+        if np.any(np.diff(slews) <= 0.0) or np.any(np.diff(loads) <= 0.0):
+            raise ValueError("axes must be strictly increasing")
+        object.__setattr__(self, "slews", slews)
+        object.__setattr__(self, "loads", loads)
+        object.__setattr__(self, "values", values)
+
+    def __call__(self, slew, load):
+        """Bilinear interpolation (clamped at the table edges)."""
+        slew = np.asarray(slew, dtype=float)
+        load = np.asarray(load, dtype=float)
+
+        i = np.clip(np.searchsorted(self.slews, slew) - 1, 0,
+                    self.slews.size - 2)
+        j = np.clip(np.searchsorted(self.loads, load) - 1, 0,
+                    self.loads.size - 2)
+        s0, s1 = self.slews[i], self.slews[i + 1]
+        l0, l1 = self.loads[j], self.loads[j + 1]
+        fs = np.clip((slew - s0) / (s1 - s0), 0.0, 1.0)
+        fl = np.clip((load - l0) / (l1 - l0), 0.0, 1.0)
+
+        v00 = self.values[i, j]
+        v01 = self.values[i, j + 1]
+        v10 = self.values[i + 1, j]
+        v11 = self.values[i + 1, j + 1]
+        return (
+            v00 * (1 - fs) * (1 - fl)
+            + v01 * (1 - fs) * fl
+            + v10 * fs * (1 - fl)
+            + v11 * fs * fl
+        )
+
+    @property
+    def shape(self):
+        return self.values.shape

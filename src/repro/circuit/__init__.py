@@ -1,0 +1,44 @@
+"""Batched SPICE-like circuit simulator (MNA + Newton-Raphson).
+
+The defining feature of this engine is the *Monte-Carlo batch axis*: every
+element parameter — device cards included — may be an array over samples,
+and the nonlinear solve runs on stacked ``(B, n, n)`` systems.  A
+2500-sample Monte-Carlo transient therefore costs a handful of vectorized
+numpy solves per timestep instead of 2500 sequential SPICE runs.  This is
+our substitute for the paper's Cadence/Spectre testbench (see DESIGN.md).
+"""
+
+from repro.circuit.netlist import Circuit, GROUND
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    MOSFET,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.waveforms import DC, Pulse, PiecewiseLinear, Step
+from repro.circuit.ac import ac_analysis, ACResult
+from repro.circuit.dcop import dc_operating_point, ConvergenceError
+from repro.circuit.dcsweep import dc_sweep
+from repro.circuit.transient import transient, TransientResult
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "MOSFET",
+    "DC",
+    "Pulse",
+    "PiecewiseLinear",
+    "Step",
+    "dc_operating_point",
+    "dc_sweep",
+    "transient",
+    "TransientResult",
+    "ac_analysis",
+    "ACResult",
+    "ConvergenceError",
+]

@@ -1,0 +1,129 @@
+"""Small-signal AC analysis.
+
+Linearizes the circuit at a DC operating point and solves the complex
+MNA system ``(G + j w C) x = b`` per frequency, batched over the
+Monte-Carlo axis like every other analysis.  This is the analysis class
+behind the paper's Table IV "SRAM AC" row.
+
+The AC excitation is the set of sources marked via ``ac_sources``: each
+listed voltage source injects a unit (or specified) small-signal
+amplitude; everything else is small-signal quiet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.dcop import dc_operating_point
+from repro.circuit.elements import MOSFET, Resistor, VoltageSource
+from repro.circuit.mna import NewtonOptions, System
+from repro.circuit.netlist import Circuit
+
+
+@dataclass
+class ACResult:
+    """Complex node phasors across frequency."""
+
+    frequencies: np.ndarray        #: (F,) [Hz]
+    phasors: np.ndarray            #: (F,) + batch + (n,) complex
+    node_index: Dict[str, int]
+
+    def __getitem__(self, node: str) -> np.ndarray:
+        """Phasor of *node*, shape ``(F,) + batch``."""
+        return self.phasors[..., self.node_index[node]]
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """20 log10 |V(node)|."""
+        return 20.0 * np.log10(np.abs(self[node]) + 1e-300)
+
+
+def _linearize(circuit: Circuit, v_op: np.ndarray, batch: tuple, n: int):
+    """Conductance and capacitance matrices at the operating point."""
+    g_system = System(batch, n)
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            element.stamp_static(g_system, v_op, 0.0)
+        elif isinstance(element, MOSFET):
+            element.stamp_nonlinear(g_system, v_op)
+        elif isinstance(element, VoltageSource):
+            # Branch rows: short for AC (amplitude handled in the RHS).
+            element.stamp_static(g_system, v_op, 0.0)
+
+    c_matrix = np.zeros(batch + (n, n))
+    for element in circuit.elements:
+        if not element.charge_terminals:
+            continue
+        jac = element.charge_jacobian(v_op)
+        terminals = element.charge_terminals
+        for a, node_a in enumerate(terminals):
+            if node_a < 0:
+                continue
+            for b, node_b in enumerate(terminals):
+                if node_b >= 0:
+                    c_matrix[..., node_a, node_b] += jac[..., a, b]
+    return g_system.jacobian, c_matrix
+
+
+def ac_analysis(
+    circuit: Circuit,
+    frequencies,
+    ac_sources: Sequence[str] = (),
+    amplitudes: Optional[Dict[str, float]] = None,
+    v_op: Optional[np.ndarray] = None,
+    options: Optional[NewtonOptions] = None,
+) -> ACResult:
+    """Frequency sweep of the linearized circuit.
+
+    Parameters
+    ----------
+    frequencies:
+        (F,) frequency points [Hz].
+    ac_sources:
+        Names of voltage sources carrying a small-signal excitation.
+    amplitudes:
+        Optional per-source amplitude (default 1.0 V).
+    v_op:
+        Operating point; solved here when omitted.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.ndim != 1 or frequencies.size == 0:
+        raise ValueError("frequencies must be a non-empty 1-D array")
+    if np.any(frequencies < 0.0):
+        raise ValueError("frequencies must be non-negative")
+    if not ac_sources:
+        raise ValueError("need at least one AC source")
+
+    n = circuit.assign_branches()
+    batch = circuit.batch_shape
+    if v_op is None:
+        v_op = dc_operating_point(circuit, options=options)
+
+    g_matrix, c_matrix = _linearize(circuit, v_op, batch, n)
+
+    # RHS: unit excitation on each AC source's branch row.
+    rhs = np.zeros(batch + (n,), dtype=complex)
+    amplitudes = amplitudes or {}
+    for name in ac_sources:
+        source = circuit[name]
+        if not isinstance(source, VoltageSource):
+            raise TypeError(f"AC source {name!r} must be a voltage source")
+        rhs[..., source.branch_index] = amplitudes.get(name, 1.0)
+
+    # gmin conditioning on node rows, as in the DC solver.
+    opts = options or NewtonOptions()
+    idx = np.arange(circuit.n_nodes)
+    g_matrix = g_matrix.copy()
+    g_matrix[..., idx, idx] += opts.gmin
+
+    phasors = np.empty((frequencies.size,) + batch + (n,), dtype=complex)
+    for k, freq in enumerate(frequencies):
+        a_matrix = g_matrix + 1j * (2.0 * np.pi * freq) * c_matrix
+        phasors[k] = np.linalg.solve(a_matrix, rhs[..., None])[..., 0]
+
+    node_index = {name: circuit.index_of(name) for name in circuit.node_names}
+    return ACResult(
+        frequencies=frequencies, phasors=phasors, node_index=node_index
+    )

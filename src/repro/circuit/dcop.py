@@ -1,0 +1,64 @@
+"""DC operating-point analysis."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuit.mna import ConvergenceError, NewtonOptions, System, newton_solve
+from repro.circuit.netlist import Circuit
+
+__all__ = ["dc_operating_point", "initial_guess", "ConvergenceError"]
+
+
+def initial_guess(
+    circuit: Circuit, node_values: Optional[Dict[str, float]] = None
+) -> np.ndarray:
+    """Build an initial solution vector from a ``{node: voltage}`` hint.
+
+    Unlisted nodes start at 0 V; branch currents start at 0 A.  Passing
+    expected logic levels here is the difference between 3 and 30 Newton
+    iterations on a CMOS cell.
+    """
+    n = circuit.assign_branches()
+    batch = circuit.batch_shape
+    v0 = np.zeros(batch + (n,))
+    for name, value in (node_values or {}).items():
+        idx = circuit.index_of(name)
+        if idx >= 0:
+            v0[..., idx] = value
+    return v0
+
+
+def _assemble_dc(circuit: Circuit, t: float):
+    n = circuit.assign_branches()
+    batch = circuit.batch_shape
+
+    def assemble(v: np.ndarray) -> System:
+        system = System(batch, n)
+        for element in circuit.elements:
+            element.stamp_static(system, v, t)
+            element.stamp_nonlinear(system, v)
+        return system
+
+    return assemble, n, batch
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    v0: Optional[np.ndarray] = None,
+    t: float = 0.0,
+    options: Optional[NewtonOptions] = None,
+) -> np.ndarray:
+    """Solve the DC operating point at time *t* (sources evaluated there).
+
+    Returns the full unknown vector ``batch + (n,)``: node voltages first
+    (in :attr:`Circuit.node_names` order), then source branch currents.
+    """
+    assemble, n, batch = _assemble_dc(circuit, t)
+    if v0 is None:
+        v0 = np.zeros(batch + (n,))
+    else:
+        v0 = np.broadcast_to(np.asarray(v0, dtype=float), batch + (n,)).copy()
+    return newton_solve(assemble, v0, circuit.n_nodes, options)

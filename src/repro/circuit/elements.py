@@ -1,0 +1,232 @@
+"""Circuit elements and their MNA stamps.
+
+Sign conventions
+----------------
+The KCL residual at node *i* is the sum of currents flowing *out of* the
+node into elements; Newton drives it to zero.  Voltage sources contribute
+an extra branch unknown (their current) and a branch row enforcing the
+voltage constraint.
+
+Every stamp accepts a batched solution vector ``v`` of shape
+``batch_shape + (n,)``; element parameters broadcast against the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.circuit.waveforms import Waveform
+from repro.devices.base import DeviceModel
+
+
+def _voltage_at(v: np.ndarray, index: int):
+    """Node voltage from the solution vector; ground reads as 0."""
+    if index < 0:
+        return np.zeros(v.shape[:-1])
+    return v[..., index]
+
+
+def _param_shape(value) -> tuple:
+    value = np.asarray(value)
+    return value.shape
+
+
+class Element:
+    """Base class for all netlist elements."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+
+    def batch_shape(self) -> tuple:
+        """Broadcast shape contributed by this element's parameters."""
+        return ()
+
+    # -- resistive stamps ------------------------------------------------
+    def stamp_static(self, system, v: np.ndarray, t: float) -> None:
+        """Stamp linear / source contributions at time *t*."""
+
+    def stamp_nonlinear(self, system, v: np.ndarray) -> None:
+        """Stamp nonlinear resistive contributions (device currents)."""
+
+    # -- charge interface (transient) -------------------------------------
+    #: Node indices of charge-bearing terminals ([] for memoryless elements).
+    charge_terminals: Tuple[int, ...] = ()
+
+    def charge_vector(self, v: np.ndarray) -> np.ndarray:
+        """Charges at :attr:`charge_terminals`, shape ``batch + (K,)``."""
+        raise NotImplementedError
+
+    def charge_jacobian(self, v: np.ndarray) -> np.ndarray:
+        """``dq_k/dv_j`` over charge terminals, shape ``batch + (K, K)``."""
+        raise NotImplementedError
+
+    def charge_and_jacobian(self, v: np.ndarray):
+        """``(charge_vector, charge_jacobian)`` — override to share work."""
+        return self.charge_vector(v), self.charge_jacobian(v)
+
+
+class Resistor(Element):
+    """Linear resistor."""
+
+    def __init__(self, n1: int, n2: int, resistance, name: str = ""):
+        super().__init__(name)
+        if np.any(np.asarray(resistance, dtype=float) <= 0.0):
+            raise ValueError("resistance must be positive")
+        self.n1 = n1
+        self.n2 = n2
+        self.resistance = resistance
+
+    def batch_shape(self) -> tuple:
+        return _param_shape(self.resistance)
+
+    def stamp_static(self, system, v, t):
+        g = 1.0 / np.asarray(self.resistance, dtype=float)
+        v1 = _voltage_at(v, self.n1)
+        v2 = _voltage_at(v, self.n2)
+        i = g * (v1 - v2)
+        system.add_f(self.n1, i)
+        system.add_f(self.n2, -i)
+        system.add_j(self.n1, self.n1, g)
+        system.add_j(self.n2, self.n2, g)
+        system.add_j(self.n1, self.n2, -g)
+        system.add_j(self.n2, self.n1, -g)
+
+
+class Capacitor(Element):
+    """Linear capacitor (open in DC; companion-stamped in transient)."""
+
+    def __init__(self, n1: int, n2: int, capacitance, name: str = ""):
+        super().__init__(name)
+        if np.any(np.asarray(capacitance, dtype=float) < 0.0):
+            raise ValueError("capacitance must be non-negative")
+        self.n1 = n1
+        self.n2 = n2
+        self.capacitance = capacitance
+        self.charge_terminals = (n1, n2)
+
+    def batch_shape(self) -> tuple:
+        return _param_shape(self.capacitance)
+
+    def charge_vector(self, v):
+        c = np.asarray(self.capacitance, dtype=float)
+        dv = _voltage_at(v, self.n1) - _voltage_at(v, self.n2)
+        q = c * dv
+        return np.stack(np.broadcast_arrays(q, -q), axis=-1)
+
+    def charge_jacobian(self, v):
+        c = np.asarray(self.capacitance, dtype=float)
+        batch = np.broadcast_shapes(v.shape[:-1], c.shape)
+        jac = np.zeros(batch + (2, 2))
+        jac[..., 0, 0] = c
+        jac[..., 0, 1] = -c
+        jac[..., 1, 0] = -c
+        jac[..., 1, 1] = c
+        return jac
+
+
+class VoltageSource(Element):
+    """Independent voltage source with a branch-current unknown."""
+
+    def __init__(self, pos: int, neg: int, waveform: Waveform, name: str = ""):
+        super().__init__(name)
+        self.pos = pos
+        self.neg = neg
+        self.waveform = waveform
+        #: Assigned by :meth:`Circuit.assign_branches`.
+        self.branch_index = -1
+
+    def batch_shape(self) -> tuple:
+        return _param_shape(self.waveform.value(0.0))
+
+    def stamp_static(self, system, v, t):
+        nb = self.branch_index
+        if nb < 0:
+            raise RuntimeError("branch index not assigned; call assign_branches()")
+        ib = v[..., nb]
+        system.add_f(self.pos, ib)
+        system.add_f(self.neg, -ib)
+        system.add_j(self.pos, nb, 1.0)
+        system.add_j(self.neg, nb, -1.0)
+
+        target = np.asarray(self.waveform.value(t), dtype=float)
+        residual = _voltage_at(v, self.pos) - _voltage_at(v, self.neg) - target
+        system.add_f(nb, residual)
+        system.add_j(nb, self.pos, 1.0)
+        system.add_j(nb, self.neg, -1.0)
+
+
+class CurrentSource(Element):
+    """Independent current source (flows from *pos* through to *neg*)."""
+
+    def __init__(self, pos: int, neg: int, waveform: Waveform, name: str = ""):
+        super().__init__(name)
+        self.pos = pos
+        self.neg = neg
+        self.waveform = waveform
+
+    def batch_shape(self) -> tuple:
+        return _param_shape(self.waveform.value(0.0))
+
+    def stamp_static(self, system, v, t):
+        i = np.asarray(self.waveform.value(t), dtype=float)
+        system.add_f(self.pos, i)
+        system.add_f(self.neg, -i)
+
+
+class MOSFET(Element):
+    """A MOSFET instance; all physics delegated to a :class:`DeviceModel`."""
+
+    def __init__(self, d: int, g: int, s: int, model: DeviceModel, name: str = ""):
+        super().__init__(name)
+        self.d = d
+        self.g = g
+        self.s = s
+        self.model = model
+        self.charge_terminals = (g, d, s)
+
+    def batch_shape(self) -> tuple:
+        params = getattr(self.model, "params", None)
+        if params is not None and hasattr(params, "batch_shape"):
+            return params.batch_shape
+        return ()
+
+    def _terminal_voltages(self, v):
+        return (
+            _voltage_at(v, self.g),
+            _voltage_at(v, self.d),
+            _voltage_at(v, self.s),
+        )
+
+    def stamp_nonlinear(self, system, v):
+        vg, vd, vs = self._terminal_voltages(v)
+        ids, gm, gds, gms = self.model.ids_and_derivatives(vg, vd, vs)
+        system.add_f(self.d, ids)
+        system.add_f(self.s, -ids)
+        system.add_j(self.d, self.g, gm)
+        system.add_j(self.d, self.d, gds)
+        system.add_j(self.d, self.s, gms)
+        system.add_j(self.s, self.g, -gm)
+        system.add_j(self.s, self.d, -gds)
+        system.add_j(self.s, self.s, -gms)
+
+    def charge_vector(self, v):
+        vg, vd, vs = self._terminal_voltages(v)
+        qg, qd, qs = self.model.charges(vg, vd, vs)
+        return np.stack(np.broadcast_arrays(qg, qd, qs), axis=-1)
+
+    def charge_jacobian(self, v):
+        return self.charge_and_jacobian(v)[1]
+
+    def charge_and_jacobian(self, v):
+        vg, vd, vs = self._terminal_voltages(v)
+        (qg, qd, qs), cmat = self.model.charges_and_capacitance(vg, vd, vs)
+        q = np.stack(np.broadcast_arrays(qg, qd, qs), axis=-1)
+        order = ("g", "d", "s")
+        batch = v.shape[:-1]
+        jac = np.zeros(batch + (3, 3))
+        for i, ti in enumerate(order):
+            for j, tj in enumerate(order):
+                jac[..., i, j] = cmat[(ti, tj)]
+        return q, jac

@@ -1,0 +1,135 @@
+"""Batched modified-nodal-analysis assembly and the Newton-Raphson core.
+
+The solver operates on stacked systems: the Jacobian has shape
+``batch + (n, n)`` and the residual ``batch + (n,)``; ``numpy.linalg.solve``
+factorizes all batch members in one call.  Per-sample convergence is
+tracked with a mask so finished samples stop moving while stragglers
+iterate — at no point does Python loop over Monte-Carlo samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+#: Conductance tied from every node to ground for matrix conditioning [S].
+DEFAULT_GMIN = 1e-10
+
+#: Newton update clamp per iteration [V] — classic SPICE-style voltage
+#: limiting; keeps the exponential subthreshold region from overshooting.
+DEFAULT_VLIMIT = 0.3
+
+#: Convergence tolerances.
+DEFAULT_VTOL = 1e-7
+DEFAULT_ITOL = 1e-11
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton-Raphson fails to converge."""
+
+
+class System:
+    """One Newton iteration's Jacobian and residual accumulator."""
+
+    def __init__(self, batch_shape: tuple, n_unknowns: int):
+        self.batch_shape = batch_shape
+        self.n = n_unknowns
+        self.jacobian = np.zeros(batch_shape + (n_unknowns, n_unknowns))
+        self.residual = np.zeros(batch_shape + (n_unknowns,))
+
+    def add_f(self, index: int, value) -> None:
+        """Accumulate into the residual; ground rows are discarded."""
+        if index >= 0:
+            self.residual[..., index] += value
+
+    def add_j(self, row: int, col: int, value) -> None:
+        """Accumulate into the Jacobian; ground rows/cols are discarded."""
+        if row >= 0 and col >= 0:
+            self.jacobian[..., row, col] += value
+
+
+@dataclass
+class NewtonOptions:
+    """Knobs for the Newton-Raphson loop."""
+
+    max_iterations: int = 80
+    gmin: float = DEFAULT_GMIN
+    vlimit: float = DEFAULT_VLIMIT
+    vtol: float = DEFAULT_VTOL
+    itol: float = DEFAULT_ITOL
+    #: Retry ladder of gmin values when plain Newton stalls.
+    gmin_steps: tuple = (1e-3, 1e-5, 1e-7, DEFAULT_GMIN)
+
+
+def newton_solve(
+    assemble: Callable[[np.ndarray], System],
+    v0: np.ndarray,
+    n_nodes: int,
+    options: Optional[NewtonOptions] = None,
+) -> np.ndarray:
+    """Solve ``F(v) = 0`` by damped Newton-Raphson on batched systems.
+
+    Parameters
+    ----------
+    assemble:
+        Callback building the :class:`System` (Jacobian + residual) at a
+        trial solution.  Must already include all element stamps.
+    v0:
+        Initial guess, shape ``batch + (n,)`` (modified copies are used,
+        the input is untouched).
+    n_nodes:
+        Number of node unknowns (gmin applies only to these rows, not to
+        source branch currents).
+    """
+    opts = options or NewtonOptions()
+    v = np.array(v0, dtype=float)
+    converged = _newton_inner(assemble, v, n_nodes, opts, opts.gmin)
+    if converged:
+        return v
+
+    # gmin stepping: solve heavily damped systems first, reusing each
+    # solution as the next initial guess.
+    v = np.array(v0, dtype=float)
+    for gmin in opts.gmin_steps:
+        if not _newton_inner(assemble, v, n_nodes, opts, gmin):
+            raise ConvergenceError(
+                f"Newton failed to converge (gmin stepping at gmin={gmin:g})"
+            )
+    return v
+
+
+def _newton_inner(
+    assemble: Callable[[np.ndarray], System],
+    v: np.ndarray,
+    n_nodes: int,
+    opts: NewtonOptions,
+    gmin: float,
+) -> bool:
+    """In-place Newton loop; returns True when every sample converged."""
+    for _ in range(opts.max_iterations):
+        system = assemble(v)
+        jac = system.jacobian
+        res = system.residual.copy()
+
+        # gmin conditioning on node rows only.
+        idx = np.arange(n_nodes)
+        jac[..., idx, idx] += gmin
+        res[..., :n_nodes] += gmin * v[..., :n_nodes]
+
+        try:
+            dv = np.linalg.solve(jac, -res[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            return False
+        if not np.all(np.isfinite(dv)):
+            return False
+
+        dv = np.clip(dv, -opts.vlimit, opts.vlimit)
+        v += dv
+
+        dv_ok = np.abs(dv).max(axis=-1) < opts.vtol
+        res_ok = np.abs(res[..., :n_nodes]).max(axis=-1) < opts.itol
+        if np.all(dv_ok & res_ok):
+            return True
+    return False

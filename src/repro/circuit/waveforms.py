@@ -1,0 +1,120 @@
+"""Time-dependent source waveforms.
+
+All waveforms are evaluated at a scalar time ``t`` and return either a
+scalar or a ``(B,)`` array: every shape parameter (levels, delays, edges)
+may itself be batched.  A batched *delay* is the mechanism behind the
+setup/hold bisection of Fig. 8 — each Monte-Carlo sample gets its own
+data-to-clock offset, yet all samples share one transient run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Waveform:
+    """Base class: a callable of time."""
+
+    def value(self, t: float):
+        """Waveform value at time *t* (scalar or batch array)."""
+        raise NotImplementedError
+
+    def __call__(self, t: float):
+        return self.value(t)
+
+
+class DC(Waveform):
+    """Constant value."""
+
+    def __init__(self, value):
+        self.level = value
+
+    def value(self, t: float):
+        return np.asarray(self.level, dtype=float)
+
+
+class Step(Waveform):
+    """Step from *v0* to *v1* at *t_step* with linear rise over *t_rise*."""
+
+    def __init__(self, v0, v1, t_step, t_rise=1e-12):
+        if np.any(np.asarray(t_rise) <= 0.0):
+            raise ValueError("t_rise must be positive")
+        self.v0 = v0
+        self.v1 = v1
+        self.t_step = t_step
+        self.t_rise = t_rise
+
+    def value(self, t: float):
+        v0 = np.asarray(self.v0, dtype=float)
+        v1 = np.asarray(self.v1, dtype=float)
+        frac = (t - np.asarray(self.t_step, dtype=float)) / np.asarray(
+            self.t_rise, dtype=float
+        )
+        frac = np.clip(frac, 0.0, 1.0)
+        return v0 + (v1 - v0) * frac
+
+
+class Pulse(Waveform):
+    """SPICE-style periodic pulse.
+
+    ``v0`` for ``t < delay``; then rise to ``v1`` over ``t_rise``, hold for
+    ``width``, fall over ``t_fall``, and repeat every ``period`` (a
+    non-positive *period* means single-shot).
+    """
+
+    def __init__(self, v0, v1, delay, t_rise, t_fall, width, period=0.0):
+        if np.any(np.asarray(t_rise) <= 0.0) or np.any(np.asarray(t_fall) <= 0.0):
+            raise ValueError("edge times must be positive")
+        if np.any(np.asarray(width) < 0.0):
+            raise ValueError("width must be non-negative")
+        self.v0 = v0
+        self.v1 = v1
+        self.delay = delay
+        self.t_rise = t_rise
+        self.t_fall = t_fall
+        self.width = width
+        self.period = period
+
+    def value(self, t: float):
+        v0 = np.asarray(self.v0, dtype=float)
+        v1 = np.asarray(self.v1, dtype=float)
+        delay = np.asarray(self.delay, dtype=float)
+        t_rise = np.asarray(self.t_rise, dtype=float)
+        t_fall = np.asarray(self.t_fall, dtype=float)
+        width = np.asarray(self.width, dtype=float)
+        period = np.asarray(self.period, dtype=float)
+
+        tau = t - delay
+        repeating = period > 0.0
+        tau = np.where(repeating & (tau > 0.0), np.mod(tau, np.where(repeating, period, 1.0)), tau)
+
+        rise_frac = np.clip(tau / t_rise, 0.0, 1.0)
+        fall_frac = np.clip((tau - t_rise - width) / t_fall, 0.0, 1.0)
+        level = v0 + (v1 - v0) * rise_frac + (v0 - v1) * fall_frac
+        return np.where(tau <= 0.0, v0, level)
+
+
+class PiecewiseLinear(Waveform):
+    """Piecewise-linear waveform through ``(times, values)`` breakpoints.
+
+    An optional *delay* (scalar or batch) shifts the whole waveform in
+    time.  Before the first / after the last breakpoint the end values
+    hold.
+    """
+
+    def __init__(self, times, values, delay=0.0):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise ValueError("times and values must be 1-D arrays of equal length")
+        if times.size < 2:
+            raise ValueError("need at least two breakpoints")
+        if np.any(np.diff(times) <= 0.0):
+            raise ValueError("times must be strictly increasing")
+        self.times = times
+        self.values = values
+        self.delay = delay
+
+    def value(self, t: float):
+        tau = t - np.asarray(self.delay, dtype=float)
+        return np.interp(tau, self.times, self.values)

@@ -1,0 +1,165 @@
+"""Verilog-A emitter for the statistical VS model.
+
+The paper's implementation artifact is a Verilog-A module running under
+Cadence Virtuoso (Sec. IV).  This emitter regenerates that artifact from
+a characterized card: the nominal VS equations (Eq. 2-4) with the five
+statistical parameters exposed as instance parameters whose defaults are
+the Pelgrom-scaled sigmas, plus the derived ``delta(Leff)`` and Eq.-(5)
+``vxo`` update in-line.  Users with a Cadence seat can drop the file into
+a library; the Python twin remains the executable reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.vs.params import VSParams
+from repro.stats.pelgrom import PelgromAlphas
+
+_TEMPLATE = """\
+// Statistical Virtual Source MOSFET model (auto-generated).
+// Nominal card + Pelgrom-scaled statistical parameters, after
+// "Statistical Modeling with the Virtual Source MOSFET Model",
+// Yu et al., DATE 2013.
+`include "constants.vams"
+`include "disciplines.vams"
+
+module {module_name} (d, g, s);
+    inout d, g, s;
+    electrical d, g, s, di, si;
+
+    // --- geometry ---------------------------------------------------
+    parameter real W = {w_m:.6e} from (0:inf);      // channel width [m]
+    parameter real Lgdr = {l_m:.6e} from (0:inf);   // channel length [m]
+
+    // --- nominal DC card ---------------------------------------------
+    parameter real VT0 = {vt0:.6g};                 // threshold [V]
+    parameter real CINV = {cinv_si:.6e};            // gate cap [F/m^2]
+    parameter real MU = {mu_si:.6e};                // mobility [m^2/Vs]
+    parameter real VXO = {vxo_si:.6e};              // injection velocity [m/s]
+    parameter real DELTA0 = {delta0:.6g};           // DIBL at Lref [V/V]
+    parameter real LREF = {l_ref_m:.6e};            // DIBL reference length [m]
+    parameter real LDELTA = {l_delta_m:.6e};        // DIBL decay length [m]
+    parameter real N0 = {n0:.6g};                   // subthreshold factor
+    parameter real BETA = {beta:.6g};               // Fs exponent
+    parameter real ALPHA = {alpha_sm:.6g};          // smoothing [phit]
+    parameter real CGDO = {cgdo:.6e};               // overlap cap [F/m]
+    parameter real CGSO = {cgso:.6e};               // overlap cap [F/m]
+
+    // --- statistical deviations (set per instance by the sampler) ----
+    // Pelgrom sigmas at this geometry:
+    //   sigma_VT0  = {sigma_vt0:.4g} V
+    //   sigma_Leff = {sigma_leff:.4g} nm
+    //   sigma_Weff = {sigma_weff:.4g} nm
+    //   sigma_mu   = {sigma_mu:.4g} cm^2/Vs
+    //   sigma_Cinv = {sigma_cinv:.4g} uF/cm^2
+    parameter real DVT0 = 0.0;        // VT0 deviation [V]
+    parameter real DLEFF = 0.0;       // Leff deviation [m]
+    parameter real DWEFF = 0.0;       // Weff deviation [m]
+    parameter real DMU = 0.0;         // mobility deviation [m^2/Vs]
+    parameter real DCINV = 0.0;       // Cinv deviation [F/m^2]
+
+    // Eq. (5)-(6) constants for the derived vxo update.
+    parameter real KMU = {k_mu:.6g};        // mobility sensitivity
+    parameter real DVXODDELTA = {dvxo_ddelta:.6g};
+
+    real phit, weff, leff, mu_i, cinv_i, vt_i, delta_i, vxo_i;
+    real vgs, vds, dir_, vgsi, vdsi;
+    real ff, veff, qixo, vdsat, fs, id;
+
+    analog begin
+        phit = $vt($temperature);
+        weff = W + DWEFF;
+        leff = Lgdr + DLEFF;
+        mu_i = MU + DMU;
+        cinv_i = CINV + DCINV;
+
+        // Derived statistical quantities (Sec. II-B).
+        delta_i = DELTA0 * exp(-(leff - LREF) / LDELTA);
+        vxo_i = VXO * (1.0 + KMU * DMU / MU
+                       + DVXODDELTA * (delta_i - DELTA0 * exp(-(Lgdr - LREF) / LDELTA)));
+        vt_i = VT0 + DVT0;
+
+        // Source/drain swap for Vds < 0 (model symmetry).
+        vgs = V(g, s);
+        vds = V(d, s);
+        dir_ = (vds >= 0.0) ? 1.0 : -1.0;
+        vgsi = (vds >= 0.0) ? vgs : vgs - vds;
+        vdsi = abs(vds);
+
+        // Eq. (4): DIBL-shifted threshold; charge smoothing; Eq. (3) Fs.
+        ff = 1.0 / (1.0 + exp((vgsi - (vt_i - delta_i * vdsi
+              - ALPHA * phit / 2.0)) / (ALPHA * phit)));
+        veff = vgsi - (vt_i - delta_i * vdsi - ALPHA * phit * ff);
+        qixo = cinv_i * N0 * phit * ln(1.0 + exp(veff / (N0 * phit)));
+        vdsat = (vxo_i * leff / mu_i) * (1.0 - ff) + phit * ff;
+        fs = (vdsi / vdsat) / pow(1.0 + pow(vdsi / vdsat, BETA), 1.0 / BETA);
+
+        // Eq. (2): drain current.
+        id = dir_ * weff * fs * qixo * vxo_i;
+        I(d, s) <+ id;
+
+        // Quasi-static overlap charges.
+        I(g, d) <+ ddt(CGDO * weff * V(g, d));
+        I(g, s) <+ ddt(CGSO * weff * V(g, s));
+        // Intrinsic gate charge (source-referenced approximation).
+        I(g, s) <+ ddt(weff * leff * qixo);
+    end
+endmodule
+"""
+
+
+def generate_veriloga(
+    params: VSParams,
+    alphas: PelgromAlphas,
+    module_name: str = "vs_statistical",
+) -> str:
+    """Render the statistical VS Verilog-A module for one card.
+
+    The card must be scalar (one device, not a Monte-Carlo batch).
+    """
+    if params.batch_shape != ():
+        raise ValueError("Verilog-A generation needs a scalar card, not a batch")
+    params.validate()
+    alphas.validate()
+    if not module_name.isidentifier():
+        raise ValueError(f"invalid Verilog-A module name {module_name!r}")
+
+    from repro.devices.vs.velocity import (
+        ballistic_efficiency,
+        mobility_sensitivity_coefficient,
+    )
+    from repro.stats.pelgrom import pelgrom_sigmas
+
+    b = ballistic_efficiency(params.lambda_mfp_nm, params.l_crit_nm)
+    k_mu = mobility_sensitivity_coefficient(
+        b, float(np.asarray(params.alpha_fit)), float(np.asarray(params.gamma_fit))
+    )
+    sig = pelgrom_sigmas(
+        alphas, float(np.asarray(params.w_nm)), float(np.asarray(params.l_nm))
+    )
+
+    return _TEMPLATE.format(
+        module_name=module_name,
+        w_m=float(np.asarray(params.w_si)),
+        l_m=float(np.asarray(params.l_si)),
+        vt0=float(np.asarray(params.vt0)),
+        cinv_si=float(np.asarray(params.cinv_si)),
+        mu_si=float(np.asarray(params.mu_si)),
+        vxo_si=float(np.asarray(params.vxo_si)),
+        delta0=float(np.asarray(params.delta0)),
+        l_ref_m=float(np.asarray(params.l_ref_nm)) * 1e-9,
+        l_delta_m=float(np.asarray(params.l_delta_nm)) * 1e-9,
+        n0=float(np.asarray(params.n0)),
+        beta=float(np.asarray(params.beta)),
+        alpha_sm=float(np.asarray(params.alpha_sm)),
+        cgdo=float(np.asarray(params.cgdo_f_m)),
+        cgso=float(np.asarray(params.cgso_f_m)),
+        k_mu=float(k_mu),
+        dvxo_ddelta=float(np.asarray(params.dvxo_ddelta)),
+        sigma_vt0=sig["vt0"],
+        sigma_leff=sig["leff"],
+        sigma_weff=sig["weff"],
+        sigma_mu=sig["mu"],
+        sigma_cinv=sig["cinv"],
+    )

@@ -1,0 +1,40 @@
+"""Physical constants used throughout the library.
+
+All internal computation is carried out in SI units.  Parameter cards and
+user-facing APIs accept the conventional compact-model units of the paper
+(nm for geometry, uF/cm^2 for gate capacitance, cm^2/V/s for mobility and
+cm/s for injection velocity); :mod:`repro.units` holds the converters.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant [J/K].
+K_B = 1.380649e-23
+
+#: Elementary charge [C].
+Q_E = 1.602176634e-19
+
+#: Default simulation temperature [K] (27 C, SPICE convention).
+T_NOMINAL = 300.15
+
+#: Vacuum permittivity [F/m].
+EPS_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPS_R_SIO2 = 3.9
+
+
+def thermal_voltage(temperature: float = T_NOMINAL) -> float:
+    """Return the thermal voltage ``kT/q`` in volts at *temperature* [K]."""
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return K_B * temperature / Q_E
+
+
+#: Thermal voltage at the nominal temperature [V].
+PHI_T_NOMINAL = thermal_voltage()
+
+#: ln(10), used for log10(Ioff) sensitivities.
+LN10 = math.log(10.0)

@@ -1,0 +1,27 @@
+"""Nominal 40-nm parameter cards and the synthetic process ground truth."""
+
+from repro.data.cards import (
+    bsim_nmos_40nm,
+    bsim_pmos_40nm,
+    vs_nmos_40nm,
+    vs_pmos_40nm,
+    ground_truth_mismatch_nmos,
+    ground_truth_mismatch_pmos,
+    paper_alphas_nmos,
+    paper_alphas_pmos,
+    VDD_NOMINAL,
+    GEOMETRY_SET_NM,
+)
+
+__all__ = [
+    "bsim_nmos_40nm",
+    "bsim_pmos_40nm",
+    "vs_nmos_40nm",
+    "vs_pmos_40nm",
+    "ground_truth_mismatch_nmos",
+    "ground_truth_mismatch_pmos",
+    "paper_alphas_nmos",
+    "paper_alphas_pmos",
+    "VDD_NOMINAL",
+    "GEOMETRY_SET_NM",
+]

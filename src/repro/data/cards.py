@@ -1,0 +1,176 @@
+"""Nominal 40-nm-class device cards and the synthetic process ground truth.
+
+The paper characterizes a 40-nm bulk CMOS industrial kit at ``Vdd = 0.9 V``.
+Our golden BSIM4-lite cards are tuned to 40-nm-class figures of merit
+(NMOS on-current in the several-hundred uA/um range at 0.9 V, off currents
+in the nA/um decade, PMOS roughly 0.6x NMOS drive), and the ground-truth
+mismatch spec is chosen so that measured device sigmas land near the
+paper's Table III (e.g. sigma(log10 Ioff) ~ 0.17 for the 600/40 device).
+
+The VS cards given here are *starting points*: the reproduction flow fits
+them to the golden model's I-V (``repro.fitting.nominal``) before any
+statistical work, exactly as a modeling team would fit VS to kit data.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import Polarity
+from repro.devices.bsim.params import BSIMParams
+from repro.devices.bsim.mismatch import MismatchSpec
+from repro.devices.vs.params import VSParams
+from repro.stats.pelgrom import PelgromAlphas
+
+#: Nominal supply voltage of the 40-nm technology [V].
+VDD_NOMINAL = 0.9
+
+#: Geometry set (W_nm, L_nm) used for BPV stacking and Table III:
+#: wide / medium / short of the paper plus two intermediate points.
+GEOMETRY_SET_NM = (
+    (1500.0, 40.0),
+    (1000.0, 40.0),
+    (600.0, 40.0),
+    (300.0, 40.0),
+    (120.0, 40.0),
+)
+
+
+def bsim_nmos_40nm(w_nm: float = 300.0, l_nm: float = 40.0) -> BSIMParams:
+    """Golden NMOS card (40-nm-class)."""
+    return BSIMParams(
+        w_nm=w_nm,
+        l_nm=l_nm,
+        vth0=0.50,
+        dvt_rolloff=0.08,
+        l_rolloff_nm=30.0,
+        dibl=0.115,
+        l_dibl_nm=40.0,
+        nfactor=1.45,
+        u0_cm2=420.0,
+        theta_mob=0.9,
+        vsat_cm_s=1.15e7,
+        pclm=0.08,
+        cox_uf_cm2=1.80,
+        mexp=4.0,
+        cgdo_f_m=1.8e-10,
+        cgso_f_m=1.8e-10,
+        polarity=Polarity.NMOS,
+    )
+
+
+def bsim_pmos_40nm(w_nm: float = 300.0, l_nm: float = 40.0) -> BSIMParams:
+    """Golden PMOS card (40-nm-class; ~0.6x NMOS drive)."""
+    return BSIMParams(
+        w_nm=w_nm,
+        l_nm=l_nm,
+        vth0=0.52,
+        dvt_rolloff=0.07,
+        l_rolloff_nm=30.0,
+        dibl=0.13,
+        l_dibl_nm=40.0,
+        nfactor=1.50,
+        u0_cm2=180.0,
+        theta_mob=0.8,
+        vsat_cm_s=0.85e7,
+        pclm=0.10,
+        cox_uf_cm2=1.75,
+        mexp=4.0,
+        cgdo_f_m=1.8e-10,
+        cgso_f_m=1.8e-10,
+        polarity=Polarity.PMOS,
+    )
+
+
+def vs_nmos_40nm(w_nm: float = 300.0, l_nm: float = 40.0) -> VSParams:
+    """VS NMOS starting card (refined by :mod:`repro.fitting.nominal`)."""
+    return VSParams(
+        w_nm=w_nm,
+        l_nm=l_nm,
+        vt0=0.42,
+        cinv_uf_cm2=1.80,
+        mu_cm2=400.0,
+        vxo_cm_s=1.0e7,
+        delta0=0.115,
+        l_delta_nm=38.0,
+        l_ref_nm=40.0,
+        n0=1.45,
+        beta=1.8,
+        alpha_sm=3.5,
+        cgdo_f_m=1.8e-10,
+        cgso_f_m=1.8e-10,
+        lambda_mfp_nm=10.0,
+        l_crit_nm=5.0,
+        alpha_fit=0.5,
+        gamma_fit=0.45,
+        dvxo_ddelta=2.0,
+        polarity=Polarity.NMOS,
+    )
+
+
+def vs_pmos_40nm(w_nm: float = 300.0, l_nm: float = 40.0) -> VSParams:
+    """VS PMOS starting card (refined by :mod:`repro.fitting.nominal`)."""
+    return VSParams(
+        w_nm=w_nm,
+        l_nm=l_nm,
+        vt0=0.44,
+        cinv_uf_cm2=1.75,
+        mu_cm2=170.0,
+        vxo_cm_s=0.65e7,
+        delta0=0.13,
+        l_delta_nm=38.0,
+        l_ref_nm=40.0,
+        n0=1.50,
+        beta=1.6,
+        alpha_sm=3.5,
+        cgdo_f_m=1.8e-10,
+        cgso_f_m=1.8e-10,
+        lambda_mfp_nm=8.0,
+        l_crit_nm=5.0,
+        alpha_fit=0.5,
+        gamma_fit=0.45,
+        dvxo_ddelta=2.0,
+        polarity=Polarity.PMOS,
+    )
+
+
+def ground_truth_mismatch_nmos() -> MismatchSpec:
+    """Synthetic-foundry NMOS mismatch truth (lands near Table II/III)."""
+    return MismatchSpec(
+        avt_v_nm=2.3,
+        al_nm=3.7,
+        aw_nm=3.7,
+        amu_nm_cm2=950.0,
+        acox_nm_uf=0.3,
+    )
+
+
+def ground_truth_mismatch_pmos() -> MismatchSpec:
+    """Synthetic-foundry PMOS mismatch truth (lands near Table II/III)."""
+    return MismatchSpec(
+        avt_v_nm=2.86,
+        al_nm=3.66,
+        aw_nm=3.66,
+        amu_nm_cm2=780.0,
+        acox_nm_uf=0.8,
+    )
+
+
+def paper_alphas_nmos() -> PelgromAlphas:
+    """The paper's extracted NMOS coefficients (Table II), for reference."""
+    return PelgromAlphas(
+        alpha1_v_nm=2.3,
+        alpha2_nm=3.71,
+        alpha3_nm=3.71,
+        alpha4_nm_cm2=944.0,
+        alpha5_nm_uf=0.29,
+    )
+
+
+def paper_alphas_pmos() -> PelgromAlphas:
+    """The paper's extracted PMOS coefficients (Table II), for reference."""
+    return PelgromAlphas(
+        alpha1_v_nm=2.86,
+        alpha2_nm=3.66,
+        alpha3_nm=3.66,
+        alpha4_nm_cm2=781.0,
+        alpha5_nm_uf=0.81,
+    )

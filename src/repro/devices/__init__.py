@@ -1,0 +1,5 @@
+"""Device compact models: the Virtual Source model and the BSIM4-lite golden model."""
+
+from repro.devices.base import DeviceModel, Polarity
+
+__all__ = ["DeviceModel", "Polarity"]

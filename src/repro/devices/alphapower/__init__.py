@@ -1,0 +1,7 @@
+"""Alpha-power-law MOSFET model — the paper's empirical baseline [5]."""
+
+from repro.devices.alphapower.params import AlphaPowerParams
+from repro.devices.alphapower.model import AlphaPowerDevice
+from repro.devices.alphapower.fit import fit_alpha_power
+
+__all__ = ["AlphaPowerParams", "AlphaPowerDevice", "fit_alpha_power"]

@@ -1,0 +1,96 @@
+"""Parameter card for the alpha-power-law model (Sakurai-Newton family).
+
+The paper's introduction contrasts the VS model with "purely empirical
+ultra compact models based on the alpha-power law whose main goal is to
+maximize the timing accuracy of an inverter" [5], claiming the VS model
+tracks process variation while achieving *better* timing accuracy with a
+similar parameter count.  To test that claim we need the baseline.
+
+The card below is the classic 5-parameter DC set (drive strength,
+threshold, velocity-saturation index alpha, saturation-voltage
+coefficient, channel-length modulation) plus crude constant capacitances
+— deliberately so: the alpha-power law has no physical charge model,
+which is part of the paper's point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.devices.base import Polarity
+
+
+@dataclass(frozen=True)
+class AlphaPowerParams:
+    """Alpha-power-law card (per-instance, geometry included)."""
+
+    # --- geometry -----------------------------------------------------
+    w_nm: object = 300.0          #: channel width [nm]
+    l_nm: object = 40.0           #: channel length [nm]
+
+    # --- DC (the 5 classic parameters) ---------------------------------
+    b_a_per_m: object = 2000.0    #: drive strength B [A/m per V^alpha]
+    vth: object = 0.35            #: threshold voltage [V]
+    alpha: object = 1.3           #: velocity-saturation index
+    pv: object = 0.6              #: Vdsat coefficient [V^(1-alpha/2)]
+    lam: object = 0.05            #: channel-length modulation [1/V]
+
+    # --- crude capacitance ----------------------------------------------
+    cox_uf_cm2: object = 1.80     #: gate-area capacitance [uF/cm^2]
+    cgdo_f_m: object = 1.8e-10    #: overlap cap per width [F/m]
+    cgso_f_m: object = 1.8e-10    #: overlap cap per width [F/m]
+
+    #: Smoothing width for the (Vgs - VT) cutoff [V]; small, numerical only.
+    smooth_v: object = 0.01
+
+    polarity: Polarity = Polarity.NMOS
+
+    @property
+    def w_si(self):
+        """Channel width [m]."""
+        return units.nm_to_m(np.asarray(self.w_nm, dtype=float))
+
+    @property
+    def l_si(self):
+        """Channel length [m]."""
+        return units.nm_to_m(np.asarray(self.l_nm, dtype=float))
+
+    @property
+    def cox_si(self):
+        """Gate capacitance [F/m^2]."""
+        return units.uf_cm2_to_si(np.asarray(self.cox_uf_cm2, dtype=float))
+
+    def replace(self, **changes) -> "AlphaPowerParams":
+        """Return a copy of the card with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for meaningless cards."""
+        positive = {
+            "w_nm": self.w_nm,
+            "l_nm": self.l_nm,
+            "b_a_per_m": self.b_a_per_m,
+            "alpha": self.alpha,
+            "pv": self.pv,
+            "smooth_v": self.smooth_v,
+            "cox_uf_cm2": self.cox_uf_cm2,
+        }
+        for name, value in positive.items():
+            if np.any(np.asarray(value, dtype=float) <= 0.0):
+                raise ValueError(f"AlphaPowerParams.{name} must be positive")
+        if np.any(np.asarray(self.lam, dtype=float) < 0.0):
+            raise ValueError("AlphaPowerParams.lam must be non-negative")
+
+    @property
+    def batch_shape(self):
+        """Broadcast shape of all varied fields (``()`` for scalar)."""
+        shape = ()
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, np.ndarray):
+                shape = np.broadcast_shapes(shape, value.shape)
+        return shape

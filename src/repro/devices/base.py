@@ -1,0 +1,141 @@
+"""Common interface for MOSFET compact models.
+
+Both the Virtual Source model (:mod:`repro.devices.vs`) and the BSIM4-lite
+golden model (:mod:`repro.devices.bsim`) implement :class:`DeviceModel`.
+The circuit engine (:mod:`repro.circuit`) and the statistical machinery
+(:mod:`repro.stats`) only ever talk to this interface, so the two models are
+interchangeable everywhere — which is exactly the experiment the paper runs.
+
+Conventions
+-----------
+* All voltages are node voltages in volts; all currents in amperes flowing
+  *into* the drain terminal (NMOS convention: positive for ``vds > 0``).
+* Every method is vectorized: terminal voltages and model parameters may be
+  numpy arrays and are broadcast together.  This is what makes Monte-Carlo
+  over thousands of parameter samples cheap — the sample axis rides through
+  every device evaluation.
+* Source/drain symmetry is handled here once: subclasses implement the
+  model in normalized space (NMOS-like, ``vds >= 0``) and the base class
+  applies polarity folding and terminal swapping.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Tuple
+
+import numpy as np
+
+#: Finite-difference step for terminal derivatives [V].  Large enough to be
+#: safe in float64 for currents spanning 1e-12..1e-2 A, small enough that the
+#: smoothing functions of both models are locally linear.
+_FD_STEP = 1e-5
+
+
+class Polarity(enum.IntEnum):
+    """Device polarity; the integer value is the voltage folding sign."""
+
+    NMOS = 1
+    PMOS = -1
+
+
+class DeviceModel(abc.ABC):
+    """Abstract four-terminal (gate/drain/source, bulk folded) MOSFET model."""
+
+    def __init__(self, polarity: Polarity):
+        self.polarity = Polarity(polarity)
+
+    # ------------------------------------------------------------------
+    # Normalized-space hooks implemented by concrete models.
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _ids_normalized(self, vgs, vds):
+        """Drain current [A] for an NMOS-like device with ``vds >= 0``."""
+
+    @abc.abstractmethod
+    def _charges_normalized(self, vgs, vds) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Terminal charges ``(qg, qd, qs)`` [C] in normalized space."""
+
+    # ------------------------------------------------------------------
+    # Public terminal-space API.
+    # ------------------------------------------------------------------
+    def ids(self, vg, vd, vs):
+        """Drain terminal current [A] given node voltages.
+
+        Positive current flows into the drain node.  Handles PMOS folding
+        and source/drain swap for ``vds < 0`` (model symmetry).
+        """
+        sign = float(self.polarity)
+        vgs = sign * (np.asarray(vg, dtype=float) - vs)
+        vds = sign * (np.asarray(vd, dtype=float) - vs)
+
+        swap = vds < 0.0
+        # Swapped device: the physical source plays the drain role.
+        vgs_eff = np.where(swap, vgs - vds, vgs)
+        vds_eff = np.abs(vds)
+        ids_n = self._ids_normalized(vgs_eff, vds_eff)
+        return sign * np.where(swap, -ids_n, ids_n)
+
+    def charges(self, vg, vd, vs):
+        """Terminal charges ``(qg, qd, qs)`` [C] given node voltages."""
+        sign = float(self.polarity)
+        vgs = sign * (np.asarray(vg, dtype=float) - vs)
+        vds = sign * (np.asarray(vd, dtype=float) - vs)
+
+        swap = vds < 0.0
+        vgs_eff = np.where(swap, vgs - vds, vgs)
+        vds_eff = np.abs(vds)
+        qg, qd, qs = self._charges_normalized(vgs_eff, vds_eff)
+        qd_out = np.where(swap, qs, qd)
+        qs_out = np.where(swap, qd, qs)
+        return sign * qg, sign * qd_out, sign * qs_out
+
+    # ------------------------------------------------------------------
+    # Derivatives (finite difference; robust against model smoothing).
+    # ------------------------------------------------------------------
+    def ids_and_derivatives(self, vg, vd, vs):
+        """Return ``(ids, gm, gds, gms)``.
+
+        ``gm = d ids/d vg``, ``gds = d ids/d vd``, ``gms = d ids/d vs``;
+        evaluated by forward differences (an inexact Jacobian only costs
+        Newton an occasional extra iteration, and forward differences
+        halve the model-evaluation count of the inner solver loop).
+        """
+        i0 = self.ids(vg, vd, vs)
+        h = _FD_STEP
+        gm = (self.ids(vg + h, vd, vs) - i0) / h
+        gds = (self.ids(vg, vd + h, vs) - i0) / h
+        gms = (self.ids(vg, vd, vs + h) - i0) / h
+        return i0, gm, gds, gms
+
+    def charges_and_capacitance(self, vg, vd, vs):
+        """Return ``(q, cmat)`` for the transient companion model.
+
+        ``q`` is the terminal charge tuple ``(qg, qd, qs)``; ``cmat`` the
+        dict ``{(i, j): dq_i/dv_j}`` over terminals ``'g'/'d'/'s'``,
+        computed by forward differences reusing the base evaluation.
+        """
+        h = _FD_STEP
+        terminals = ("g", "d", "s")
+        q0 = self.charges(vg, vd, vs)
+        cmat = {}
+        for j, (dg, dd, ds) in enumerate(((h, 0, 0), (0, h, 0), (0, 0, h))):
+            q_plus = self.charges(vg + dg, vd + dd, vs + ds)
+            for i, term in enumerate(terminals):
+                cmat[(term, terminals[j])] = (q_plus[i] - q0[i]) / h
+        return q0, cmat
+
+    def capacitance_matrix(self, vg, vd, vs):
+        """Return ``dq_i/dv_j`` as a dict ``{(i, j): value}``.
+
+        Terminals are labelled ``'g'``, ``'d'``, ``'s'``.
+        """
+        return self.charges_and_capacitance(vg, vd, vs)[1]
+
+    def cgg(self, vg, vd, vs):
+        """Total gate capacitance ``dQg/dVg`` [F] at the given bias."""
+        h = _FD_STEP
+        qg_p = self.charges(vg + h, vd, vs)[0]
+        qg_m = self.charges(vg - h, vd, vs)[0]
+        return (qg_p - qg_m) / (2 * h)

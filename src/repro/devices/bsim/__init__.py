@@ -1,0 +1,7 @@
+"""BSIM4-lite: the 'golden' industrial-style model the paper validates against."""
+
+from repro.devices.bsim.params import BSIMParams
+from repro.devices.bsim.model import BSIMDevice
+from repro.devices.bsim.mismatch import BSIMMismatch, MismatchSpec
+
+__all__ = ["BSIMParams", "BSIMDevice", "BSIMMismatch", "MismatchSpec"]

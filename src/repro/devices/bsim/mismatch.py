@@ -1,0 +1,107 @@
+"""Industrial-style mismatch model for the BSIM4-lite golden kit.
+
+This plays the role of the foundry's statistical BSIM model: a ground-truth
+within-die variation spec expressed on the *BSIM* parameters.  The paper's
+flow treats this model as "silicon": its Monte-Carlo output is what the BPV
+procedure characterizes, and the extracted statistical VS model is then
+validated against it.
+
+The spec uses the same Pelgrom area law as the VS statistical model
+(within-die mismatch physics is model-independent), but acts on the BSIM
+card's own parameters — ``vth0``, ``l_nm``, ``w_nm``, ``u0_cm2``,
+``cox_uf_cm2`` — whose downstream effect on currents passes through the
+BSIM transport equations, not the VS ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.devices.bsim.params import BSIMParams
+from repro.devices.bsim.model import BSIMDevice
+
+_CLIP_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class MismatchSpec:
+    """Ground-truth within-die mismatch coefficients (Pelgrom units)."""
+
+    avt_v_nm: float = 2.3       #: sigma_Vth0 = avt / sqrt(W L)  [V]
+    al_nm: float = 3.7          #: sigma_L = al * sqrt(L / W)    [nm]
+    aw_nm: float = 3.7          #: sigma_W = aw * sqrt(W / L)    [nm]
+    amu_nm_cm2: float = 950.0   #: sigma_u0 = amu / sqrt(W L)    [cm^2/Vs]
+    acox_nm_uf: float = 0.3     #: sigma_Cox = acox / sqrt(W L)  [uF/cm^2]
+
+    def sigmas(self, w_nm: float, l_nm: float) -> Dict[str, float]:
+        """Per-parameter sigmas for a ``W x L`` device."""
+        if w_nm <= 0.0 or l_nm <= 0.0:
+            raise ValueError("geometry must be positive")
+        inv_sqrt_area = 1.0 / np.sqrt(w_nm * l_nm)
+        return {
+            "vth0": self.avt_v_nm * inv_sqrt_area,
+            "l_nm": self.al_nm * np.sqrt(l_nm / w_nm),
+            "w_nm": self.aw_nm * np.sqrt(w_nm / l_nm),
+            "u0_cm2": self.amu_nm_cm2 * inv_sqrt_area,
+            "cox_uf_cm2": self.acox_nm_uf * inv_sqrt_area,
+        }
+
+
+class BSIMMismatch:
+    """Monte-Carlo sampler for the golden model."""
+
+    def __init__(self, nominal: BSIMParams, spec: MismatchSpec):
+        nominal.validate()
+        self.nominal = nominal
+        self.spec = spec
+
+    def sample(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        w_nm: float = None,
+        l_nm: float = None,
+    ) -> BSIMParams:
+        """Draw *n_samples* mismatched BSIM cards for a ``W x L`` device."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        nom = self.nominal
+        w = float(nom.w_nm if w_nm is None else w_nm)
+        l = float(nom.l_nm if l_nm is None else l_nm)
+        sig = self.spec.sigmas(w, l)
+
+        vth0 = float(np.asarray(nom.vth0)) + sig["vth0"] * rng.standard_normal(n_samples)
+        leff = np.clip(
+            l + sig["l_nm"] * rng.standard_normal(n_samples), _CLIP_FRACTION * l, None
+        )
+        weff = np.clip(
+            w + sig["w_nm"] * rng.standard_normal(n_samples), _CLIP_FRACTION * w, None
+        )
+        u0_nom = float(np.asarray(nom.u0_cm2))
+        u0 = np.clip(
+            u0_nom + sig["u0_cm2"] * rng.standard_normal(n_samples),
+            _CLIP_FRACTION * u0_nom,
+            None,
+        )
+        cox_nom = float(np.asarray(nom.cox_uf_cm2))
+        cox = np.clip(
+            cox_nom + sig["cox_uf_cm2"] * rng.standard_normal(n_samples),
+            _CLIP_FRACTION * cox_nom,
+            None,
+        )
+        return nom.replace(
+            vth0=vth0, l_nm=leff, w_nm=weff, u0_cm2=u0, cox_uf_cm2=cox
+        )
+
+    def sample_device(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        w_nm: float = None,
+        l_nm: float = None,
+    ) -> BSIMDevice:
+        """Sampled cards wrapped in a (batched) :class:`BSIMDevice`."""
+        return BSIMDevice(self.sample(n_samples, rng, w_nm=w_nm, l_nm=l_nm))

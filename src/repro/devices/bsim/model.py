@@ -1,0 +1,152 @@
+"""BSIM4-lite I-V and C-V evaluation.
+
+Transport chain (classic drift-diffusion + velocity saturation, the
+physics family BSIM4 belongs to):
+
+1. Threshold with short-channel corrections:
+   ``Vth = Vth0 + dVt_rolloff * exp(-L / L_rolloff) - DIBL(L) * Vds``.
+2. Channel charge with weak/strong-inversion smoothing:
+   ``Qch = Cox n phit ln(1 + exp((Vgs - Vth)/(n phit)))``.
+3. Vertical-field mobility degradation ``ueff = u0 / (1 + theta * Vq)``
+   with ``Vq = Qch / Cox``.
+4. Saturation voltage blending the velocity-saturation value with the
+   thermal (diffusion) floor: ``Vdsat = Esat L * Vq2 / (Esat L + Vq2)``
+   where ``Vq2 = sqrt(Vq^2 + (2 n phit)^2)`` keeps the correct
+   exponential subthreshold slope.
+5. Smooth ``Vdseff`` and drift current with channel-length modulation:
+   ``Id = (W/L) ueff Qch Vdseff / (1 + Vdseff/(Esat L)) * (1 + pclm (Vds - Vdseff))``.
+
+This is intentionally a *different* model family from the VS device — the
+paper's experiment is precisely that the statistical VS model reproduces
+the statistics of a golden model with different internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import thermal_voltage, T_NOMINAL
+from repro.devices.base import DeviceModel
+from repro.devices.bsim.params import BSIMParams
+
+
+def _softplus(x):
+    """Numerically safe ``ln(1 + exp(x))``."""
+    return np.logaddexp(0.0, x)
+
+
+class BSIMDevice(DeviceModel):
+    """A MOSFET instance evaluated with the BSIM4-lite model."""
+
+    def __init__(self, params: BSIMParams, temperature: float = T_NOMINAL):
+        super().__init__(params.polarity)
+        params.validate()
+        self.params = params
+        self.temperature = temperature
+        self.phit = thermal_voltage(temperature)
+
+    # ------------------------------------------------------------------
+    def threshold_voltage(self, vds):
+        """Short-channel threshold: roll-off plus DIBL."""
+        p = self.params
+        l_nm = np.asarray(p.l_nm, dtype=float)
+        rolloff = np.asarray(p.dvt_rolloff, dtype=float) * np.exp(
+            -l_nm / np.asarray(p.l_rolloff_nm, dtype=float)
+        )
+        dibl = np.asarray(p.dibl, dtype=float) * (
+            np.asarray(p.l_dibl_nm, dtype=float) / l_nm
+        )
+        return (
+            np.asarray(p.vth0, dtype=float)
+            - rolloff
+            - dibl * np.asarray(vds, dtype=float)
+        )
+
+    def channel_charge(self, vgs, vds):
+        """Smoothed channel charge density [C/m^2]."""
+        p = self.params
+        n = np.asarray(p.nfactor, dtype=float)
+        vth = self.threshold_voltage(vds)
+        x = (np.asarray(vgs, dtype=float) - vth) / (n * self.phit)
+        return p.cox_si * n * self.phit * _softplus(x)
+
+    def effective_mobility(self, vgs, vds):
+        """Vertical-field degraded mobility [m^2/(V s)]."""
+        p = self.params
+        vq = self.channel_charge(vgs, vds) / p.cox_si
+        return p.u0_si / (1.0 + np.asarray(p.theta_mob, dtype=float) * vq)
+
+    def saturation_voltage(self, vgs, vds):
+        """Saturation voltage with thermal floor [V]."""
+        p = self.params
+        n = np.asarray(p.nfactor, dtype=float)
+        vq = self.channel_charge(vgs, vds) / p.cox_si
+        vq2 = np.sqrt(vq**2 + (2.0 * n * self.phit) ** 2)
+        ueff = self.effective_mobility(vgs, vds)
+        esat_l = 2.0 * p.vsat_si / ueff * p.l_si
+        return esat_l * vq2 / (esat_l + vq2)
+
+    def _vdseff(self, vgs, vds):
+        p = self.params
+        m = np.asarray(p.mexp, dtype=float)
+        vdsat = self.saturation_voltage(vgs, vds)
+        ratio = np.asarray(vds, dtype=float) / vdsat
+        return np.asarray(vds, dtype=float) / np.power(
+            1.0 + np.power(ratio, m), 1.0 / m
+        )
+
+    # ------------------------------------------------------------------
+    def _ids_normalized(self, vgs, vds):
+        p = self.params
+        qch = self.channel_charge(vgs, vds)
+        ueff = self.effective_mobility(vgs, vds)
+        esat_l = 2.0 * p.vsat_si / ueff * p.l_si
+        vdseff = self._vdseff(vgs, vds)
+        ids = (
+            (p.w_si / p.l_si)
+            * ueff
+            * qch
+            * vdseff
+            / (1.0 + vdseff / esat_l)
+        )
+        clm = 1.0 + np.asarray(p.pclm, dtype=float) * (
+            np.asarray(vds, dtype=float) - vdseff
+        )
+        return ids * clm
+
+    def _charges_normalized(self, vgs, vds):
+        p = self.params
+        area = p.w_si * p.l_si
+        qch_s = self.channel_charge(vgs, vds)
+        vdsat = self.saturation_voltage(vgs, vds)
+        vdseff = self._vdseff(vgs, vds)
+        # Drain-end charge reduced by the local overdrive drop.
+        frac = np.clip(vdseff / vdsat, 0.0, 1.0)
+        qch_d = qch_s * (1.0 - frac)
+
+        q_drain = area * (qch_s / 6.0 + qch_d / 3.0)
+        q_source = area * (qch_s / 3.0 + qch_d / 6.0)
+        q_gate = q_drain + q_source
+
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        q_ov_d = np.asarray(p.cgdo_f_m, dtype=float) * p.w_si * (vgs - vds)
+        q_ov_s = np.asarray(p.cgso_f_m, dtype=float) * p.w_si * vgs
+
+        qg = q_gate + q_ov_d + q_ov_s
+        qd = -q_drain - q_ov_d
+        qs = -q_source - q_ov_s
+        return qg, qd, qs
+
+    # ------------------------------------------------------------------
+    def idsat(self, vdd):
+        """On current ``Id(Vgs=Vds=Vdd)`` [A]."""
+        return self.ids(vdd, vdd, 0.0)
+
+    def ioff(self, vdd):
+        """Off current ``Id(Vgs=0, Vds=Vdd)`` [A]."""
+        return self.ids(0.0, vdd, 0.0)
+
+    def with_params(self, params: BSIMParams) -> "BSIMDevice":
+        """New device sharing temperature but with a different card."""
+        return BSIMDevice(params, self.temperature)

@@ -1,0 +1,21 @@
+"""The MIT Virtual Source (VS) ultra-compact MOSFET model and its statistical extension."""
+
+from repro.devices.vs.params import VSParams
+from repro.devices.vs.model import VSDevice
+from repro.devices.vs.velocity import (
+    ballistic_efficiency,
+    mobility_sensitivity_coefficient,
+    vxo_relative_shift,
+)
+from repro.devices.vs.statistical import StatisticalVSModel, VSSample, apply_deviations
+
+__all__ = [
+    "VSParams",
+    "VSDevice",
+    "StatisticalVSModel",
+    "VSSample",
+    "apply_deviations",
+    "ballistic_efficiency",
+    "mobility_sensitivity_coefficient",
+    "vxo_relative_shift",
+]

@@ -1,0 +1,173 @@
+"""Virtual Source I-V and C-V model (Eq. 2-4 of the paper).
+
+The VS model computes the drain current as the product of the areal
+inversion charge density at the virtual source, ``Qixo``, and the
+virtual-source injection velocity ``vxo``, modulated by the saturation
+function ``Fs``:
+
+    Id = W * Fs * Qixo * vxo                                      (Eq. 2)
+
+    Fs = (Vds/Vdsat) / (1 + (Vds/Vdsat)^beta)^(1/beta)            (Eq. 3)
+
+    VT = VT0 - delta(Leff) * Vds                                  (Eq. 4)
+
+``Qixo`` uses the standard charge-smoothing expression (continuous from
+weak to strong inversion), and ``Vdsat`` blends the velocity-saturation
+value ``vxo * Leff / mu`` in strong inversion with the thermal value
+``phit`` in weak inversion via a Fermi transition function — the
+formulation of the MVS 1.0.1 model [Khakifirooz 2009, Wei 2012].
+
+The quasi-static terminal charges use a linear channel-charge profile
+between the source-end density ``Qixo`` and a drain-end density
+``Qixd = Qixo * (1 - Fs)`` (uniform channel at Vds=0, pinched off in deep
+saturation), Ward–Dutton partitioned; overlap/fringe capacitance is added
+as bias-independent per-width charge.  Charge is conserved by construction
+(``qg + qd + qs = 0``), which the transient engine relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import thermal_voltage, T_NOMINAL
+from repro.devices.base import DeviceModel
+from repro.devices.vs.params import VSParams
+
+
+def _softplus(x):
+    """Numerically safe ``ln(1 + exp(x))``."""
+    return np.logaddexp(0.0, x)
+
+
+def _fermi(x):
+    """Numerically safe logistic ``1 / (1 + exp(x))``."""
+    return 0.5 * (1.0 - np.tanh(0.5 * x))
+
+
+def _apply_temperature(params: VSParams, temperature: float) -> VSParams:
+    """Temperature-scale the card from its reference temperature.
+
+    Standard compact-model laws: power-law mobility degradation (phonon
+    scattering), a weaker power law on the injection velocity, and a
+    linear threshold-voltage coefficient.  At ``T == t_ref_k`` the card
+    is returned untouched.
+    """
+    t_ref = float(np.asarray(params.t_ref_k, dtype=float))
+    if temperature == t_ref:
+        return params
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    ratio = temperature / t_ref
+    mu = np.asarray(params.mu_cm2, dtype=float) * ratio ** float(
+        np.asarray(params.mu_temp_exp)
+    )
+    vxo = np.asarray(params.vxo_cm_s, dtype=float) * ratio ** float(
+        np.asarray(params.vxo_temp_exp)
+    )
+    vt0 = np.asarray(params.vt0, dtype=float) + float(
+        np.asarray(params.vt0_tc_v_k)
+    ) * (temperature - t_ref)
+    return params.replace(mu_cm2=mu, vxo_cm_s=vxo, vt0=vt0)
+
+
+class VSDevice(DeviceModel):
+    """A MOSFET instance evaluated with the Virtual Source model."""
+
+    def __init__(self, params: VSParams, temperature: float = T_NOMINAL):
+        super().__init__(params.polarity)
+        params.validate()
+        self.params = _apply_temperature(params, temperature)
+        self.temperature = temperature
+        self.phit = thermal_voltage(temperature)
+
+    # ------------------------------------------------------------------
+    # Internal pieces, exposed for tests and for the sensitivity code.
+    # ------------------------------------------------------------------
+    def threshold_voltage(self, vds):
+        """Bias-dependent threshold ``VT = VT0 - delta(Leff) Vds`` (Eq. 4)."""
+        p = self.params
+        return np.asarray(p.vt0, dtype=float) - p.dibl() * np.asarray(vds, dtype=float)
+
+    def inversion_charge_density(self, vgs, vds):
+        """Virtual-source inversion charge density ``Qixo`` [C/m^2]."""
+        p = self.params
+        phit = self.phit
+        n = np.asarray(p.n0, dtype=float)
+        alpha_phit = np.asarray(p.alpha_sm, dtype=float) * phit
+        vt = self.threshold_voltage(vds)
+        # Fermi blend between weak inversion (ff ~ 1) and strong (ff ~ 0):
+        ff = _fermi((np.asarray(vgs, dtype=float) - (vt - alpha_phit / 2.0)) / alpha_phit)
+        veff = np.asarray(vgs, dtype=float) - (vt - alpha_phit * ff)
+        return p.cinv_si * n * phit * _softplus(veff / (n * phit))
+
+    def saturation_voltage(self, vgs, vds):
+        """Blended saturation voltage ``Vdsat`` [V].
+
+        Strong inversion: the velocity-saturation value ``vxo Leff / mu``;
+        weak inversion: the thermal value ``phit``; blended with the same
+        Fermi function used for the charge.
+        """
+        p = self.params
+        phit = self.phit
+        alpha_phit = np.asarray(p.alpha_sm, dtype=float) * phit
+        vt = self.threshold_voltage(vds)
+        ff = _fermi((np.asarray(vgs, dtype=float) - (vt - alpha_phit / 2.0)) / alpha_phit)
+        vdsat_strong = p.vxo_si * p.l_si / p.mu_si
+        return vdsat_strong * (1.0 - ff) + phit * ff
+
+    def saturation_function(self, vgs, vds):
+        """The non-saturation continuity function ``Fs`` (Eq. 3)."""
+        p = self.params
+        beta = np.asarray(p.beta, dtype=float)
+        vdsat = self.saturation_voltage(vgs, vds)
+        ratio = np.asarray(vds, dtype=float) / vdsat
+        return ratio / np.power(1.0 + np.power(ratio, beta), 1.0 / beta)
+
+    # ------------------------------------------------------------------
+    # DeviceModel hooks.
+    # ------------------------------------------------------------------
+    def _ids_normalized(self, vgs, vds):
+        p = self.params
+        qixo = self.inversion_charge_density(vgs, vds)
+        fs = self.saturation_function(vgs, vds)
+        return p.w_si * fs * qixo * p.vxo_si
+
+    def _charges_normalized(self, vgs, vds):
+        p = self.params
+        area = p.w_si * p.l_si
+        qixo = self.inversion_charge_density(vgs, vds)
+        fs = self.saturation_function(vgs, vds)
+        qixd = qixo * (1.0 - fs)
+
+        # Ward-Dutton partition of a linear charge profile from source-end
+        # density qixo to drain-end density qixd (electron charge: negative
+        # on the channel terminals, positive mirror on the gate).
+        q_drain = area * (qixo / 6.0 + qixd / 3.0)
+        q_source = area * (qixo / 3.0 + qixd / 6.0)
+        q_gate = q_drain + q_source
+
+        # Overlap / fringe charge (normalized space: vs = 0).
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        q_ov_d = np.asarray(p.cgdo_f_m, dtype=float) * p.w_si * (vgs - vds)
+        q_ov_s = np.asarray(p.cgso_f_m, dtype=float) * p.w_si * vgs
+
+        qg = q_gate + q_ov_d + q_ov_s
+        qd = -q_drain - q_ov_d
+        qs = -q_source - q_ov_s
+        return qg, qd, qs
+
+    # ------------------------------------------------------------------
+    # Convenience figure-of-merit extraction.
+    # ------------------------------------------------------------------
+    def idsat(self, vdd):
+        """On current ``Id(Vgs=Vds=Vdd)`` [A]."""
+        return self.ids(vdd, vdd, 0.0)
+
+    def ioff(self, vdd):
+        """Off current ``Id(Vgs=0, Vds=Vdd)`` [A]."""
+        return self.ids(0.0, vdd, 0.0)
+
+    def with_params(self, params: VSParams) -> "VSDevice":
+        """New device sharing temperature but with a different card."""
+        return VSDevice(params, self.temperature)

@@ -1,0 +1,205 @@
+"""The statistical Virtual Source model — the paper's core contribution.
+
+Sampling model (Sec. II-B, Table I):
+
+* Five *independent* Gaussian parameters per device: ``VT0`` (RDF),
+  ``Leff`` and ``Weff`` (LER), ``mu`` (stress), ``Cinv`` (OTF); each with a
+  Pelgrom-scaled sigma from :mod:`repro.stats.pelgrom`.
+* The DIBL coefficient ``delta`` is *derived*: it follows the sampled
+  ``Leff`` through the nominal ``delta(Leff)`` law, which is how
+  length-dependent threshold variation is captured (Eq. 4 context).
+* The injection velocity ``vxo`` is *derived*: Eq. (5) slaves its relative
+  shift to the mobility shift (ballistic-efficiency weighted) and to the
+  DIBL shift.  Keeping ``vxo`` out of the independent set is what makes
+  the BPV system (Eq. 10) well-posed.
+
+The same class also produces *deterministically perturbed* cards (one
+parameter moved by +/- one sigma), which the sensitivity extractor uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.devices.vs.params import VSParams
+from repro.devices.vs.model import VSDevice
+from repro.devices.vs.velocity import vxo_relative_shift
+from repro.stats.pelgrom import PelgromAlphas, pelgrom_sigmas, PARAMETER_ORDER
+
+#: Guard band: sampled physical parameters are clipped to this fraction of
+#: nominal, preventing nonphysical (negative) geometry/mobility in extreme
+#: tail samples.  At the paper's sigma levels (< ~10 %) the clip is inactive
+#: beyond 9-sigma and therefore does not distort the statistics.
+_CLIP_FRACTION = 0.1
+
+
+def apply_deviations(
+    nominal: VSParams, w_nm: float, l_nm: float, deviations: Dict[str, np.ndarray]
+) -> VSParams:
+    """Build a varied card from absolute parameter *deviations*.
+
+    *deviations* maps a subset of :data:`PARAMETER_ORDER` to absolute
+    offsets in natural units (V, nm, nm, cm^2/Vs, uF/cm^2).  The derived
+    quantities follow: ``delta`` tracks the deviated ``Leff`` through the
+    nominal DIBL law, and ``vxo`` shifts per Eq. (5).  This single code
+    path serves both the Monte-Carlo sampler and the deterministic
+    perturbations of the sensitivity extractor, so the BPV sensitivities
+    are exactly consistent with the statistical generator.
+    """
+    full = {name: np.asarray(deviations.get(name, 0.0), dtype=float)
+            for name in PARAMETER_ORDER}
+
+    vt0 = np.asarray(nominal.vt0, dtype=float) + full["vt0"]
+    leff = np.clip(l_nm + full["leff"], _CLIP_FRACTION * l_nm, None)
+    weff = np.clip(w_nm + full["weff"], _CLIP_FRACTION * w_nm, None)
+    mu_nom = float(np.asarray(nominal.mu_cm2, dtype=float))
+    mu = np.clip(mu_nom + full["mu"], _CLIP_FRACTION * mu_nom, None)
+    cinv_nom = float(np.asarray(nominal.cinv_uf_cm2, dtype=float))
+    cinv = np.clip(cinv_nom + full["cinv"], _CLIP_FRACTION * cinv_nom, None)
+
+    # Derived quantities (Eq. 5): vxo follows mu and delta(Leff).
+    dmu_over_mu = (mu - mu_nom) / mu_nom
+    ddelta = nominal.dibl(leff) - nominal.dibl(l_nm)
+    shift = vxo_relative_shift(
+        dmu_over_mu,
+        ddelta,
+        nominal.lambda_mfp_nm,
+        nominal.l_crit_nm,
+        alpha_fit=float(np.asarray(nominal.alpha_fit)),
+        gamma_fit=float(np.asarray(nominal.gamma_fit)),
+        dvxo_ddelta=float(np.asarray(nominal.dvxo_ddelta)),
+    )
+    vxo_nom = float(np.asarray(nominal.vxo_cm_s, dtype=float))
+    vxo = np.clip(vxo_nom * (1.0 + shift), _CLIP_FRACTION * vxo_nom, None)
+
+    return nominal.replace(
+        w_nm=weff,
+        l_nm=leff,
+        vt0=vt0,
+        mu_cm2=mu,
+        cinv_uf_cm2=cinv,
+        vxo_cm_s=vxo,
+    )
+
+
+@dataclass(frozen=True)
+class VSSample:
+    """A batch of sampled VS cards plus the raw parameter deviations."""
+
+    params: VSParams
+    deviations: Dict[str, np.ndarray]
+
+    @property
+    def n_samples(self) -> int:
+        return int(np.asarray(self.deviations["vt0"]).shape[0])
+
+
+class StatisticalVSModel:
+    """Statistical wrapper around a nominal VS card."""
+
+    def __init__(self, nominal: VSParams, alphas: PelgromAlphas):
+        nominal.validate()
+        alphas.validate()
+        self.nominal = nominal
+        self.alphas = alphas
+
+    # ------------------------------------------------------------------
+    def sigmas(self, w_nm: Optional[float] = None, l_nm: Optional[float] = None):
+        """Pelgrom sigmas of the five independent parameters for a geometry."""
+        w = self.nominal.w_nm if w_nm is None else w_nm
+        l = self.nominal.l_nm if l_nm is None else l_nm
+        return pelgrom_sigmas(self.alphas, w, l)
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        w_nm: Optional[float] = None,
+        l_nm: Optional[float] = None,
+        sigma_scale: float = 1.0,
+        extra_deviations: Optional[Dict[str, np.ndarray]] = None,
+    ) -> VSSample:
+        """Draw *n_samples* independent device cards for a ``W x L`` device.
+
+        ``sigma_scale`` uniformly scales all sigmas (useful for corner
+        sweeps); ``extra_deviations`` adds fixed offsets on top of the
+        fresh within-die draw — the mechanism behind the inter-die
+        component of Eq. (1): a die-level deviation shared by every
+        device instance plus an independent within-die term per instance.
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        w = float(self.nominal.w_nm if w_nm is None else w_nm)
+        l = float(self.nominal.l_nm if l_nm is None else l_nm)
+        sig = self.sigmas(w, l)
+
+        deviations = {
+            name: sigma_scale * sig[name] * rng.standard_normal(n_samples)
+            for name in PARAMETER_ORDER
+        }
+        if extra_deviations:
+            unknown = set(extra_deviations) - set(PARAMETER_ORDER)
+            if unknown:
+                raise KeyError(f"unknown statistical parameters {sorted(unknown)}")
+            for name, offset in extra_deviations.items():
+                deviations[name] = deviations[name] + np.asarray(offset, dtype=float)
+        return VSSample(
+            params=apply_deviations(self.nominal, w, l, deviations),
+            deviations=deviations,
+        )
+
+    # ------------------------------------------------------------------
+    def perturbed(self, w_nm: float, l_nm: float, name: str, n_sigma: float) -> VSParams:
+        """Card with one parameter deterministically moved by ``n_sigma`` sigmas."""
+        if name not in PARAMETER_ORDER:
+            raise KeyError(f"unknown statistical parameter {name!r}; "
+                           f"expected one of {PARAMETER_ORDER}")
+        sig = self.sigmas(w_nm, l_nm)
+        return apply_deviations(
+            self.nominal,
+            float(w_nm),
+            float(l_nm),
+            {name: np.array([n_sigma * sig[name]])},
+        )
+
+    # ------------------------------------------------------------------
+    def sample_device(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        w_nm: Optional[float] = None,
+        l_nm: Optional[float] = None,
+        extra_deviations: Optional[Dict[str, np.ndarray]] = None,
+    ) -> VSDevice:
+        """Convenience: sampled cards wrapped in a (batched) :class:`VSDevice`."""
+        return VSDevice(
+            self.sample(
+                n_samples, rng, w_nm=w_nm, l_nm=l_nm,
+                extra_deviations=extra_deviations,
+            ).params
+        )
+
+    def sample_interdie_offsets(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        sigma_inter: Dict[str, float],
+    ) -> Dict[str, np.ndarray]:
+        """Die-level deviations shared by all devices of each MC sample.
+
+        ``sigma_inter`` maps parameter names to inter-die sigmas (Eq. 1:
+        ``sigma_inter^2 = sigma_total^2 - sigma_within^2``).  Pass the
+        result as ``extra_deviations`` to every :meth:`sample` call of a
+        circuit so all instances move together.
+        """
+        unknown = set(sigma_inter) - set(PARAMETER_ORDER)
+        if unknown:
+            raise KeyError(f"unknown statistical parameters {sorted(unknown)}")
+        return {
+            name: sigma * rng.standard_normal(n_samples)
+            for name, sigma in sigma_inter.items()
+        }

@@ -1,0 +1,16 @@
+"""One module per figure/table of the paper's evaluation (see DESIGN.md).
+
+Every experiment module exposes
+
+* ``run(...)`` returning a result dataclass with the numbers behind the
+  paper artifact, and
+* ``report(result)`` rendering the same rows/series the paper prints.
+
+Paper-sized sample counts are the defaults of ``run``; the benchmark
+harness calls with reduced counts (same shapes, faster runs) and
+EXPERIMENTS.md records both.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

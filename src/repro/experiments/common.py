@@ -1,0 +1,39 @@
+"""Shared experiment plumbing: formatting and seeds."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Seed base for experiment Monte-Carlo runs (distinct from the
+#: characterization seed so "measurement" and "validation" draws differ).
+EXPERIMENT_SEED = 424242
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain-text table with right-padded columns."""
+    columns = [headers] + [list(map(str, row)) for row in rows]
+    widths = [max(len(str(r[i])) for r in columns) for i in range(len(headers))]
+    lines: List[str] = []
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def si(value: float, unit: str, digits: int = 3) -> str:
+    """Engineering-style formatting (1.23e-11 -> '12.3 ps')."""
+    prefixes = [
+        (1e-15, "f"), (1e-12, "p"), (1e-9, "n"), (1e-6, "u"),
+        (1e-3, "m"), (1.0, ""), (1e3, "k"), (1e6, "M"), (1e9, "G"),
+    ]
+    if value == 0.0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in reversed(prefixes):
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    scale, prefix = prefixes[0]
+    return f"{value / scale:.{digits}g} {prefix}{unit}"

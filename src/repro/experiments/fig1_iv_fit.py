@@ -1,0 +1,93 @@
+"""Fig. 1 — VS model fitted to the golden kit's I-V (NMOS, W = 300 nm).
+
+The paper shows the fitted Id-Vd family and the log-scale Id-Vg curve.
+We regenerate both data series and quantify the fit: RMS log-current
+error over the transfer curves and relative error on the on-current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.bsim.model import BSIMDevice
+from repro.devices.vs.model import VSDevice
+from repro.experiments.common import format_table
+from repro.fitting.nominal import IVReference, iv_reference_data
+from repro.pipeline import PolarityCharacterization, default_technology
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """I-V comparison data between golden and fitted VS models."""
+
+    polarity: str
+    w_nm: float
+    reference: IVReference
+    id_transfer_vs: np.ndarray     #: (Md, Nt) fitted VS transfer currents
+    id_output_vs: np.ndarray       #: (Mg, No) fitted VS output currents
+    rms_log_error: float
+    idsat_rel_error: float
+
+
+def run(polarity: str = "nmos", w_nm: float = 300.0) -> Fig1Result:
+    """Regenerate the Fig. 1 overlay for one polarity."""
+    tech = default_technology()
+    char: PolarityCharacterization = tech[polarity]
+
+    golden = BSIMDevice(char.golden_nominal.replace(w_nm=w_nm))
+    ref = iv_reference_data(golden, char.vdd)
+
+    fitted = VSDevice(char.vs_nominal.replace(w_nm=w_nm))
+    sign = float(fitted.polarity)
+    id_tr = np.empty_like(ref.id_transfer)
+    for i, vdb in enumerate(ref.vd_transfer):
+        id_tr[i] = np.abs(fitted.ids(sign * ref.vg_transfer, sign * vdb, 0.0))
+    id_out = np.empty_like(ref.id_output)
+    for i, vgb in enumerate(ref.vg_output):
+        id_out[i] = np.abs(fitted.ids(sign * vgb, sign * ref.vd_output, 0.0))
+
+    floor = 1e-14
+    r_log = np.log10(id_tr + floor) - np.log10(ref.id_transfer + floor)
+    rms = float(np.sqrt(np.mean(r_log**2)))
+
+    ion_golden = ref.id_output[-1, -1]
+    ion_vs = id_out[-1, -1]
+    return Fig1Result(
+        polarity=polarity,
+        w_nm=w_nm,
+        reference=ref,
+        id_transfer_vs=id_tr,
+        id_output_vs=id_out,
+        rms_log_error=rms,
+        idsat_rel_error=float(abs(ion_vs - ion_golden) / ion_golden),
+    )
+
+
+def report(result: Fig1Result) -> str:
+    """Text rendering: sampled Id-Vg decades plus fit-quality summary."""
+    ref = result.reference
+    rows = []
+    for k in range(0, ref.vg_transfer.size, max(1, ref.vg_transfer.size // 8)):
+        rows.append(
+            (
+                f"{ref.vg_transfer[k]:.2f}",
+                f"{ref.id_transfer[-1, k]:.3e}",
+                f"{result.id_transfer_vs[-1, k]:.3e}",
+            )
+        )
+    table = format_table(
+        ("Vg (V)", "golden Id (A)", "VS Id (A)"), rows
+    )
+    lines = [
+        f"Fig. 1 -- VS fit to golden I-V ({result.polarity}, W={result.w_nm:.0f} nm)",
+        table,
+        f"RMS log10 current error : {result.rms_log_error:.3f} decades",
+        f"Idsat relative error    : {result.idsat_rel_error * 100:.2f} %",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report(run()))

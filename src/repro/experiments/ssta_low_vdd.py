@@ -1,0 +1,145 @@
+"""SSTA extension — Gaussian SSTA vs Monte-Carlo at low supply.
+
+Fig. 7's closing point: non-Gaussian delay at low Vdd makes (Gaussian)
+SSTA "more difficult".  This experiment quantifies that with the full
+stack: NAND2 arc-delay samples from the statistical VS model feed a
+reconvergent timing graph, evaluated by both the Clark moment-matching
+engine (sees only mean/sigma) and the bootstrap Monte-Carlo engine (sees
+the true shape).  The figure of merit is the 99.9 %-quantile error — the
+timing-sign-off number — at nominal vs low supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.cells.factory import MonteCarloDeviceFactory
+from repro.cells.nand import Nand2Spec, nand2_delays
+from repro.experiments.common import EXPERIMENT_SEED, format_table, si
+from repro.pipeline import default_technology
+from repro.ssta import EmpiricalDelay, TimingGraph, clark_arrival, monte_carlo_arrival
+
+#: Timing-graph shape: reconvergent fanout of parallel NAND chains.
+N_CHAINS = 8
+CHAIN_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class SSTACase:
+    """One supply's sign-off comparison."""
+
+    vdd: float
+    arc_skewness: float
+    mc_mean: float
+    mc_q999: float
+    clark_mean: float
+    clark_q999: float
+
+    @property
+    def q999_error(self) -> float:
+        """Relative sign-off error of Gaussian SSTA vs Monte-Carlo."""
+        return (self.clark_q999 - self.mc_q999) / self.mc_q999
+
+
+@dataclass(frozen=True)
+class SSTAResult:
+    n_device_mc: int
+    n_graph_mc: int
+    cases: Tuple[SSTACase, ...]
+
+
+def _arc_samples(tech, vdd: float, n_samples: int, seed: int) -> np.ndarray:
+    factory = MonteCarloDeviceFactory(tech, n_samples, model="vs", seed=seed)
+    delays = nand2_delays(factory, Nand2Spec(), vdd)
+    tphl = delays["tphl"].delay
+    return tphl[np.isfinite(tphl)]
+
+
+def _build_graph(samples: np.ndarray, gaussian: bool) -> TimingGraph:
+    from scipy import stats as sps
+
+    chains = []
+    for _ in range(N_CHAINS):
+        if gaussian:
+            from repro.ssta import GaussianDelay
+
+            arc = GaussianDelay(float(np.mean(samples)),
+                                float(np.std(samples, ddof=1)))
+        else:
+            arc = EmpiricalDelay(samples)
+        chains.append([arc] * CHAIN_DEPTH)
+    return TimingGraph.parallel_chains(chains)
+
+
+def run(
+    vdds=(0.9, 0.55),
+    n_device_mc: int = 400,
+    n_graph_mc: int = 50000,
+) -> SSTAResult:
+    """Arc characterization + both SSTA engines per supply."""
+    from scipy import stats as sps
+
+    tech = default_technology()
+    rng = np.random.default_rng(EXPERIMENT_SEED + 400)
+    cases = []
+    for k, vdd in enumerate(vdds):
+        samples = _arc_samples(tech, vdd, n_device_mc,
+                               EXPERIMENT_SEED + 410 + k)
+
+        graph_mc = _build_graph(samples, gaussian=False)
+        arrivals = monte_carlo_arrival(graph_mc, "src", "snk", n_graph_mc, rng)
+        # The Clark engine consumes the same graph's moments (the
+        # Gaussian twin arcs give identical means/sigmas by construction).
+        analytic = clark_arrival(graph_mc, "src", "snk")
+
+        cases.append(
+            SSTACase(
+                vdd=vdd,
+                arc_skewness=float(sps.skew(samples)),
+                mc_mean=float(np.mean(arrivals)),
+                mc_q999=float(np.quantile(arrivals, 0.999)),
+                clark_mean=analytic.mean,
+                clark_q999=analytic.quantile(0.999),
+            )
+        )
+    return SSTAResult(
+        n_device_mc=n_device_mc, n_graph_mc=n_graph_mc, cases=tuple(cases)
+    )
+
+
+def report(result: SSTAResult) -> str:
+    """Sign-off comparison rows per supply."""
+    rows = []
+    for case in result.cases:
+        rows.append(
+            (
+                f"{case.vdd:.2f}",
+                f"{case.arc_skewness:+.2f}",
+                si(case.mc_mean, "s"),
+                si(case.mc_q999, "s"),
+                si(case.clark_q999, "s"),
+                f"{100 * case.q999_error:+.1f} %",
+            )
+        )
+    table = format_table(
+        ("Vdd (V)", "arc skew", "MC mean", "MC q99.9", "Clark q99.9",
+         "sign-off err"),
+        rows,
+    )
+    return "\n".join(
+        [
+            f"SSTA extension -- Gaussian (Clark) vs bootstrap Monte-Carlo "
+            f"({N_CHAINS} chains x {CHAIN_DEPTH} NAND2 arcs, "
+            f"{result.n_graph_mc} graph MC)",
+            table,
+            "Expected: Clark's sign-off error grows at low Vdd, where the "
+            "arc distributions develop tails (Fig. 7's SSTA warning).",
+        ]
+    )
+
+
+if __name__ == "__main__":
+    print(report(run()))

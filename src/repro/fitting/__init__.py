@@ -1,0 +1,23 @@
+"""Nominal VS parameter extraction and electrical figure-of-merit targets."""
+
+from repro.fitting.targets import (
+    TARGET_ORDER,
+    measure_targets,
+    idsat,
+    ioff,
+    log10_ioff,
+    cgg_at_vdd,
+)
+from repro.fitting.nominal import FitResult, fit_vs_to_reference, iv_reference_data
+
+__all__ = [
+    "TARGET_ORDER",
+    "measure_targets",
+    "idsat",
+    "ioff",
+    "log10_ioff",
+    "cgg_at_vdd",
+    "FitResult",
+    "fit_vs_to_reference",
+    "iv_reference_data",
+]

@@ -1,0 +1,58 @@
+"""Electrical performance targets ``e_i`` used by the BPV extraction.
+
+Sec. III of the paper selects ``e = {Idsat, log10(Ioff), Cgg@Vdd}``: each
+is close to Gaussian under Gaussian parameter variations (raw ``Ioff`` is
+log-normal — hence the log — and mid-saturation currents are excluded).
+
+All helpers work for NMOS and PMOS alike: biases are polarity-folded so
+"on" always means ``|Vgs| = |Vds| = Vdd`` and currents are magnitudes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.devices.base import DeviceModel
+
+#: Canonical target ordering used by the sensitivity/BPV matrices.
+TARGET_ORDER = ("idsat", "log10_ioff", "cgg")
+
+
+def _fold(model: DeviceModel, vg: float, vd: float, vs: float):
+    """Terminal voltages realizing the given NMOS-convention bias."""
+    sign = float(model.polarity)
+    return sign * vg, sign * vd, sign * vs
+
+
+def idsat(model: DeviceModel, vdd: float):
+    """On-current magnitude ``|Id(|Vgs|=|Vds|=Vdd)|`` [A]."""
+    vg, vd, vs = _fold(model, vdd, vdd, 0.0)
+    return np.abs(model.ids(vg, vd, vs))
+
+
+def ioff(model: DeviceModel, vdd: float):
+    """Off-current magnitude ``|Id(Vgs=0, |Vds|=Vdd)|`` [A]."""
+    vg, vd, vs = _fold(model, 0.0, vdd, 0.0)
+    return np.abs(model.ids(vg, vd, vs))
+
+
+def log10_ioff(model: DeviceModel, vdd: float):
+    """``log10`` of the off current (the Gaussian-friendly leakage target)."""
+    return np.log10(ioff(model, vdd))
+
+
+def cgg_at_vdd(model: DeviceModel, vdd: float):
+    """Gate capacitance magnitude ``|dQg/dVg|`` at ``|Vgs|=Vdd, Vds=0`` [F]."""
+    vg, vd, vs = _fold(model, vdd, 0.0, 0.0)
+    return np.abs(model.cgg(vg, vd, vs))
+
+
+def measure_targets(model: DeviceModel, vdd: float) -> Dict[str, np.ndarray]:
+    """All BPV targets at once, keyed by :data:`TARGET_ORDER`."""
+    return {
+        "idsat": idsat(model, vdd),
+        "log10_ioff": log10_ioff(model, vdd),
+        "cgg": cgg_at_vdd(model, vdd),
+    }

@@ -1,0 +1,167 @@
+"""End-to-end statistical characterization flow (Sec. III applied).
+
+One call runs the whole paper methodology for a polarity:
+
+1. generate golden-model I-V ("kit data") and fit the nominal VS card
+   (Fig. 1 step);
+2. Monte-Carlo the golden mismatch model at several geometries and
+   measure the target sigmas ("measured I-V and C-V statistics");
+3. compute the VS sensitivity matrices at each geometry;
+4. solve the stacked BPV system for the Pelgrom alphas (Table II step),
+   with ``alpha5`` taken from the direct Cinv measurement;
+5. wrap everything into a :class:`StatisticalVSModel` ready for circuit
+   Monte-Carlo.
+
+:func:`default_technology` memoizes the flow for both polarities with a
+fixed seed so every experiment and test shares one characterized 40-nm
+technology, exactly like sharing one design kit.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.cards import (
+    GEOMETRY_SET_NM,
+    VDD_NOMINAL,
+    bsim_nmos_40nm,
+    bsim_pmos_40nm,
+    ground_truth_mismatch_nmos,
+    ground_truth_mismatch_pmos,
+    vs_nmos_40nm,
+    vs_pmos_40nm,
+)
+from repro.devices.bsim.mismatch import BSIMMismatch
+from repro.devices.bsim.params import BSIMParams
+from repro.devices.bsim.model import BSIMDevice
+from repro.devices.vs.params import VSParams
+from repro.devices.vs.statistical import StatisticalVSModel
+from repro.fitting.nominal import FitResult, fit_vs_to_reference, iv_reference_data
+from repro.stats.bpv import BPVResult, GeometryMeasurement, extract_alphas
+from repro.stats.montecarlo import golden_target_samples
+from repro.stats.sensitivity import vs_sensitivities
+
+#: Default Monte-Carlo sample count for the characterization measurements
+#: ("sample sizes are more than 1000", Sec. IV).
+DEFAULT_N_MEASURE = 4000
+
+#: Fixed seed of the shared technology characterization.
+DEFAULT_SEED = 20130318
+
+
+@dataclass(frozen=True)
+class PolarityCharacterization:
+    """Everything the flow produces for one device polarity."""
+
+    polarity: str
+    vdd: float
+    golden_nominal: BSIMParams
+    golden_mismatch: BSIMMismatch
+    vs_nominal: VSParams
+    fit: FitResult
+    measurements: List[GeometryMeasurement]
+    bpv: BPVResult
+    statistical: StatisticalVSModel
+
+    def golden_device(self, w_nm: float, l_nm: float) -> BSIMDevice:
+        """Nominal golden device at a geometry."""
+        return BSIMDevice(self.golden_nominal.replace(w_nm=w_nm, l_nm=l_nm))
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A characterized CMOS technology: NMOS + PMOS."""
+
+    vdd: float
+    nmos: PolarityCharacterization
+    pmos: PolarityCharacterization
+
+    def __getitem__(self, polarity: str) -> PolarityCharacterization:
+        if polarity not in ("nmos", "pmos"):
+            raise KeyError(f"polarity must be 'nmos' or 'pmos', got {polarity!r}")
+        return getattr(self, polarity)
+
+
+def characterize_polarity(
+    polarity: str = "nmos",
+    vdd: float = VDD_NOMINAL,
+    geometries: Sequence[Tuple[float, float]] = GEOMETRY_SET_NM,
+    n_measure: int = DEFAULT_N_MEASURE,
+    seed: int = DEFAULT_SEED,
+    tie_ler: bool = True,
+) -> PolarityCharacterization:
+    """Run the full Sec.-III flow for one polarity."""
+    if polarity == "nmos":
+        golden_nominal = bsim_nmos_40nm()
+        spec = ground_truth_mismatch_nmos()
+        vs_start = vs_nmos_40nm()
+    elif polarity == "pmos":
+        golden_nominal = bsim_pmos_40nm()
+        spec = ground_truth_mismatch_pmos()
+        vs_start = vs_pmos_40nm()
+    else:
+        raise ValueError(f"polarity must be 'nmos' or 'pmos', got {polarity!r}")
+
+    # Step 1: nominal VS extraction against golden I-V.
+    golden_device = BSIMDevice(golden_nominal)
+    reference = iv_reference_data(golden_device, vdd)
+    fit = fit_vs_to_reference(vs_start, reference)
+    vs_nominal = fit.params
+
+    # Step 2+3: measured sigmas and sensitivities per geometry.
+    mismatch = BSIMMismatch(golden_nominal, spec)
+    rng = np.random.default_rng(seed)
+    measurements = []
+    for w_nm, l_nm in geometries:
+        samples = golden_target_samples(mismatch, w_nm, l_nm, vdd, n_measure, rng)
+        sens = vs_sensitivities(vs_nominal, w_nm, l_nm, vdd)
+        measurements.append(
+            GeometryMeasurement(
+                w_nm=float(w_nm),
+                l_nm=float(l_nm),
+                sigma_targets=samples.sigmas(),
+                sensitivity=sens,
+            )
+        )
+
+    # Step 4: stacked BPV solve.  alpha5 comes from the direct Cinv
+    # measurement (oxide thickness), i.e. the fab's measured value.
+    alpha5 = spec.acox_nm_uf
+    bpv = extract_alphas(measurements, alpha5=alpha5, tie_ler=tie_ler)
+
+    # Step 5: the statistical VS model.
+    statistical = StatisticalVSModel(vs_nominal, bpv.alphas)
+
+    return PolarityCharacterization(
+        polarity=polarity,
+        vdd=vdd,
+        golden_nominal=golden_nominal,
+        golden_mismatch=mismatch,
+        vs_nominal=vs_nominal,
+        fit=fit,
+        measurements=measurements,
+        bpv=bpv,
+        statistical=statistical,
+    )
+
+
+def characterize_technology(
+    vdd: float = VDD_NOMINAL,
+    geometries: Sequence[Tuple[float, float]] = GEOMETRY_SET_NM,
+    n_measure: int = DEFAULT_N_MEASURE,
+    seed: int = DEFAULT_SEED,
+) -> Technology:
+    """Characterize both polarities into a :class:`Technology`."""
+    nmos = characterize_polarity("nmos", vdd, geometries, n_measure, seed)
+    pmos = characterize_polarity("pmos", vdd, geometries, n_measure, seed + 1)
+    return Technology(vdd=vdd, nmos=nmos, pmos=pmos)
+
+
+@functools.lru_cache(maxsize=1)
+def default_technology() -> Technology:
+    """The shared, deterministic 40-nm technology used everywhere."""
+    return characterize_technology()

@@ -1,0 +1,23 @@
+"""Statistical static timing analysis on characterized cell delays.
+
+The paper's Fig. 7 discussion points at exactly this application: delay
+distributions turn non-Gaussian at low supply, "and as a result, the
+application of statistical static timing analysis (SSTA) becomes more
+difficult" [14].  This subpackage provides both flavors over a timing
+graph: moment-matching Gaussian SSTA (Clark's max) and Monte-Carlo SSTA
+fed by bootstrap draws from the statistical VS model's delay samples —
+so the Gaussian approximation's low-Vdd breakdown can be measured.
+"""
+
+from repro.ssta.delays import EmpiricalDelay, FixedDelay, GaussianDelay
+from repro.ssta.graph import TimingGraph
+from repro.ssta.engines import clark_arrival, monte_carlo_arrival
+
+__all__ = [
+    "TimingGraph",
+    "FixedDelay",
+    "GaussianDelay",
+    "EmpiricalDelay",
+    "monte_carlo_arrival",
+    "clark_arrival",
+]

@@ -1,0 +1,100 @@
+"""Arc delay models for SSTA.
+
+Every model exposes ``mean``, ``variance`` (for the analytic engine) and
+``draw(n, rng)`` (for the Monte-Carlo engine).  The empirical model
+bootstraps stored Monte-Carlo samples, preserving skew and tails — the
+non-Gaussian content that Gaussian SSTA discards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DelayModel:
+    """Interface for arc delays."""
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def variance(self) -> float:
+        raise NotImplementedError
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample *n* independent delays."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedDelay(DelayModel):
+    """Deterministic delay (wires, ideal arcs)."""
+
+    value: float
+
+    def __post_init__(self):
+        if self.value < 0.0:
+            raise ValueError("delay must be non-negative")
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    def draw(self, n, rng):
+        return np.full(n, self.value)
+
+
+@dataclass(frozen=True)
+class GaussianDelay(DelayModel):
+    """Gaussian arc delay (the classic SSTA assumption)."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self):
+        if self.sigma < 0.0:
+            raise ValueError("sigma must be non-negative")
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+    @property
+    def variance(self) -> float:
+        return self.sigma**2
+
+    def draw(self, n, rng):
+        return self.mu + self.sigma * rng.standard_normal(n)
+
+
+class EmpiricalDelay(DelayModel):
+    """Bootstrap over measured delay samples (keeps the true shape)."""
+
+    def __init__(self, samples):
+        samples = np.asarray(samples, dtype=float).ravel()
+        samples = samples[np.isfinite(samples)]
+        if samples.size < 8:
+            raise ValueError("need at least 8 delay samples")
+        self.samples = samples
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def variance(self) -> float:
+        return float(np.var(self.samples, ddof=1))
+
+    def draw(self, n, rng):
+        return rng.choice(self.samples, size=n, replace=True)
+
+    def gaussian_twin(self) -> GaussianDelay:
+        """Moment-matched Gaussian (what analytic SSTA sees)."""
+        return GaussianDelay(self.mean, float(np.sqrt(self.variance)))

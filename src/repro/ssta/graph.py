@@ -1,0 +1,114 @@
+"""The timing graph: a DAG of pins with delay-model arcs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.ssta.delays import DelayModel
+
+
+class TimingGraph:
+    """Directed acyclic timing graph.
+
+    Nodes are pin names; each edge carries a :class:`DelayModel`.  The
+    engines (:mod:`repro.ssta.engines`) evaluate latest-arrival
+    distributions from a source to a sink.
+    """
+
+    def __init__(self):
+        self._graph = nx.DiGraph()
+
+    def add_arc(self, u: str, v: str, delay: DelayModel) -> None:
+        """Add a timing arc ``u -> v``; rejects cycles and duplicates.
+
+        Parallel arcs between the same pin pair are rejected rather than
+        silently merged (a DiGraph would overwrite) — route each path
+        through its own intermediate node instead.
+        """
+        if not isinstance(delay, DelayModel):
+            raise TypeError(f"delay must be a DelayModel, got {type(delay)!r}")
+        if self._graph.has_edge(u, v):
+            raise ValueError(f"arc {u!r} -> {v!r} already exists")
+        self._graph.add_edge(u, v, delay=delay)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(u, v)
+            raise ValueError(f"arc {u!r} -> {v!r} would create a cycle")
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._graph.nodes)
+
+    def arcs(self) -> List[Tuple[str, str, DelayModel]]:
+        """All arcs with their delay models."""
+        return [(u, v, data["delay"]) for u, v, data in self._graph.edges(data=True)]
+
+    def predecessors(self, node: str):
+        return self._graph.predecessors(node)
+
+    def arc_delay(self, u: str, v: str) -> DelayModel:
+        return self._graph.edges[u, v]["delay"]
+
+    def topological_order(self) -> List[str]:
+        return list(nx.topological_sort(self._graph))
+
+    def validate_endpoints(self, source: str, sink: str) -> None:
+        """Both endpoints must exist and be connected source -> sink."""
+        if source not in self._graph or sink not in self._graph:
+            raise KeyError("source/sink not in graph")
+        if not nx.has_path(self._graph, source, sink):
+            raise ValueError(f"no path from {source!r} to {sink!r}")
+
+    def critical_path(self, source: str, sink: str) -> List[str]:
+        """Longest path by mean delay (the nominal critical path)."""
+        self.validate_endpoints(source, sink)
+        # Longest path via shortest path on negated means.
+        best_arrival: Dict[str, float] = {source: 0.0}
+        best_pred: Dict[str, str] = {}
+        for node in self.topological_order():
+            if node not in best_arrival:
+                continue
+            for succ in self._graph.successors(node):
+                candidate = best_arrival[node] + self.arc_delay(node, succ).mean
+                if candidate > best_arrival.get(succ, -1.0):
+                    best_arrival[succ] = candidate
+                    best_pred[succ] = node
+        path = [sink]
+        while path[-1] != source:
+            path.append(best_pred[path[-1]])
+        return list(reversed(path))
+
+    # ------------------------------------------------------------------
+    # Convenience builders.
+    # ------------------------------------------------------------------
+    @classmethod
+    def chain(cls, delays, prefix: str = "n") -> "TimingGraph":
+        """A linear pipeline ``n0 -> n1 -> ...`` from a delay list."""
+        graph = cls()
+        for k, delay in enumerate(delays):
+            graph.add_arc(f"{prefix}{k}", f"{prefix}{k + 1}", delay)
+        return graph
+
+    @classmethod
+    def parallel_chains(
+        cls, chains, source: str = "src", sink: str = "snk"
+    ) -> "TimingGraph":
+        """Several chains from one source merging into one sink.
+
+        *chains* is a list of delay-model lists; each becomes a private
+        path ``src -> ... -> snk``.  The sink's latest arrival is the max
+        over chains — the re-convergence structure that makes SSTA's max
+        operation matter.
+        """
+        from repro.ssta.delays import FixedDelay
+
+        graph = cls()
+        for c, delays in enumerate(chains):
+            previous = source
+            for k, delay in enumerate(delays):
+                node = f"c{c}_{k}"
+                graph.add_arc(previous, node, delay)
+                previous = node
+            graph.add_arc(previous, sink, FixedDelay(0.0))
+        return graph

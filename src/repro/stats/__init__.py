@@ -1,0 +1,5 @@
+"""Statistical machinery: Pelgrom scaling, sensitivities, BPV extraction, Monte Carlo."""
+
+from repro.stats.pelgrom import PelgromAlphas, pelgrom_sigmas, scaling_vector
+
+__all__ = ["PelgromAlphas", "pelgrom_sigmas", "scaling_vector"]

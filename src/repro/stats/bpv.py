@@ -1,0 +1,183 @@
+"""Backward Propagation of Variance (BPV) — Eq. (8)-(10) of the paper.
+
+Measured target variances across several transistor geometries are mapped
+back onto the Pelgrom coefficients of the underlying VS parameters by
+inverting the first-order propagation (Eq. 9)
+
+    sigma_e_i^2 = sum_j (d e_i / d p_j)^2 sigma_p_j^2
+
+with the geometry dependence of Eq. (8) substituted, so the unknowns are
+the geometry-independent ``alpha_j^2``.  Following Sec. III:
+
+* ``Cinv`` is not solved for: thermal oxide is tightly controlled, so
+  ``alpha5`` is measured directly and its contribution is *subtracted*
+  from the left-hand side (exactly the bracketed terms of Eq. 10);
+* the LER tie ``alpha2 = alpha3`` merges the L and W columns (the ablation
+  can relax this);
+* the stacked system over all geometries is solved by non-negative least
+  squares (variances cannot be negative); the per-geometry "individual"
+  solve of Fig. 2 uses the same machinery on a single geometry's rows.
+
+Rows are scaled by the measured variances so every target counts equally
+regardless of its units (amperes vs decades vs farads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.fitting.targets import TARGET_ORDER
+from repro.stats.pelgrom import PelgromAlphas, pelgrom_sigmas, scaling_vector
+from repro.stats.sensitivity import SensitivityMatrix, propagate_variance
+
+#: Parameters solved by BPV (Cinv excluded — measured directly).
+SOLVED_PARAMETERS = ("vt0", "leff", "weff", "mu")
+
+
+@dataclass(frozen=True)
+class GeometryMeasurement:
+    """One geometry's measured target sigmas plus its sensitivity matrix."""
+
+    w_nm: float
+    l_nm: float
+    sigma_targets: Dict[str, float]     #: measured sigma(e_i), natural units
+    sensitivity: SensitivityMatrix
+
+    def __post_init__(self):
+        if self.sensitivity.w_nm != self.w_nm or self.sensitivity.l_nm != self.l_nm:
+            raise ValueError("sensitivity matrix geometry mismatch")
+
+
+@dataclass(frozen=True)
+class BPVResult:
+    """Extracted Pelgrom coefficients and solve diagnostics."""
+
+    alphas: PelgromAlphas
+    tie_ler: bool
+    residual: float                      #: NNLS residual of the scaled system
+    #: Per-geometry comparison: {(w, l): {target: (measured, predicted)}}.
+    diagnostics: Dict[Tuple[float, float], Dict[str, Tuple[float, float]]]
+
+    def max_sigma_error(self) -> float:
+        """Worst relative |predicted - measured| / measured over all rows."""
+        worst = 0.0
+        for rows in self.diagnostics.values():
+            for measured, predicted in rows.values():
+                if measured > 0.0:
+                    worst = max(worst, abs(predicted - measured) / measured)
+        return worst
+
+
+def _cinv_adjusted_lhs(
+    meas: GeometryMeasurement, alpha5: float, target: str
+) -> float:
+    """LHS of Eq. 10: measured variance minus the known Cinv contribution."""
+    sigma_cinv = alpha5 / np.sqrt(meas.w_nm * meas.l_nm)
+    s_cinv = meas.sensitivity.entry(target, "cinv")
+    lhs = meas.sigma_targets[target] ** 2 - (s_cinv * sigma_cinv) ** 2
+    # Slightly negative values can occur from MC noise when Cinv dominates;
+    # clamp at zero (the parameter genuinely contributes ~nothing then).
+    return max(lhs, 0.0)
+
+
+def _build_rows(
+    measurements: Sequence[GeometryMeasurement],
+    alpha5: float,
+    tie_ler: bool,
+    targets: Sequence[str],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble the scaled linear system ``A @ alpha_sq = b``."""
+    n_unknowns = 3 if tie_ler else 4
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+    for meas in measurements:
+        scale = scaling_vector(meas.w_nm, meas.l_nm)
+        factor = dict(zip(("vt0", "leff", "weff", "mu", "cinv"), scale))
+        for target in targets:
+            lhs = _cinv_adjusted_lhs(meas, alpha5, target)
+            coeff = {
+                p: (meas.sensitivity.entry(target, p) * factor[p]) ** 2
+                for p in SOLVED_PARAMETERS
+            }
+            if tie_ler:
+                row = np.array(
+                    [coeff["vt0"], coeff["leff"] + coeff["weff"], coeff["mu"]]
+                )
+            else:
+                row = np.array(
+                    [coeff["vt0"], coeff["leff"], coeff["weff"], coeff["mu"]]
+                )
+            # Equation scaling: normalize by the measured variance so each
+            # target contributes O(1) rows regardless of units.
+            norm = meas.sigma_targets[target] ** 2
+            if norm <= 0.0:
+                raise ValueError(
+                    f"non-positive measured sigma for target {target!r}"
+                )
+            rows.append(row / norm)
+            rhs.append(lhs / norm)
+    return np.vstack(rows).reshape(-1, n_unknowns), np.asarray(rhs)
+
+
+def _result_from_solution(
+    alpha_sq: np.ndarray,
+    residual: float,
+    measurements: Sequence[GeometryMeasurement],
+    alpha5: float,
+    tie_ler: bool,
+    targets: Sequence[str],
+) -> BPVResult:
+    if tie_ler:
+        a1, a23, a4 = np.sqrt(alpha_sq)
+        alphas = PelgromAlphas(a1, a23, a23, a4, alpha5)
+    else:
+        a1, a2, a3, a4 = np.sqrt(alpha_sq)
+        alphas = PelgromAlphas(a1, a2, a3, a4, alpha5)
+
+    diagnostics: Dict[Tuple[float, float], Dict[str, Tuple[float, float]]] = {}
+    for meas in measurements:
+        sigmas = pelgrom_sigmas(alphas, meas.w_nm, meas.l_nm)
+        predicted = propagate_variance(meas.sensitivity, sigmas)
+        diagnostics[(meas.w_nm, meas.l_nm)] = {
+            t: (meas.sigma_targets[t], predicted[t]) for t in targets
+        }
+    return BPVResult(
+        alphas=alphas, tie_ler=tie_ler, residual=residual, diagnostics=diagnostics
+    )
+
+
+def extract_alphas(
+    measurements: Sequence[GeometryMeasurement],
+    alpha5: float,
+    tie_ler: bool = True,
+    targets: Sequence[str] = TARGET_ORDER,
+) -> BPVResult:
+    """Stacked BPV solve over all geometries (the Eq. 10 system)."""
+    if not measurements:
+        raise ValueError("need at least one geometry measurement")
+    if not tie_ler and len(measurements) * len(targets) < 4:
+        raise ValueError(
+            "untied LER needs at least four equations; add geometries/targets"
+        )
+    a_matrix, b = _build_rows(measurements, alpha5, tie_ler, targets)
+    alpha_sq, residual = nnls(a_matrix, b)
+    return _result_from_solution(
+        alpha_sq, residual, measurements, alpha5, tie_ler, targets
+    )
+
+
+def extract_alphas_individual(
+    measurement: GeometryMeasurement,
+    alpha5: float,
+    targets: Sequence[str] = TARGET_ORDER,
+) -> BPVResult:
+    """Per-geometry BPV solve (always LER-tied: 3 equations, 3 unknowns).
+
+    This is the "solved separately using individual transistor" variant
+    whose deviation from the stacked solution is Fig. 2.
+    """
+    return extract_alphas([measurement], alpha5, tie_ler=True, targets=targets)

@@ -1,0 +1,123 @@
+"""Distribution summaries, QQ data and Gaussianity diagnostics.
+
+These back the probability-density panels and quantile-quantile plots of
+Figs. 5, 7 and 9: histogram densities, normal-fit overlays, QQ series and
+a tail-nonlinearity measure that quantifies "the quantile-quantile plot
+starts to deviate from a linear relationship" (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import stats as sps
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Moments and Gaussianity diagnostics of one sample set."""
+
+    n: int
+    mean: float
+    std: float
+    skewness: float
+    excess_kurtosis: float
+    ks_statistic: float          #: KS distance to the fitted normal
+
+    @property
+    def sigma_over_mu(self) -> float:
+        """Relative spread ``sigma / |mu|``."""
+        return self.std / abs(self.mean) if self.mean != 0.0 else np.inf
+
+
+def summarize(samples) -> DistributionSummary:
+    """Summary statistics of a 1-D sample array."""
+    x = np.asarray(samples, dtype=float).ravel()
+    if x.size < 8:
+        raise ValueError("need at least 8 samples for a meaningful summary")
+    mean = float(np.mean(x))
+    std = float(np.std(x, ddof=1))
+    if std > 0.0:
+        ks = float(sps.kstest(x, "norm", args=(mean, std)).statistic)
+    else:
+        ks = 0.0
+    return DistributionSummary(
+        n=x.size,
+        mean=mean,
+        std=std,
+        skewness=float(sps.skew(x)),
+        excess_kurtosis=float(sps.kurtosis(x)),
+        ks_statistic=ks,
+    )
+
+
+def histogram_density(samples, bins: int = 40) -> Tuple[np.ndarray, np.ndarray]:
+    """``(bin_centers, density)`` — the PDF panels of Figs. 5/7/8/9."""
+    x = np.asarray(samples, dtype=float).ravel()
+    density, edges = np.histogram(x, bins=bins, density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, density
+
+
+def normal_pdf_overlay(samples, n_points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian fit curve over the sample range (the smooth overlay)."""
+    x = np.asarray(samples, dtype=float).ravel()
+    mean, std = float(np.mean(x)), float(np.std(x, ddof=1))
+    grid = np.linspace(x.min(), x.max(), n_points)
+    return grid, sps.norm.pdf(grid, mean, std)
+
+
+def qq_data(samples) -> Tuple[np.ndarray, np.ndarray]:
+    """Standard-normal QQ series ``(theoretical_quantiles, ordered_samples)``.
+
+    Uses the Blom plotting positions ``(i - 3/8) / (n + 1/4)``.
+    """
+    x = np.sort(np.asarray(samples, dtype=float).ravel())
+    n = x.size
+    if n < 8:
+        raise ValueError("need at least 8 samples for a QQ plot")
+    probs = (np.arange(1, n + 1) - 0.375) / (n + 0.25)
+    return sps.norm.ppf(probs), x
+
+
+def qq_tail_nonlinearity(samples, tail_sigma: float = 2.0) -> float:
+    """How non-Gaussian the tails are, from the QQ series.
+
+    Fits a line to the central region (|z| < 1) of the QQ plot and
+    returns the mean absolute deviation of the |z| > *tail_sigma* points
+    from that line, normalized by the sample sigma.  ~0 for a Gaussian;
+    grows as the delay distributions of Fig. 7 develop their low-Vdd
+    tails.
+    """
+    z, x = qq_data(samples)
+    core = np.abs(z) < 1.0
+    slope, intercept = np.polyfit(z[core], x[core], 1)
+    tails = np.abs(z) > tail_sigma
+    if not np.any(tails):
+        return 0.0
+    deviation = x[tails] - (slope * z[tails] + intercept)
+    sigma = float(np.std(x, ddof=1))
+    if sigma == 0.0:
+        return 0.0
+    return float(np.mean(np.abs(deviation)) / sigma)
+
+
+def ks_between(samples_a, samples_b) -> float:
+    """Two-sample KS distance — the VS-vs-BSIM distribution match metric."""
+    a = np.asarray(samples_a, dtype=float).ravel()
+    b = np.asarray(samples_b, dtype=float).ravel()
+    return float(sps.ks_2samp(a, b).statistic)
+
+
+def centered_ks(samples_a, samples_b) -> float:
+    """KS distance after removing each sample's mean: pure *shape* match.
+
+    Two compact models fitted to the same kit always carry a small
+    systematic mean offset; the statistical claim of the paper is about
+    the distribution's width and shape, which this metric isolates.
+    """
+    a = np.asarray(samples_a, dtype=float).ravel()
+    b = np.asarray(samples_b, dtype=float).ravel()
+    return float(sps.ks_2samp(a - a.mean(), b - b.mean()).statistic)

@@ -1,0 +1,95 @@
+"""Monte-Carlo engines for device-level statistics.
+
+Every engine exploits the batch axis of the device models: one model
+evaluation computes all samples.  Seeding is explicit everywhere — each
+figure of the paper is regenerated bit-identically from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.bsim.mismatch import BSIMMismatch
+from repro.devices.vs.statistical import StatisticalVSModel
+from repro.fitting.targets import TARGET_ORDER, measure_targets
+
+
+@dataclass(frozen=True)
+class TargetSamples:
+    """Monte-Carlo samples of the electrical targets at one geometry."""
+
+    w_nm: float
+    l_nm: float
+    vdd: float
+    samples: Dict[str, np.ndarray]    #: target name -> (n,) array
+
+    def sigma(self, target: str) -> float:
+        """Sample standard deviation of one target (ddof=1)."""
+        return float(np.std(self.samples[target], ddof=1))
+
+    def mean(self, target: str) -> float:
+        """Sample mean of one target."""
+        return float(np.mean(self.samples[target]))
+
+    def sigmas(self) -> Dict[str, float]:
+        """All target sigmas."""
+        return {t: self.sigma(t) for t in self.samples}
+
+
+def golden_target_samples(
+    mismatch: BSIMMismatch,
+    w_nm: float,
+    l_nm: float,
+    vdd: float,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> TargetSamples:
+    """Sample the golden (BSIM) model's targets for one geometry.
+
+    This stands in for the paper's "measured I-V and C-V statistics":
+    the data BPV characterizes.
+    """
+    device = mismatch.sample_device(n_samples, rng, w_nm=w_nm, l_nm=l_nm)
+    measured = measure_targets(device, vdd)
+    return TargetSamples(
+        w_nm=float(w_nm),
+        l_nm=float(l_nm),
+        vdd=vdd,
+        samples={t: np.asarray(measured[t]) for t in TARGET_ORDER},
+    )
+
+
+def vs_target_samples(
+    stat_model: StatisticalVSModel,
+    w_nm: float,
+    l_nm: float,
+    vdd: float,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> TargetSamples:
+    """Sample the statistical VS model's targets for one geometry."""
+    device = stat_model.sample_device(n_samples, rng, w_nm=w_nm, l_nm=l_nm)
+    measured = measure_targets(device, vdd)
+    return TargetSamples(
+        w_nm=float(w_nm),
+        l_nm=float(l_nm),
+        vdd=vdd,
+        samples={t: np.asarray(measured[t]) for t in TARGET_ORDER},
+    )
+
+
+def golden_sigmas_by_geometry(
+    mismatch: BSIMMismatch,
+    geometries: Sequence[Tuple[float, float]],
+    vdd: float,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> Dict[Tuple[float, float], Dict[str, float]]:
+    """Measured target sigmas for every geometry in one pass."""
+    return {
+        (w, l): golden_target_samples(mismatch, w, l, vdd, n_samples, rng).sigmas()
+        for (w, l) in geometries
+    }

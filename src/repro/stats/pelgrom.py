@@ -1,0 +1,112 @@
+"""Pelgrom area scaling of within-die mismatch — Eq. (7) and (8).
+
+Local (within-die) fluctuations of a process parameter average over the
+gate area, so their variance scales inversely with ``W*L`` (Pelgrom's
+law, Eq. 7).  The paper parameterizes the five VS statistical parameters
+with coefficients ``alpha_1..alpha_5`` and geometry factors (Eq. 8):
+
+    sigma_VT0  = alpha1 / sqrt(W L)      [V]        (RDF)
+    sigma_Leff = alpha2 * sqrt(L / W)    [nm]       (LER)
+    sigma_Weff = alpha3 * sqrt(W / L)    [nm]       (LER)
+    sigma_mu   = alpha4 / sqrt(W L)      [cm^2/Vs]  (stress)
+    sigma_Cinv = alpha5 / sqrt(W L)      [uF/cm^2]  (OTF)
+
+with ``W`` and ``L`` in nanometres, so the alphas carry the units of the
+paper's Table II.  Note that the length/width scalings still obey the area
+law in *relative* terms: ``sigma_L / L = alpha2 / sqrt(W L)``.
+
+The LER argument of Sec. III (same edge roughness for both patterning
+directions) ties ``alpha2 = alpha3``; :class:`PelgromAlphas` carries them
+separately so the ablation study can relax the tie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+#: Canonical ordering of the statistical parameters throughout the library.
+PARAMETER_ORDER = ("vt0", "leff", "weff", "mu", "cinv")
+
+
+@dataclass(frozen=True)
+class PelgromAlphas:
+    """Mismatch coefficients ``alpha_1..alpha_5`` (units of Table II)."""
+
+    alpha1_v_nm: float        #: sigma_VT0 coefficient [V nm]
+    alpha2_nm: float          #: sigma_Leff coefficient [nm]
+    alpha3_nm: float          #: sigma_Weff coefficient [nm]
+    alpha4_nm_cm2: float      #: sigma_mu coefficient [nm cm^2 / (V s)]
+    alpha5_nm_uf: float       #: sigma_Cinv coefficient [nm uF/cm^2]
+
+    def as_array(self) -> np.ndarray:
+        """Alphas in :data:`PARAMETER_ORDER`."""
+        return np.array(
+            [
+                self.alpha1_v_nm,
+                self.alpha2_nm,
+                self.alpha3_nm,
+                self.alpha4_nm_cm2,
+                self.alpha5_nm_uf,
+            ]
+        )
+
+    def with_tied_ler(self) -> "PelgromAlphas":
+        """Return a copy with ``alpha3`` tied to ``alpha2`` (LER assumption)."""
+        return replace(self, alpha3_nm=self.alpha2_nm)
+
+    def validate(self) -> None:
+        """Mismatch coefficients must be non-negative."""
+        if np.any(self.as_array() < 0.0):
+            raise ValueError(f"Pelgrom coefficients must be non-negative: {self}")
+
+
+def scaling_vector(w_nm, l_nm) -> np.ndarray:
+    """Geometry scaling factors of Eq. (8), in :data:`PARAMETER_ORDER`.
+
+    ``sigma_p = alpha_p * scaling_vector(W, L)[p]``.
+    """
+    w = np.asarray(w_nm, dtype=float)
+    l = np.asarray(l_nm, dtype=float)
+    if np.any(w <= 0.0) or np.any(l <= 0.0):
+        raise ValueError("geometry must be positive")
+    inv_sqrt_area = 1.0 / np.sqrt(w * l)
+    return np.array(
+        [
+            inv_sqrt_area,          # VT0
+            np.sqrt(l / w),         # Leff
+            np.sqrt(w / l),         # Weff
+            inv_sqrt_area,          # mu
+            inv_sqrt_area,          # Cinv
+        ]
+    )
+
+
+def pelgrom_sigmas(alphas: PelgromAlphas, w_nm, l_nm) -> Dict[str, np.ndarray]:
+    """Per-parameter mismatch sigmas for a ``W x L`` device.
+
+    Returns a dict keyed by :data:`PARAMETER_ORDER`, in the natural units
+    of each parameter (V, nm, nm, cm^2/Vs, uF/cm^2).
+    """
+    alphas.validate()
+    factors = scaling_vector(w_nm, l_nm)
+    values = alphas.as_array()
+    return {
+        name: values[idx] * factors[idx] for idx, name in enumerate(PARAMETER_ORDER)
+    }
+
+
+def within_die_variance_split(sigma_total, sigma_within):
+    """Inter-die variance from total and within-die sigmas (Eq. 1).
+
+    ``sigma_inter^2 = sigma_total^2 - sigma_within^2``.  Raises if the
+    within-die component exceeds the total (no negative variances).
+    """
+    total = np.asarray(sigma_total, dtype=float)
+    within = np.asarray(sigma_within, dtype=float)
+    var_inter = total**2 - within**2
+    if np.any(var_inter < 0.0):
+        raise ValueError("within-die sigma exceeds total sigma (Eq. 1 violated)")
+    return np.sqrt(var_inter)

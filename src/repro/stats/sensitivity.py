@@ -1,0 +1,120 @@
+"""Finite-difference sensitivities ``d e_i / d p_j`` (the matrix of Eq. 10).
+
+"The sensitivity matrix in (10) is calculated from SPICE simulation using
+[the] VS model" — here the "SPICE simulation" is a direct evaluation of
+the electrical targets on deterministically perturbed VS cards.  Each
+perturbation routes through :func:`repro.devices.vs.statistical.apply_deviations`,
+so the derived-parameter chain (``delta(Leff)``, ``vxo`` via Eq. 5) is
+identical between the sensitivity extraction and the Monte-Carlo
+generator — the consistency requirement at the heart of BPV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.vs.model import VSDevice
+from repro.devices.vs.params import VSParams
+from repro.devices.vs.statistical import apply_deviations
+from repro.fitting.targets import TARGET_ORDER, measure_targets
+from repro.stats.pelgrom import PARAMETER_ORDER
+
+#: Central-difference steps in natural parameter units.  Small enough for
+#: linearity (the BPV linearization assumption, checked in tests), large
+#: enough for clean float64 differences.
+DEFAULT_STEPS: Dict[str, float] = {
+    "vt0": 2e-3,      # V
+    "leff": 0.2,      # nm
+    "weff": 1.0,      # nm
+    "mu": 2.0,        # cm^2/(V s)
+    "cinv": 0.005,    # uF/cm^2
+}
+
+
+@dataclass(frozen=True)
+class SensitivityMatrix:
+    """``matrix[i, j] = d target_i / d parameter_j`` at one geometry."""
+
+    w_nm: float
+    l_nm: float
+    vdd: float
+    targets: Tuple[str, ...]
+    parameters: Tuple[str, ...]
+    matrix: np.ndarray           #: (n_targets, n_parameters)
+    nominal_targets: Dict[str, float]
+
+    def row(self, target: str) -> np.ndarray:
+        """Sensitivity row of one target across all parameters."""
+        return self.matrix[self.targets.index(target)]
+
+    def entry(self, target: str, parameter: str) -> float:
+        """Single sensitivity ``d target / d parameter``."""
+        return float(
+            self.matrix[self.targets.index(target), self.parameters.index(parameter)]
+        )
+
+
+def target_vector(card: VSParams, vdd: float, targets: Sequence[str]) -> np.ndarray:
+    """Electrical targets of a card as a vector in *targets* order."""
+    measured = measure_targets(VSDevice(card), vdd)
+    return np.array([float(np.asarray(measured[t]).squeeze()) for t in targets])
+
+
+def vs_sensitivities(
+    nominal: VSParams,
+    w_nm: float,
+    l_nm: float,
+    vdd: float,
+    targets: Sequence[str] = TARGET_ORDER,
+    parameters: Sequence[str] = PARAMETER_ORDER,
+    steps: Dict[str, float] = None,
+) -> SensitivityMatrix:
+    """Central-difference sensitivity matrix at geometry ``W x L``.
+
+    The nominal card's geometry fields are overridden by *w_nm*/*l_nm*;
+    perturbations are absolute offsets in the paper's natural units.
+    """
+    steps = {**DEFAULT_STEPS, **(steps or {})}
+    base_card = apply_deviations(nominal, float(w_nm), float(l_nm), {})
+    base = target_vector(base_card, vdd, targets)
+
+    matrix = np.zeros((len(targets), len(parameters)))
+    for j, parameter in enumerate(parameters):
+        h = steps[parameter]
+        plus = apply_deviations(nominal, float(w_nm), float(l_nm), {parameter: h})
+        minus = apply_deviations(nominal, float(w_nm), float(l_nm), {parameter: -h})
+        t_plus = target_vector(plus, vdd, targets)
+        t_minus = target_vector(minus, vdd, targets)
+        matrix[:, j] = (t_plus - t_minus) / (2.0 * h)
+
+    nominal_targets = dict(zip(targets, base))
+    return SensitivityMatrix(
+        w_nm=float(w_nm),
+        l_nm=float(l_nm),
+        vdd=vdd,
+        targets=tuple(targets),
+        parameters=tuple(parameters),
+        matrix=matrix,
+        nominal_targets=nominal_targets,
+    )
+
+
+def propagate_variance(
+    sens: SensitivityMatrix, sigma_by_parameter: Dict[str, float]
+) -> Dict[str, float]:
+    """Forward variance propagation (Eq. 9): target sigmas from parameter sigmas.
+
+    Assumes independent parameters; this is the first-order model whose
+    inverse is BPV.
+    """
+    result = {}
+    for i, target in enumerate(sens.targets):
+        var = 0.0
+        for j, parameter in enumerate(sens.parameters):
+            sigma = sigma_by_parameter.get(parameter, 0.0)
+            var += (sens.matrix[i, j] * sigma) ** 2
+        result[target] = float(np.sqrt(var))
+    return result

@@ -1,0 +1,92 @@
+"""Unit conversions between compact-model conventions and SI.
+
+The DATE-2013 paper (and the MVS model cards it builds on) quote parameters
+in mixed CGS/semiconductor units:
+
+====================  =======================  ==========
+quantity              paper unit               SI unit
+====================  =======================  ==========
+geometry (W, L)       nm                       m
+gate capacitance      uF/cm^2                  F/m^2
+mobility              cm^2/(V s)               m^2/(V s)
+injection velocity    cm/s                     m/s
+current density       uA/um (= A/m * 1e-6/1e-6)  A/m
+====================  =======================  ==========
+
+Every converter is a trivial scale factor; keeping them named (rather than
+sprinkling ``1e-9`` literals) makes the model code audit-able against the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+NM = 1e-9
+UM = 1e-6
+
+#: uF/cm^2 -> F/m^2  (1e-6 F / 1e-4 m^2).
+UF_PER_CM2 = 1e-2
+
+#: cm^2/(V s) -> m^2/(V s).
+CM2_PER_VS = 1e-4
+
+#: cm/s -> m/s.
+CM_PER_S = 1e-2
+
+#: fF -> F.
+FF = 1e-15
+
+#: ps -> s.
+PS = 1e-12
+
+#: uA -> A.
+UA = 1e-6
+
+
+def nm_to_m(value_nm):
+    """Convert nanometres to metres (scalar or ndarray)."""
+    return value_nm * NM
+
+
+def m_to_nm(value_m):
+    """Convert metres to nanometres (scalar or ndarray)."""
+    return value_m / NM
+
+
+def uf_cm2_to_si(value):
+    """Convert uF/cm^2 to F/m^2."""
+    return value * UF_PER_CM2
+
+
+def si_to_uf_cm2(value):
+    """Convert F/m^2 to uF/cm^2."""
+    return value / UF_PER_CM2
+
+
+def cm2_vs_to_si(value):
+    """Convert cm^2/(V s) to m^2/(V s)."""
+    return value * CM2_PER_VS
+
+
+def si_to_cm2_vs(value):
+    """Convert m^2/(V s) to cm^2/(V s)."""
+    return value / CM2_PER_VS
+
+
+def cm_s_to_si(value):
+    """Convert cm/s to m/s."""
+    return value * CM_PER_S
+
+
+def si_to_cm_s(value):
+    """Convert m/s to cm/s."""
+    return value / CM_PER_S
+
+
+def a_per_m_to_ua_per_um(value):
+    """Convert a current density from A/m to uA/um (numerically identical)."""
+    return value
+
+
+def amps_to_ua(value):
+    """Convert amperes to micro-amperes."""
+    return value / UA

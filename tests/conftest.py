@@ -1,0 +1,20 @@
+"""Shared fixtures: one characterized technology for the whole test session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline import Technology, characterize_technology
+
+
+@pytest.fixture(scope="session")
+def technology() -> Technology:
+    """Characterized 40-nm technology (reduced MC count: tests need
+    stable sigmas, not publication-grade tails)."""
+    return characterize_technology(n_measure=2500, seed=1234)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

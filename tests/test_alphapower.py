@@ -1,0 +1,112 @@
+"""Alpha-power-law baseline model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.cards import bsim_nmos_40nm
+from repro.devices.alphapower import (
+    AlphaPowerDevice,
+    AlphaPowerParams,
+    fit_alpha_power,
+)
+from repro.devices.base import Polarity
+from repro.devices.bsim.model import BSIMDevice
+from repro.fitting.nominal import iv_reference_data
+
+VDD = 0.9
+
+
+@pytest.fixture()
+def device() -> AlphaPowerDevice:
+    return AlphaPowerDevice(AlphaPowerParams())
+
+
+class TestModel:
+    def test_saturation_power_law(self, device):
+        # Deep saturation: Id ~ (Vgs - VT)^alpha.
+        p = device.params
+        vth = float(np.asarray(p.vth))
+        alpha = float(np.asarray(p.alpha))
+        i1 = float(device.ids(vth + 0.30, 2.0, 0.0))
+        i2 = float(device.ids(vth + 0.60, 2.0, 0.0))
+        # Remove CLM (same vds) and compare the power-law ratio.
+        assert i2 / i1 == pytest.approx(2.0**alpha, rel=0.02)
+
+    def test_no_subthreshold_current(self, device):
+        # The model's defining blind spot: essentially zero below VT.
+        ioff = float(device.ids(0.0, VDD, 0.0))
+        ion = float(device.ids(VDD, VDD, 0.0))
+        assert ioff < 1e-9 * ion
+
+    def test_triode_to_saturation_continuous(self, device):
+        vdsat = float(device.saturation_voltage(VDD))
+        below = float(device.ids(VDD, vdsat * 0.999, 0.0))
+        above = float(device.ids(VDD, vdsat * 1.001, 0.0))
+        assert above == pytest.approx(below, rel=0.01)
+
+    def test_zero_current_at_zero_vds(self, device):
+        assert float(device.ids(VDD, 0.0, 0.0)) == pytest.approx(0.0, abs=1e-15)
+
+    def test_width_scaling(self):
+        d1 = AlphaPowerDevice(AlphaPowerParams(w_nm=300.0))
+        d2 = AlphaPowerDevice(AlphaPowerParams(w_nm=900.0))
+        assert float(d2.idsat(VDD)) == pytest.approx(
+            3.0 * float(d1.idsat(VDD)), rel=1e-9
+        )
+
+    def test_pmos_folding(self):
+        d = AlphaPowerDevice(AlphaPowerParams(polarity=Polarity.PMOS))
+        assert float(d.ids(0.0, 0.0, VDD)) < 0.0
+
+    def test_charge_conservation(self, device):
+        qg, qd, qs = device.charges(0.7, 0.4, 0.0)
+        assert float(qg + qd + qs) == pytest.approx(0.0, abs=1e-22)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlphaPowerDevice(AlphaPowerParams(alpha=-1.0))
+        with pytest.raises(ValueError):
+            AlphaPowerDevice(AlphaPowerParams(lam=-0.1))
+
+    @given(vg=st.floats(0.0, 1.0), vd=st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_current_finite_and_nonnegative(self, vg, vd):
+        d = AlphaPowerDevice(AlphaPowerParams())
+        i = float(d.ids(vg, vd, 0.0))
+        assert np.isfinite(i)
+        assert i >= -1e-15
+
+
+class TestFit:
+    def test_fit_recovers_on_current(self):
+        golden = BSIMDevice(bsim_nmos_40nm())
+        ref = iv_reference_data(golden, VDD)
+        fit = fit_alpha_power(AlphaPowerParams(), ref)
+        fitted = AlphaPowerDevice(fit.params)
+        ion = float(fitted.idsat(VDD))
+        ion_golden = float(golden.idsat(VDD))
+        assert ion == pytest.approx(ion_golden, rel=0.05)
+
+    def test_fit_alpha_in_modern_range(self):
+        # Short-channel devices: alpha well below the long-channel 2.
+        golden = BSIMDevice(bsim_nmos_40nm())
+        ref = iv_reference_data(golden, VDD)
+        fit = fit_alpha_power(AlphaPowerParams(), ref)
+        assert 1.0 <= float(np.asarray(fit.params.alpha)) <= 1.9
+
+    def test_fit_rejects_unknown_parameter(self):
+        golden = BSIMDevice(bsim_nmos_40nm())
+        ref = iv_reference_data(golden, VDD)
+        with pytest.raises(KeyError):
+            fit_alpha_power(AlphaPowerParams(), ref, free=("vth", "zeta"))
+
+    def test_worse_than_vs_in_subthreshold(self):
+        # The structural limitation the paper leans on: no leakage model.
+        golden = BSIMDevice(bsim_nmos_40nm())
+        ref = iv_reference_data(golden, VDD)
+        fit = fit_alpha_power(AlphaPowerParams(), ref)
+        fitted = AlphaPowerDevice(fit.params)
+        ioff_golden = float(golden.ioff(VDD))
+        ioff_ap = float(np.abs(fitted.ids(0.0, VDD, 0.0)))
+        assert ioff_ap < 0.01 * ioff_golden  # decades too low

@@ -1,0 +1,138 @@
+"""Delay, leakage, bisection and SNM analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.delay import crossing_time
+from repro.analysis.setup_hold import bisect_min_passing
+from repro.analysis.snm import largest_square_snm
+
+
+class TestCrossingTime:
+    def test_linear_ramp(self):
+        t = np.linspace(0.0, 1.0, 11)
+        wave = t.copy()  # crosses 0.55 at t = 0.55
+        tc = crossing_time(t, wave, 0.55, "rise")
+        assert float(tc) == pytest.approx(0.55, abs=1e-12)
+
+    def test_fall_direction(self):
+        t = np.linspace(0.0, 1.0, 11)
+        wave = 1.0 - t
+        tc = crossing_time(t, wave, 0.25, "fall")
+        assert float(tc) == pytest.approx(0.75, abs=1e-12)
+
+    def test_no_crossing_is_nan(self):
+        t = np.linspace(0.0, 1.0, 11)
+        wave = np.full(11, 0.2)
+        assert np.isnan(float(crossing_time(t, wave, 0.5, "rise")))
+
+    def test_t_min_skips_early_crossings(self):
+        t = np.linspace(0.0, 2.0, 201)
+        wave = np.sin(2.0 * np.pi * t)  # rises through 0.5 near t~0.083, 1.083
+        tc_first = crossing_time(t, wave, 0.5, "rise")
+        tc_late = crossing_time(t, wave, 0.5, "rise", t_min=0.5)
+        assert float(tc_first) == pytest.approx(0.083, abs=0.02)
+        assert float(tc_late) == pytest.approx(1.083, abs=0.02)
+
+    def test_batched(self):
+        t = np.linspace(0.0, 1.0, 51)
+        shift = np.array([0.0, 0.2])
+        wave = np.clip(t[:, None] - shift[None, :], 0.0, 1.0)
+        tc = crossing_time(t, wave, 0.3, "rise")
+        assert tc.shape == (2,)
+        assert tc[1] - tc[0] == pytest.approx(0.2, abs=0.02)
+
+    def test_direction_validation(self):
+        t = np.linspace(0.0, 1.0, 11)
+        with pytest.raises(ValueError):
+            crossing_time(t, t, 0.5, "sideways")
+
+
+class TestBisection:
+    def test_known_boundary(self):
+        boundary = np.array([0.3, 0.6, 0.45])
+
+        def passes(x):
+            return x >= boundary
+
+        result = bisect_min_passing(passes, np.zeros(3), np.ones(3),
+                                    n_iterations=20)
+        np.testing.assert_allclose(result, boundary, atol=1e-5)
+
+    def test_bad_bracket_marked_nan(self):
+        # Sample 1 passes everywhere (boundary below lo): bracket invalid.
+        def passes(x):
+            return np.array([True, x[1] > 0.5])
+
+        result = bisect_min_passing(passes, np.zeros(2), np.ones(2))
+        assert np.isnan(result[0])
+        assert result[1] == pytest.approx(0.5, abs=1e-3)
+
+    def test_rejects_inverted_bracket(self):
+        with pytest.raises(ValueError):
+            bisect_min_passing(lambda x: x > 0, np.ones(2), np.zeros(2))
+
+    def test_resolution_scales_with_iterations(self):
+        boundary = np.array([np.pi / 10.0])
+
+        def passes(x):
+            return x >= boundary
+
+        coarse = bisect_min_passing(passes, np.zeros(1), np.ones(1), n_iterations=4)
+        fine = bisect_min_passing(passes, np.zeros(1), np.ones(1), n_iterations=16)
+        assert abs(fine[0] - boundary[0]) < abs(coarse[0] - boundary[0])
+
+
+class TestSNM:
+    def test_ideal_step_vtc(self):
+        # Ideal inverters with switching threshold at Vdd/2: SNM = Vdd/2.
+        vdd = 0.9
+        s = np.linspace(0.0, vdd, 301)
+        f = np.where(s < vdd / 2.0, vdd, 0.0)
+        snm = largest_square_snm(s, f, f)
+        assert snm == pytest.approx(vdd / 2.0, abs=0.01)
+
+    def test_degenerate_diagonal(self):
+        s = np.linspace(0.0, 0.9, 91)
+        f = 0.9 - s
+        assert largest_square_snm(s, f, f) == pytest.approx(0.0, abs=1e-3)
+
+    def test_asymmetric_lobes_take_minimum(self):
+        # Shift one curve's threshold: one lobe shrinks, SNM follows it.
+        vdd = 0.9
+        s = np.linspace(0.0, vdd, 301)
+        f_centered = np.where(s < 0.45, vdd, 0.0)
+        f_shifted = np.where(s < 0.30, vdd, 0.0)
+        snm_sym = largest_square_snm(s, f_centered, f_centered)
+        snm_asym = largest_square_snm(s, f_shifted, f_centered)
+        assert snm_asym < snm_sym
+
+    def test_batched_curves(self):
+        vdd = 0.9
+        s = np.linspace(0.0, vdd, 121)
+        thresholds = np.array([0.45, 0.40, 0.35])
+        f = np.where(s[:, None] < thresholds[None, :], vdd, 0.0)
+        snm = largest_square_snm(s, f, f)
+        assert snm.shape == (3,)
+        # Off-center thresholds weaken one lobe.
+        assert snm[0] > snm[1] > snm[2]
+
+    def test_smooth_tanh_vtc(self):
+        # Smooth VTC pair: SNM must be strictly between 0 and Vdd/2 and
+        # increase with VTC gain.
+        vdd = 0.9
+        s = np.linspace(0.0, vdd, 241)
+
+        def vtc(gain):
+            return vdd / 2.0 * (1.0 - np.tanh(gain * (s - vdd / 2.0) / vdd))
+
+        snm_low = largest_square_snm(s, vtc(4.0), vtc(4.0))
+        snm_high = largest_square_snm(s, vtc(20.0), vtc(20.0))
+        assert 0.0 < snm_low < snm_high < vdd / 2.0
+
+    def test_input_validation(self):
+        s = np.linspace(0.0, 0.9, 10)
+        with pytest.raises(ValueError):
+            largest_square_snm(s, np.zeros(9), np.zeros(10))
+        with pytest.raises(ValueError):
+            largest_square_snm(np.array([0.0, 0.1, 0.05]), np.zeros(3), np.zeros(3))

@@ -1,0 +1,155 @@
+"""BSIM4-lite golden model: transport physics and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import PHI_T_NOMINAL
+from repro.data.cards import bsim_nmos_40nm, bsim_pmos_40nm
+from repro.devices.bsim.model import BSIMDevice
+from repro.devices.bsim.mismatch import BSIMMismatch, MismatchSpec
+
+VDD = 0.9
+
+
+@pytest.fixture()
+def nmos() -> BSIMDevice:
+    return BSIMDevice(bsim_nmos_40nm(300.0, 40.0))
+
+
+@pytest.fixture()
+def pmos() -> BSIMDevice:
+    return BSIMDevice(bsim_pmos_40nm(300.0, 40.0))
+
+
+class TestThreshold:
+    def test_dibl_lowers_threshold(self, nmos):
+        assert float(nmos.threshold_voltage(VDD)) < float(nmos.threshold_voltage(0.0))
+
+    def test_rolloff_lowers_short_channel_threshold(self):
+        long_ch = BSIMDevice(bsim_nmos_40nm(300.0, 200.0))
+        short_ch = BSIMDevice(bsim_nmos_40nm(300.0, 40.0))
+        assert float(short_ch.threshold_voltage(0.0)) < float(
+            long_ch.threshold_voltage(0.0)
+        )
+
+
+class TestTransport:
+    def test_mobility_degrades_with_gate_drive(self, nmos):
+        mu_low = float(nmos.effective_mobility(0.4, 0.0))
+        mu_high = float(nmos.effective_mobility(1.0, 0.0))
+        assert mu_high < mu_low
+
+    def test_vdsat_has_thermal_floor(self, nmos):
+        vdsat_off = float(nmos.saturation_voltage(0.0, 0.1))
+        assert vdsat_off > PHI_T_NOMINAL  # ~2 n phit floor
+
+    def test_subthreshold_slope(self, nmos):
+        # Current drops ~one decade per n*phit*ln10 of gate drive below VT.
+        n = float(np.asarray(nmos.params.nfactor))
+        step = n * PHI_T_NOMINAL * np.log(10.0)
+        i1 = float(nmos.ids(0.15, VDD, 0.0))
+        i2 = float(nmos.ids(0.15 - step, VDD, 0.0))
+        assert i1 / i2 == pytest.approx(10.0, rel=0.15)
+
+    def test_output_conductance_positive(self, nmos):
+        # CLM keeps the saturation current gently rising.
+        i1 = float(nmos.ids(VDD, 0.6, 0.0))
+        i2 = float(nmos.ids(VDD, 0.9, 0.0))
+        assert i2 > i1
+
+
+class TestCurrent:
+    def test_zero_at_vds_zero(self, nmos):
+        assert float(nmos.ids(VDD, 0.0, 0.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_width_scaling(self):
+        i1 = float(BSIMDevice(bsim_nmos_40nm(300.0, 40.0)).idsat(VDD))
+        i2 = float(BSIMDevice(bsim_nmos_40nm(900.0, 40.0)).idsat(VDD))
+        assert i2 == pytest.approx(3.0 * i1, rel=1e-9)
+
+    def test_on_current_40nm_class(self, nmos):
+        ion_ua_um = float(nmos.idsat(VDD)) * 1e6 / 0.3
+        assert 400.0 < ion_ua_um < 1500.0
+
+    def test_source_drain_antisymmetry(self, nmos):
+        i_fwd = float(nmos.ids(0.7, 0.5, 0.1))
+        i_rev = float(nmos.ids(0.7, 0.1, 0.5))
+        assert i_rev == pytest.approx(-i_fwd, rel=1e-9)
+
+    def test_pmos_conducts_downward(self, pmos):
+        assert float(pmos.ids(0.0, 0.0, VDD)) < 0.0
+
+    def test_models_differ_from_vs(self, nmos):
+        # Sanity: the golden model is genuinely a different model — its
+        # current at an intermediate bias differs from the VS card's.
+        from repro.data.cards import vs_nmos_40nm
+        from repro.devices.vs.model import VSDevice
+
+        vs = VSDevice(vs_nmos_40nm(300.0, 40.0))
+        i_bsim = float(nmos.ids(0.6, 0.3, 0.0))
+        i_vs = float(vs.ids(0.6, 0.3, 0.0))
+        assert abs(i_bsim - i_vs) / abs(i_bsim) > 0.01
+
+
+class TestCharges:
+    def test_charge_conservation(self, nmos):
+        qg, qd, qs = nmos.charges(0.8, 0.4, 0.0)
+        assert float(qg + qd + qs) == pytest.approx(0.0, abs=1e-22)
+
+    def test_cgg_positive_on_and_off(self, nmos):
+        assert float(nmos.cgg(0.0, 0.0, 0.0)) > 0.0
+        assert float(nmos.cgg(VDD, 0.0, 0.0)) > 0.0
+
+
+class TestMismatch:
+    def test_sigma_area_scaling(self):
+        spec = MismatchSpec()
+        s_small = spec.sigmas(120.0, 40.0)
+        s_large = spec.sigmas(1500.0, 40.0)
+        ratio = s_small["vth0"] / s_large["vth0"]
+        assert ratio == pytest.approx(np.sqrt(1500.0 / 120.0), rel=1e-9)
+
+    def test_sigma_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            MismatchSpec().sigmas(-10.0, 40.0)
+
+    def test_sampling_statistics(self, rng):
+        spec = MismatchSpec(avt_v_nm=2.3)
+        mm = BSIMMismatch(bsim_nmos_40nm(), spec)
+        cards = mm.sample(4000, rng, w_nm=600.0, l_nm=40.0)
+        sigma_expected = 2.3 / np.sqrt(600.0 * 40.0)
+        assert np.std(cards.vth0, ddof=1) == pytest.approx(sigma_expected, rel=0.1)
+        assert np.mean(cards.vth0) == pytest.approx(
+            float(np.asarray(bsim_nmos_40nm().vth0)), abs=3e-3
+        )
+
+    def test_samples_independent_between_calls(self, rng):
+        mm = BSIMMismatch(bsim_nmos_40nm(), MismatchSpec())
+        a = mm.sample(100, rng).vth0
+        b = mm.sample(100, rng).vth0
+        assert not np.allclose(a, b)
+
+    def test_rejects_nonpositive_count(self, rng):
+        mm = BSIMMismatch(bsim_nmos_40nm(), MismatchSpec())
+        with pytest.raises(ValueError):
+            mm.sample(0, rng)
+
+
+class TestPropertyBased:
+    @given(
+        vg=st.floats(-0.2, 1.1),
+        vd=st.floats(0.0, 1.1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_current_finite(self, vg, vd):
+        device = BSIMDevice(bsim_nmos_40nm())
+        assert np.isfinite(float(device.ids(vg, vd, 0.0)))
+
+    @given(vgs=st.floats(0.0, 1.0), vds=st.floats(0.001, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_vgs(self, vgs, vds):
+        device = BSIMDevice(bsim_nmos_40nm())
+        i1 = float(device.ids(vgs, vds, 0.0))
+        i2 = float(device.ids(vgs + 0.05, vds, 0.0))
+        assert i2 >= i1

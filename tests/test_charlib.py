@@ -1,0 +1,98 @@
+"""Cell characterization: lookup tables and measured timing trends."""
+
+import numpy as np
+import pytest
+
+from repro.cells import InverterSpec, MonteCarloDeviceFactory, NominalDeviceFactory
+from repro.charlib import (
+    LookupTable2D,
+    characterize_cell,
+    characterize_cell_statistics,
+)
+
+
+class TestLookupTable:
+    def test_exact_at_grid_points(self):
+        table = LookupTable2D([1.0, 2.0], [10.0, 20.0],
+                              [[1.0, 2.0], [3.0, 4.0]])
+        assert table(1.0, 10.0) == pytest.approx(1.0)
+        assert table(2.0, 20.0) == pytest.approx(4.0)
+
+    def test_bilinear_midpoint(self):
+        table = LookupTable2D([1.0, 2.0], [10.0, 20.0],
+                              [[1.0, 2.0], [3.0, 4.0]])
+        assert table(1.5, 15.0) == pytest.approx(2.5)
+
+    def test_clamps_outside_grid(self):
+        table = LookupTable2D([1.0, 2.0], [10.0, 20.0],
+                              [[1.0, 2.0], [3.0, 4.0]])
+        assert table(0.0, 0.0) == pytest.approx(1.0)
+        assert table(99.0, 99.0) == pytest.approx(4.0)
+
+    def test_vectorized_queries(self):
+        table = LookupTable2D([1.0, 2.0], [10.0, 20.0],
+                              [[1.0, 2.0], [3.0, 4.0]])
+        out = table(np.array([1.0, 2.0]), np.array([10.0, 20.0]))
+        np.testing.assert_allclose(out, [1.0, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LookupTable2D([2.0, 1.0], [10.0, 20.0], np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            LookupTable2D([1.0, 2.0], [10.0, 20.0], np.zeros((3, 2)))
+
+
+class TestCharacterization:
+    @pytest.fixture(scope="class")
+    def timing(self, technology):
+        factory = NominalDeviceFactory(technology, "vs")
+        return characterize_cell(
+            factory,
+            InverterSpec(600.0, 300.0),
+            vdd=0.9,
+            slews=(5e-12, 20e-12),
+            loads=(1e-15, 4e-15),
+        )
+
+    def test_tables_built_for_both_edges(self, timing):
+        assert set(timing.delay) == {"tphl", "tplh"}
+        assert timing.delay["tphl"].shape == (2, 2)
+
+    def test_delay_grows_with_load(self, timing):
+        table = timing.delay["tphl"].values
+        assert np.all(table[:, 1] > table[:, 0])
+
+    def test_delay_grows_with_input_slew(self, timing):
+        table = timing.delay["tphl"].values
+        assert np.all(table[1, :] > table[0, :])
+
+    def test_output_slew_grows_with_load(self, timing):
+        table = timing.transition["tphl"].values
+        assert np.all(table[:, 1] > table[:, 0])
+
+    def test_values_in_picosecond_decade(self, timing):
+        assert np.all(timing.delay["tphl"].values > 0.2e-12)
+        assert np.all(timing.delay["tphl"].values < 100e-12)
+
+
+class TestStatisticalCharacterization:
+    def test_arc_statistics(self, technology):
+        stats = characterize_cell_statistics(
+            lambda: MonteCarloDeviceFactory(technology, 80, model="vs",
+                                            seed=21),
+            InverterSpec(600.0, 300.0),
+        )
+        assert set(stats) == {"tphl", "tplh"}
+        arc = stats["tphl"]
+        assert arc.samples.size >= 75
+        assert arc.sigma > 0.0
+        assert 1e-12 < arc.mean < 50e-12
+
+    def test_bootstrap_draw(self, technology, rng):
+        stats = characterize_cell_statistics(
+            lambda: MonteCarloDeviceFactory(technology, 60, model="vs",
+                                            seed=22),
+        )
+        draw = stats["tplh"].draw(500, rng)
+        assert draw.shape == (500,)
+        assert set(np.unique(draw)).issubset(set(stats["tplh"].samples))

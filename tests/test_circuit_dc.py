@@ -1,0 +1,155 @@
+"""DC analyses of the MNA engine: linear sanity, nonlinear devices, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    GROUND,
+    DC,
+    dc_operating_point,
+    dc_sweep,
+)
+from repro.circuit.dcop import initial_guess
+from repro.circuit.mna import ConvergenceError, NewtonOptions
+from repro.data.cards import vs_nmos_40nm, vs_pmos_40nm
+from repro.devices.vs.model import VSDevice
+
+VDD = 0.9
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        ckt = Circuit()
+        ckt.add_vsource("a", GROUND, DC(1.0), name="V1")
+        ckt.add_resistor("a", "b", 1e3)
+        ckt.add_resistor("b", GROUND, 3e3)
+        v = dc_operating_point(ckt)
+        assert v[ckt.index_of("b")] == pytest.approx(0.75, rel=1e-5)
+
+    def test_source_branch_current(self):
+        ckt = Circuit()
+        src = ckt.add_vsource("a", GROUND, DC(2.0), name="V1")
+        ckt.add_resistor("a", GROUND, 1e3)
+        v = dc_operating_point(ckt)
+        # Branch current flows out of the positive node into the source:
+        # the source *delivers* 2 mA, so the branch unknown is -2 mA.
+        assert v[src.branch_index] == pytest.approx(-2e-3, rel=1e-4)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit()
+        ckt.add_isource("a", GROUND, DC(1e-3), name="I1")  # out of node a
+        ckt.add_resistor("a", GROUND, 1e3)
+        v = dc_operating_point(ckt)
+        assert v[ckt.index_of("a")] == pytest.approx(-1.0, rel=1e-4)
+
+    def test_floating_node_held_by_gmin(self):
+        ckt = Circuit()
+        ckt.add_vsource("a", GROUND, DC(1.0), name="V1")
+        ckt.add_resistor("a", "b", 1e3)
+        ckt.node("c")  # totally floating node
+        v = dc_operating_point(ckt)
+        assert abs(v[ckt.index_of("c")]) < 1e-6
+
+    def test_series_resistors_kcl(self):
+        ckt = Circuit()
+        ckt.add_vsource("a", GROUND, DC(3.0), name="V1")
+        ckt.add_resistor("a", "b", 1e3)
+        ckt.add_resistor("b", "c", 1e3)
+        ckt.add_resistor("c", GROUND, 1e3)
+        v = dc_operating_point(ckt)
+        assert v[ckt.index_of("b")] == pytest.approx(2.0, rel=1e-5)
+        assert v[ckt.index_of("c")] == pytest.approx(1.0, rel=1e-5)
+
+    def test_rejects_nonpositive_resistance(self):
+        ckt = Circuit()
+        with pytest.raises(ValueError):
+            ckt.add_resistor("a", "b", -5.0)
+
+    def test_duplicate_element_names_rejected(self):
+        ckt = Circuit()
+        ckt.add_resistor("a", "b", 1.0, name="R1")
+        with pytest.raises(ValueError):
+            ckt.add_resistor("b", "c", 1.0, name="R1")
+
+
+def build_vs_inverter(vin: float, batch_vt0=None):
+    card_n = vs_nmos_40nm(300.0, 40.0)
+    if batch_vt0 is not None:
+        card_n = card_n.replace(vt0=batch_vt0)
+    ckt = Circuit()
+    ckt.add_vsource("vdd", GROUND, DC(VDD), name="VDD")
+    ckt.add_vsource("in", GROUND, DC(vin), name="VIN")
+    ckt.add_mosfet(VSDevice(vs_pmos_40nm(600.0, 40.0)), d="out", g="in", s="vdd",
+                   name="MP")
+    ckt.add_mosfet(VSDevice(card_n), d="out", g="in", s=GROUND, name="MN")
+    return ckt
+
+
+class TestNonlinearDC:
+    def test_inverter_logic_levels(self):
+        for vin, expect_high in ((0.0, True), (VDD, False)):
+            ckt = build_vs_inverter(vin)
+            v = dc_operating_point(ckt)
+            out = v[ckt.index_of("out")]
+            if expect_high:
+                assert out > 0.85 * VDD
+            else:
+                assert out < 0.15 * VDD
+
+    def test_batched_operating_point(self):
+        vt0 = np.linspace(0.35, 0.50, 7)
+        ckt = build_vs_inverter(0.45, batch_vt0=vt0)
+        v = dc_operating_point(ckt)
+        out = v[..., ckt.index_of("out")]
+        assert out.shape == (7,)
+        # Higher NMOS VT -> weaker pulldown -> higher output.
+        assert np.all(np.diff(out) > 0.0)
+
+    def test_initial_guess_helper(self):
+        ckt = build_vs_inverter(0.0)
+        guess = initial_guess(ckt, {"vdd": VDD, "out": VDD})
+        v = dc_operating_point(ckt, v0=guess)
+        assert v[ckt.index_of("out")] > 0.85 * VDD
+
+    def test_kcl_satisfied_at_solution(self):
+        # The supply current equals the NMOS drain current (no other path).
+        ckt = build_vs_inverter(VDD)
+        v = dc_operating_point(ckt)
+        vdd_branch = ckt["VDD"].branch_index
+        out = v[ckt.index_of("out")]
+        i_nmos = float(VSDevice(vs_nmos_40nm(300.0, 40.0)).ids(VDD, out, 0.0))
+        # The supply current differs from the device current only by the
+        # gmin conditioning current at the vdd node (~1e-10 * Vdd).
+        assert -v[vdd_branch] == pytest.approx(i_nmos, rel=5e-3)
+
+
+class TestDCSweep:
+    def test_inverter_vtc_monotone(self):
+        ckt = build_vs_inverter(0.0)
+        guess = initial_guess(ckt, {"vdd": VDD, "out": VDD})
+        result = dc_sweep(ckt, "VIN", np.linspace(0.0, VDD, 31), v0=guess)
+        vtc = result["out"]
+        assert vtc[0] > 0.85 * VDD
+        assert vtc[-1] < 0.1 * VDD
+        assert np.all(np.diff(vtc) < 1e-6)
+
+    def test_sweep_restores_source_level(self):
+        ckt = build_vs_inverter(0.3)
+        level_before = ckt["VIN"].waveform.level
+        dc_sweep(ckt, "VIN", np.linspace(0.0, VDD, 5))
+        assert ckt["VIN"].waveform.level == level_before
+
+    def test_sweep_requires_dc_source(self):
+        from repro.circuit.waveforms import Pulse
+
+        ckt = Circuit()
+        ckt.add_vsource("a", GROUND, Pulse(0, 1, 0, 1e-12, 1e-12, 1e-9), name="VP")
+        ckt.add_resistor("a", GROUND, 1e3)
+        with pytest.raises(TypeError):
+            dc_sweep(ckt, "VP", [0.0, 1.0])
+
+    def test_sweep_rejects_empty_values(self):
+        ckt = build_vs_inverter(0.0)
+        with pytest.raises(ValueError):
+            dc_sweep(ckt, "VIN", [])

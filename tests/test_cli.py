@@ -1,0 +1,34 @@
+"""The python -m repro command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig9", "table4"):
+            assert name in out
+
+    def test_registry_complete(self):
+        # One entry per paper artifact.
+        expected = {f"fig{k}" for k in range(1, 10)}
+        expected |= {"table2", "table3", "table4"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figX"])
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "done in" in out
+
+    def test_runs_table2(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha1" in out

@@ -1,0 +1,74 @@
+"""Verilog-A emitter: structure, parameters, and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_veriloga
+from repro.data.cards import paper_alphas_nmos, vs_nmos_40nm
+
+
+@pytest.fixture()
+def module_text() -> str:
+    return generate_veriloga(vs_nmos_40nm(), paper_alphas_nmos())
+
+
+class TestStructure:
+    def test_module_declaration(self, module_text):
+        assert "module vs_statistical (d, g, s);" in module_text
+        assert module_text.count("endmodule") == 1
+
+    def test_includes(self, module_text):
+        assert '`include "constants.vams"' in module_text
+        assert '`include "disciplines.vams"' in module_text
+
+    def test_analog_block(self, module_text):
+        assert "analog begin" in module_text
+        assert "I(d, s) <+ id;" in module_text
+
+    def test_statistical_parameters_exposed(self, module_text):
+        for name in ("DVT0", "DLEFF", "DWEFF", "DMU", "DCINV"):
+            assert f"parameter real {name} = 0.0;" in module_text
+
+    def test_model_equations_present(self, module_text):
+        # Eq. 2-4 ingredients.
+        assert "fs * qixo * vxo_i" in module_text      # Eq. 2
+        assert "pow(vdsi / vdsat, BETA)" in module_text  # Eq. 3
+        assert "delta_i * vdsi" in module_text          # Eq. 4 (DIBL)
+
+
+class TestParameterValues:
+    def test_nominal_values_rendered(self, module_text):
+        card = vs_nmos_40nm()
+        assert f"{float(np.asarray(card.vt0)):.6g}" in module_text
+        assert f"{float(np.asarray(card.w_si)):.6e}" in module_text
+
+    def test_pelgrom_sigmas_in_comments(self, module_text):
+        assert "sigma_VT0" in module_text
+        assert "sigma_Leff" in module_text
+
+    def test_eq5_coefficient(self, module_text):
+        # k_mu for the default card: B = 0.5 -> 0.975.
+        assert "parameter real KMU = 0.975;" in module_text
+
+    def test_custom_module_name(self):
+        text = generate_veriloga(
+            vs_nmos_40nm(), paper_alphas_nmos(), module_name="my_vs_n"
+        )
+        assert "module my_vs_n (d, g, s);" in text
+
+
+class TestValidation:
+    def test_rejects_batched_card(self):
+        card = vs_nmos_40nm().replace(vt0=np.full(4, 0.42))
+        with pytest.raises(ValueError):
+            generate_veriloga(card, paper_alphas_nmos())
+
+    def test_rejects_bad_module_name(self):
+        with pytest.raises(ValueError):
+            generate_veriloga(vs_nmos_40nm(), paper_alphas_nmos(),
+                              module_name="2bad name")
+
+    def test_rejects_invalid_card(self):
+        card = vs_nmos_40nm().replace(mu_cm2=-5.0)
+        with pytest.raises(ValueError):
+            generate_veriloga(card, paper_alphas_nmos())

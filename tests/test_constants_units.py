@@ -1,0 +1,59 @@
+"""Units and constants: the boring code that silently corrupts everything."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import constants, units
+
+
+class TestConstants:
+    def test_thermal_voltage_room_temperature(self):
+        # kT/q at 300.15 K is ~25.9 mV.
+        assert constants.thermal_voltage(300.15) == pytest.approx(0.02587, rel=1e-3)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert constants.thermal_voltage(600.3) == pytest.approx(
+            2.0 * constants.thermal_voltage(300.15)
+        )
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(-10.0)
+
+    def test_ln10(self):
+        assert constants.LN10 == pytest.approx(math.log(10.0))
+
+
+class TestUnits:
+    def test_nm_roundtrip(self):
+        assert units.m_to_nm(units.nm_to_m(40.0)) == pytest.approx(40.0)
+
+    def test_nm_to_m_value(self):
+        assert units.nm_to_m(40.0) == pytest.approx(4.0e-8)
+
+    def test_uf_cm2(self):
+        # 1.8 uF/cm^2 = 0.018 F/m^2.
+        assert units.uf_cm2_to_si(1.8) == pytest.approx(0.018)
+        assert units.si_to_uf_cm2(0.018) == pytest.approx(1.8)
+
+    def test_mobility(self):
+        # 400 cm^2/Vs = 0.04 m^2/Vs.
+        assert units.cm2_vs_to_si(400.0) == pytest.approx(0.04)
+        assert units.si_to_cm2_vs(0.04) == pytest.approx(400.0)
+
+    def test_velocity(self):
+        # 1e7 cm/s = 1e5 m/s.
+        assert units.cm_s_to_si(1.0e7) == pytest.approx(1.0e5)
+        assert units.si_to_cm_s(1.0e5) == pytest.approx(1.0e7)
+
+    def test_current_density_identity(self):
+        # A/m and uA/um are numerically identical.
+        assert units.a_per_m_to_ua_per_um(123.0) == 123.0
+
+    def test_array_input(self):
+        values = np.array([10.0, 40.0])
+        np.testing.assert_allclose(units.nm_to_m(values), [1e-8, 4e-8])

@@ -1,0 +1,85 @@
+"""Corner generation from the statistical model."""
+
+import numpy as np
+import pytest
+
+from repro.data.cards import paper_alphas_nmos, paper_alphas_pmos
+from repro.data.cards import vs_nmos_40nm, vs_pmos_40nm
+from repro.devices.vs.model import VSDevice
+from repro.devices.vs.statistical import StatisticalVSModel
+from repro.fitting.targets import idsat, log10_ioff
+from repro.stats.corners import (
+    corner_card,
+    corner_coverage,
+    generate_corners,
+)
+
+VDD = 0.9
+
+
+@pytest.fixture()
+def n_model():
+    return StatisticalVSModel(vs_nmos_40nm(), paper_alphas_nmos())
+
+
+@pytest.fixture()
+def p_model():
+    return StatisticalVSModel(vs_pmos_40nm(), paper_alphas_pmos())
+
+
+class TestCornerCards:
+    def test_fast_beats_typical_beats_slow(self, n_model):
+        ion = {}
+        for speed in (+1.0, 0.0, -1.0):
+            card = corner_card(n_model, speed, 3.0, w_nm=300.0, l_nm=40.0)
+            ion[speed] = float(np.asarray(idsat(VSDevice(card), VDD)).squeeze())
+        assert ion[+1.0] > ion[0.0] > ion[-1.0]
+
+    def test_fast_corner_leaks_more(self, n_model):
+        fast = corner_card(n_model, +1.0, 3.0, w_nm=300.0, l_nm=40.0)
+        slow = corner_card(n_model, -1.0, 3.0, w_nm=300.0, l_nm=40.0)
+        leak_fast = float(np.asarray(log10_ioff(VSDevice(fast), VDD)).squeeze())
+        leak_slow = float(np.asarray(log10_ioff(VSDevice(slow), VDD)).squeeze())
+        assert leak_fast > leak_slow + 0.5  # decades apart at 3 sigma
+
+    def test_larger_k_widens_bracket(self, n_model):
+        ion_3 = float(np.asarray(idsat(
+            VSDevice(corner_card(n_model, 1.0, 3.0, 300.0, 40.0)), VDD
+        )).squeeze())
+        ion_1 = float(np.asarray(idsat(
+            VSDevice(corner_card(n_model, 1.0, 1.0, 300.0, 40.0)), VDD
+        )).squeeze())
+        assert ion_3 > ion_1
+
+    def test_corner_set_complete(self, n_model, p_model):
+        corners = generate_corners(n_model, p_model, k_sigma=3.0)
+        assert set(corners) == {"TT", "FF", "SS", "FS", "SF"}
+        # FS: fast NMOS, slow PMOS.
+        fs = corners["FS"]
+        tt = corners["TT"]
+        ion_fs_n = float(np.asarray(idsat(VSDevice(fs.nmos), VDD)).squeeze())
+        ion_tt_n = float(np.asarray(idsat(VSDevice(tt.nmos), VDD)).squeeze())
+        ion_fs_p = float(np.asarray(idsat(VSDevice(fs.pmos), VDD)).squeeze())
+        ion_tt_p = float(np.asarray(idsat(VSDevice(tt.pmos), VDD)).squeeze())
+        assert ion_fs_n > ion_tt_n
+        assert ion_fs_p < ion_tt_p
+
+    def test_k_sigma_validation(self, n_model, p_model):
+        with pytest.raises(ValueError):
+            generate_corners(n_model, p_model, k_sigma=0.0)
+
+
+class TestCoverage:
+    def test_three_sigma_corners_bracket_mc(self, n_model, rng):
+        coverage, ratio = corner_coverage(
+            n_model, 3.0, VDD, 4000, rng, w_nm=300.0, l_nm=40.0
+        )
+        # All-parameters-together corners are conservative: essentially
+        # the whole MC cloud sits inside the [SS, FF] on-current bracket.
+        assert coverage > 0.995
+        assert ratio > 1.1
+
+    def test_one_sigma_corners_cover_less(self, n_model, rng):
+        cov3, _ = corner_coverage(n_model, 3.0, VDD, 3000, rng, 300.0, 40.0)
+        cov1, _ = corner_coverage(n_model, 1.0, VDD, 3000, rng, 300.0, 40.0)
+        assert cov1 < cov3

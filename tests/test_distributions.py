@@ -1,0 +1,90 @@
+"""Distribution utilities: summaries, QQ, Gaussianity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import (
+    histogram_density,
+    ks_between,
+    normal_pdf_overlay,
+    qq_data,
+    qq_tail_nonlinearity,
+    summarize,
+)
+
+
+@pytest.fixture()
+def gaussian_sample(rng):
+    return 3.0 + 0.5 * rng.standard_normal(20000)
+
+
+@pytest.fixture()
+def lognormal_sample(rng):
+    return np.exp(0.8 * rng.standard_normal(20000))
+
+
+class TestSummarize:
+    def test_gaussian_moments(self, gaussian_sample):
+        s = summarize(gaussian_sample)
+        assert s.mean == pytest.approx(3.0, abs=0.02)
+        assert s.std == pytest.approx(0.5, rel=0.03)
+        assert abs(s.skewness) < 0.08
+        assert abs(s.excess_kurtosis) < 0.15
+        assert s.ks_statistic < 0.01
+
+    def test_sigma_over_mu(self, gaussian_sample):
+        s = summarize(gaussian_sample)
+        assert s.sigma_over_mu == pytest.approx(0.5 / 3.0, rel=0.05)
+
+    def test_lognormal_flagged_skewed(self, lognormal_sample):
+        s = summarize(lognormal_sample)
+        assert s.skewness > 1.0
+        assert s.ks_statistic > 0.02
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0])
+
+
+class TestHistogramAndOverlay:
+    def test_density_normalized(self, gaussian_sample):
+        centers, density = histogram_density(gaussian_sample, bins=50)
+        width = centers[1] - centers[0]
+        assert np.sum(density) * width == pytest.approx(1.0, rel=1e-6)
+
+    def test_overlay_peaks_at_mean(self, gaussian_sample):
+        grid, pdf = normal_pdf_overlay(gaussian_sample)
+        assert grid[np.argmax(pdf)] == pytest.approx(3.0, abs=0.05)
+
+
+class TestQQ:
+    def test_gaussian_qq_is_linear(self, gaussian_sample):
+        z, x = qq_data(gaussian_sample)
+        slope, intercept = np.polyfit(z, x, 1)
+        assert slope == pytest.approx(0.5, rel=0.03)
+        assert intercept == pytest.approx(3.0, abs=0.02)
+        assert qq_tail_nonlinearity(gaussian_sample) < 0.1
+
+    def test_lognormal_qq_is_curved(self, lognormal_sample):
+        assert qq_tail_nonlinearity(lognormal_sample) > 0.3
+
+    def test_qq_sorted_output(self, gaussian_sample):
+        z, x = qq_data(gaussian_sample)
+        assert np.all(np.diff(z) > 0.0)
+        assert np.all(np.diff(x) >= 0.0)
+
+    def test_qq_too_few_samples(self):
+        with pytest.raises(ValueError):
+            qq_data([1.0, 2.0, 3.0])
+
+
+class TestKSBetween:
+    def test_same_distribution_small(self, rng):
+        a = rng.standard_normal(4000)
+        b = rng.standard_normal(4000)
+        assert ks_between(a, b) < 0.05
+
+    def test_shifted_distribution_large(self, rng):
+        a = rng.standard_normal(4000)
+        b = rng.standard_normal(4000) + 1.0
+        assert ks_between(a, b) > 0.3

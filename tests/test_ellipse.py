@@ -1,0 +1,74 @@
+"""Confidence ellipses for the Fig. 4 scatter overlays."""
+
+import numpy as np
+import pytest
+
+from repro.stats.ellipse import (
+    confidence_ellipse,
+    expected_mahalanobis_fraction,
+    mahalanobis_fraction,
+)
+
+
+@pytest.fixture()
+def correlated_cloud(rng):
+    n = 30000
+    x = rng.standard_normal(n)
+    y = 0.8 * x + 0.6 * rng.standard_normal(n)
+    return 2.0 + 0.5 * x, -1.0 + 0.3 * y
+
+
+class TestEllipseFit:
+    def test_center_is_mean(self, correlated_cloud):
+        x, y = correlated_cloud
+        e = confidence_ellipse(x, y, 1.0)
+        assert e.center[0] == pytest.approx(2.0, abs=0.02)
+        assert e.center[1] == pytest.approx(-1.0, abs=0.02)
+
+    def test_points_shape_and_closure(self, correlated_cloud):
+        x, y = correlated_cloud
+        pts = confidence_ellipse(x, y, 2.0).points(128)
+        assert pts.shape == (128, 2)
+        np.testing.assert_allclose(pts[0], pts[-1], atol=1e-9)
+
+    def test_axes_scale_with_sigma(self, correlated_cloud):
+        x, y = correlated_cloud
+        a1 = confidence_ellipse(x, y, 1.0).axes_lengths[0]
+        a3 = confidence_ellipse(x, y, 3.0).axes_lengths[0]
+        assert a3 == pytest.approx(3.0 * a1, rel=1e-9)
+
+    def test_orientation_tracks_correlation(self, correlated_cloud):
+        x, y = correlated_cloud
+        angle = confidence_ellipse(x, y, 1.0).orientation_deg
+        # Positive correlation: major axis in the first/third quadrant.
+        assert 0.0 < angle % 180.0 < 90.0
+
+    def test_boundary_points_have_constant_mahalanobis(self, correlated_cloud):
+        x, y = correlated_cloud
+        e = confidence_ellipse(x, y, 2.0)
+        pts = e.points(64)
+        inv = np.linalg.inv(e.covariance)
+        diff = pts - np.asarray(e.center)
+        d2 = np.einsum("ni,ij,nj->n", diff, inv, diff)
+        np.testing.assert_allclose(np.sqrt(d2), 2.0, rtol=1e-6)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            confidence_ellipse([1, 2], [3, 4], 1.0)
+        x = rng.standard_normal(100)
+        with pytest.raises(ValueError):
+            confidence_ellipse(x, x, -1.0)
+
+
+class TestMahalanobisCoverage:
+    def test_gaussian_coverage_matches_theory(self, correlated_cloud):
+        x, y = correlated_cloud
+        for k in (1.0, 2.0, 3.0):
+            observed = mahalanobis_fraction(x, y, k)
+            expected = expected_mahalanobis_fraction(k)
+            assert observed == pytest.approx(expected, abs=0.01)
+
+    def test_expected_values(self):
+        assert expected_mahalanobis_fraction(1.0) == pytest.approx(0.3935, abs=1e-3)
+        assert expected_mahalanobis_fraction(2.0) == pytest.approx(0.8647, abs=1e-3)
+        assert expected_mahalanobis_fraction(3.0) == pytest.approx(0.9889, abs=1e-3)

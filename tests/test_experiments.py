@@ -1,0 +1,106 @@
+"""Experiment modules: structure and report rendering (cheap runs only).
+
+The heavy circuit experiments are exercised by the benchmark harness;
+here we cover the device-level experiments end to end plus every
+``report`` renderer's contract (headers, units, row counts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_iv_fit,
+    fig2_bpv_consistency,
+    fig3_idsat_mismatch,
+    fig4_scatter_ellipses,
+    table2_alphas,
+    table3_device_sigma,
+)
+from repro.experiments.common import format_table, si
+
+
+class TestCommonHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # All rows padded to equal width per column.
+        assert lines[2].startswith("1  ")
+
+    def test_si_formatting(self):
+        assert si(5.4e-12, "s") == "5.4 ps"
+        assert si(2.2e-6, "A") == "2.2 uA"
+        assert si(0.0, "V") == "0 V"
+        assert si(1.73e11, "Hz") == "173 GHz"
+
+
+class TestFig1:
+    def test_run_and_report(self):
+        result = fig1_iv_fit.run("nmos")
+        assert result.rms_log_error < 0.15
+        text = fig1_iv_fit.report(result)
+        assert "Fig. 1" in text
+        assert "decades" in text
+
+
+class TestFig2:
+    def test_within_paper_band(self):
+        result = fig2_bpv_consistency.run("nmos")
+        assert result.max_abs_percent < 10.0
+        assert set(result.percent_diff) == {"vt0", "leff", "weff"}
+
+    def test_report_rows_match_widths(self):
+        result = fig2_bpv_consistency.run("pmos")
+        text = fig2_bpv_consistency.report(result)
+        assert text.count("\n") >= len(result.widths_nm) + 2
+
+
+class TestFig3:
+    def test_linear_matches_mc(self):
+        result = fig3_idsat_mismatch.run(n_samples=1200,
+                                         widths_nm=(300.0, 1000.0))
+        np.testing.assert_allclose(result.total_linear, result.total_mc,
+                                   rtol=0.15)
+
+    def test_pelgrom_width_scaling(self):
+        result = fig3_idsat_mismatch.run(n_samples=1200,
+                                         widths_nm=(150.0, 600.0))
+        # 4x area -> 2x smaller relative sigma.
+        assert result.total_linear[0] / result.total_linear[1] == (
+            pytest.approx(2.0, rel=0.2)
+        )
+
+
+class TestFig4:
+    def test_cross_coverage_sane(self):
+        result = fig4_scatter_ellipses.run(n_samples=600)
+        assert 0.9 < result.cross_coverage[3.0] <= 1.0
+        text = fig4_scatter_ellipses.report(result)
+        assert "corr" in text
+
+
+class TestTable2:
+    def test_structure(self):
+        result = table2_alphas.run()
+        for pol in ("nmos", "pmos"):
+            assert result.extracted[pol].alpha1_v_nm > 0.0
+        text = table2_alphas.report(result)
+        assert "alpha4" in text
+
+    def test_extraction_tracks_truth(self):
+        result = table2_alphas.run()
+        for pol in ("nmos", "pmos"):
+            ext = result.extracted[pol]
+            truth = result.truth[pol]
+            assert ext.alpha2_nm == pytest.approx(truth.alpha2_nm, rel=0.25)
+
+
+class TestTable3:
+    def test_sigma_match_and_report(self):
+        result = table3_device_sigma.run(n_samples=1500)
+        assert result.worst_relative_mismatch() < 0.15
+        text = table3_device_sigma.report(result)
+        # 3 device classes x 2 polarities = 6 data rows.
+        assert len(result.rows) == 6
+        assert "paper" in text

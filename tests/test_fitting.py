@@ -1,0 +1,99 @@
+"""Nominal VS extraction (Fig. 1) and target measurement."""
+
+import numpy as np
+import pytest
+
+from repro.data.cards import bsim_nmos_40nm, bsim_pmos_40nm, vs_nmos_40nm, vs_pmos_40nm
+from repro.devices.bsim.model import BSIMDevice
+from repro.devices.vs.model import VSDevice
+from repro.fitting import (
+    cgg_at_vdd,
+    fit_vs_to_reference,
+    idsat,
+    ioff,
+    iv_reference_data,
+    log10_ioff,
+    measure_targets,
+)
+
+VDD = 0.9
+
+
+class TestTargets:
+    def test_idsat_positive_both_polarities(self):
+        n = BSIMDevice(bsim_nmos_40nm())
+        p = BSIMDevice(bsim_pmos_40nm())
+        assert float(idsat(n, VDD)) > 0.0
+        assert float(idsat(p, VDD)) > 0.0
+
+    def test_log10_ioff_consistent(self):
+        n = BSIMDevice(bsim_nmos_40nm())
+        assert float(log10_ioff(n, VDD)) == pytest.approx(
+            np.log10(float(ioff(n, VDD)))
+        )
+
+    def test_cgg_positive(self):
+        n = BSIMDevice(bsim_nmos_40nm())
+        assert float(cgg_at_vdd(n, VDD)) > 0.0
+
+    def test_measure_targets_keys(self):
+        n = BSIMDevice(bsim_nmos_40nm())
+        m = measure_targets(n, VDD)
+        assert set(m) == {"idsat", "log10_ioff", "cgg"}
+
+    def test_pmos_targets_match_folded_nmos_convention(self):
+        p = BSIMDevice(bsim_pmos_40nm())
+        # idsat must equal |Id| at vg=0, vd=0, vs=vdd for PMOS.
+        direct = abs(float(p.ids(0.0, 0.0, VDD)))
+        assert float(idsat(p, VDD)) == pytest.approx(direct)
+
+
+class TestReferenceData:
+    def test_shapes(self):
+        ref = iv_reference_data(BSIMDevice(bsim_nmos_40nm()), VDD, n_gate=21,
+                                n_drain=17)
+        assert ref.id_transfer.shape == (2, 21)
+        assert ref.id_output.shape == (3, 17)
+
+    def test_currents_increase_with_gate_bias(self):
+        ref = iv_reference_data(BSIMDevice(bsim_nmos_40nm()), VDD)
+        assert ref.id_output[-1].max() > ref.id_output[0].max()
+
+
+class TestFit:
+    @pytest.mark.parametrize("polarity", ["nmos", "pmos"])
+    def test_fit_quality(self, polarity):
+        golden = BSIMDevice(
+            bsim_nmos_40nm() if polarity == "nmos" else bsim_pmos_40nm()
+        )
+        start = vs_nmos_40nm() if polarity == "nmos" else vs_pmos_40nm()
+        ref = iv_reference_data(golden, VDD)
+        fit = fit_vs_to_reference(start, ref)
+        # Fig.-1 quality: < 0.1 decade RMS over the transfer curves.
+        assert fit.rms_log_error < 0.1
+
+        fitted = VSDevice(fit.params)
+        m_golden = measure_targets(golden, VDD)
+        m_vs = measure_targets(fitted, VDD)
+        assert float(m_vs["idsat"]) == pytest.approx(
+            float(m_golden["idsat"]), rel=0.05
+        )
+        assert float(m_vs["cgg"]) == pytest.approx(float(m_golden["cgg"]), rel=0.05)
+        assert float(m_vs["log10_ioff"]) == pytest.approx(
+            float(m_golden["log10_ioff"]), abs=0.3
+        )
+
+    def test_fit_rejects_unknown_parameter(self):
+        golden = BSIMDevice(bsim_nmos_40nm())
+        ref = iv_reference_data(golden, VDD)
+        with pytest.raises(KeyError):
+            fit_vs_to_reference(vs_nmos_40nm(), ref, free=("vt0", "bogus"))
+
+    def test_cinv_taken_from_cgg_measurement(self):
+        golden = BSIMDevice(bsim_nmos_40nm())
+        ref = iv_reference_data(golden, VDD)
+        fit = fit_vs_to_reference(vs_nmos_40nm(), ref, set_cinv_from_cgg=True)
+        # Fitted Cinv should land near the golden Cox (same gate stack).
+        assert float(np.asarray(fit.params.cinv_uf_cm2)) == pytest.approx(
+            float(np.asarray(bsim_nmos_40nm().cox_uf_cm2)), rel=0.15
+        )

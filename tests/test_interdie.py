@@ -1,0 +1,71 @@
+"""Inter-die + within-die composition (the Eq. 1 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cells.factory import MonteCarloDeviceFactory
+from repro.data.cards import paper_alphas_nmos, vs_nmos_40nm
+from repro.devices.vs.statistical import StatisticalVSModel
+
+
+@pytest.fixture()
+def model() -> StatisticalVSModel:
+    return StatisticalVSModel(vs_nmos_40nm(), paper_alphas_nmos())
+
+
+class TestExtraDeviations:
+    def test_offsets_shift_the_mean(self, model, rng):
+        offsets = {"vt0": np.full(4000, 0.02)}
+        sample = model.sample(4000, rng, w_nm=600.0, l_nm=40.0,
+                              extra_deviations=offsets)
+        nominal_vt0 = float(np.asarray(model.nominal.vt0))
+        assert np.mean(sample.params.vt0) == pytest.approx(
+            nominal_vt0 + 0.02, abs=2e-3
+        )
+
+    def test_total_variance_adds_in_quadrature(self, model, rng):
+        sigma_inter = 0.02
+        offsets = model.sample_interdie_offsets(
+            20000, rng, {"vt0": sigma_inter}
+        )
+        sample = model.sample(20000, rng, w_nm=600.0, l_nm=40.0,
+                              extra_deviations=offsets)
+        sigma_within = model.sigmas(600.0, 40.0)["vt0"]
+        expected = np.hypot(sigma_inter, sigma_within)
+        assert np.std(sample.params.vt0, ddof=1) == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_unknown_parameter_rejected(self, model, rng):
+        with pytest.raises(KeyError):
+            model.sample(10, rng, extra_deviations={"vxo": np.zeros(10)})
+        with pytest.raises(KeyError):
+            model.sample_interdie_offsets(10, rng, {"beta": 1.0})
+
+
+class TestFactoryInterdie:
+    def test_die_offset_shared_across_instances(self, technology):
+        factory = MonteCarloDeviceFactory(
+            technology, 300, model="vs", seed=3,
+            interdie_sigma={"vt0": 0.03},
+        )
+        d1 = factory("nmos", 300.0, 40.0)
+        d2 = factory("nmos", 300.0, 40.0)
+        # Within-die draws are independent, but the shared die offset
+        # correlates the two instances strongly (sigma_inter=30 mV vs
+        # within ~21 mV at 300x40).
+        r = np.corrcoef(np.asarray(d1.params.vt0), np.asarray(d2.params.vt0))[0, 1]
+        assert r > 0.5
+
+    def test_without_interdie_instances_uncorrelated(self, technology):
+        factory = MonteCarloDeviceFactory(technology, 300, model="vs", seed=3)
+        d1 = factory("nmos", 300.0, 40.0)
+        d2 = factory("nmos", 300.0, 40.0)
+        r = np.corrcoef(np.asarray(d1.params.vt0), np.asarray(d2.params.vt0))[0, 1]
+        assert abs(r) < 0.2
+
+    def test_interdie_requires_vs_model(self, technology):
+        with pytest.raises(ValueError):
+            MonteCarloDeviceFactory(
+                technology, 10, model="bsim", interdie_sigma={"vt0": 0.02}
+            )

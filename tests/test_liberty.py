@@ -1,0 +1,52 @@
+"""Liberty writer: structure and value round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.charlib.characterize import CellTiming
+from repro.charlib.liberty import write_liberty
+from repro.charlib.tables import LookupTable2D
+
+
+@pytest.fixture()
+def timing() -> CellTiming:
+    slews = np.array([5e-12, 20e-12])
+    loads = np.array([1e-15, 4e-15])
+    delay = LookupTable2D(slews, loads, [[5e-12, 8e-12], [7e-12, 11e-12]])
+    tran = LookupTable2D(slews, loads, [[4e-12, 9e-12], [6e-12, 12e-12]])
+    return CellTiming(
+        name="INV_X2",
+        vdd=0.9,
+        delay={"tphl": delay, "tplh": delay},
+        transition={"tphl": tran, "tplh": tran},
+    )
+
+
+class TestLibertyWriter:
+    def test_library_structure(self, timing):
+        text = write_liberty([timing], library_name="testlib")
+        assert text.startswith("library (testlib) {")
+        assert "cell (INV_X2) {" in text
+        assert text.rstrip().endswith("}")
+        assert text.count("{") == text.count("}")
+
+    def test_all_groups_present(self, timing):
+        text = write_liberty([timing])
+        for group in ("cell_fall", "cell_rise", "fall_transition",
+                      "rise_transition"):
+            assert f"{group} (delay_template)" in text
+
+    def test_unit_conversion(self, timing):
+        text = write_liberty([timing])
+        # 5 ps = 0.005 ns; 1 fF = 0.001 pF.
+        assert "0.005" in text
+        assert "0.001" in text
+
+    def test_negative_unate_inverter(self, timing):
+        text = write_liberty([timing])
+        assert "timing_sense : negative_unate;" in text
+        assert 'function : "(!A)";' in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            write_liberty([])

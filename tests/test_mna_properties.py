@@ -1,0 +1,121 @@
+"""Property-based validation of the MNA engine against graph theory.
+
+A purely resistive network's node voltages obey the weighted graph
+Laplacian; networkx provides an independent construction.  Hypothesis
+drives random network topologies and values through both paths.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit, GROUND, DC, dc_operating_point
+
+
+def solve_with_networkx(edges, source_node, v_source):
+    """Reference solution via the weighted Laplacian."""
+    graph = nx.Graph()
+    for (a, b, r) in edges:
+        if graph.has_edge(a, b):
+            # Parallel resistors combine.
+            g_existing = graph[a][b]["weight"]
+            graph[a][b]["weight"] = g_existing + 1.0 / r
+        else:
+            graph.add_edge(a, b, weight=1.0 / r)
+    nodes = sorted(graph.nodes)
+    laplacian = nx.laplacian_matrix(graph, nodelist=nodes, weight="weight")
+    laplacian = laplacian.toarray().astype(float)
+
+    # Dirichlet conditions: ground at 0, source at v_source.
+    fixed = {0: 0.0, source_node: v_source}
+    free = [n for n in nodes if n not in fixed]
+    if not free:
+        return {}
+    idx = {n: i for i, n in enumerate(nodes)}
+    free_idx = [idx[n] for n in free]
+    fixed_idx = [idx[n] for n in fixed]
+    fixed_vals = np.array([fixed[n] for n in fixed])
+
+    a_ff = laplacian[np.ix_(free_idx, free_idx)]
+    a_fc = laplacian[np.ix_(free_idx, fixed_idx)]
+    v_free = np.linalg.solve(a_ff, -a_fc @ fixed_vals)
+    return dict(zip(free, v_free))
+
+
+@st.composite
+def resistor_networks(draw):
+    """Random connected resistor networks touching ground and a source."""
+    n_nodes = draw(st.integers(3, 7))
+    extra_edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_nodes - 1),
+                st.integers(0, n_nodes - 1),
+            ),
+            max_size=8,
+        )
+    )
+    resist = st.floats(10.0, 1e5)
+    edges = []
+    # Spanning chain guarantees connectivity 0-1-2-...-(n-1).
+    for k in range(n_nodes - 1):
+        edges.append((k, k + 1, draw(resist)))
+    for (a, b) in extra_edges:
+        if a != b:
+            edges.append((a, b, draw(resist)))
+    v_source = draw(st.floats(-5.0, 5.0))
+    return n_nodes, edges, v_source
+
+
+class TestAgainstLaplacian:
+    @given(network=resistor_networks())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_graph_laplacian(self, network):
+        n_nodes, edges, v_source = network
+        source_node = n_nodes - 1
+
+        ckt = Circuit()
+        ckt.add_vsource(f"n{source_node}", GROUND, DC(v_source), name="VS")
+        for k, (a, b, r) in enumerate(edges):
+            na = GROUND if a == 0 else f"n{a}"
+            nb = GROUND if b == 0 else f"n{b}"
+            ckt.add_resistor(na, nb, r, name=f"R{k}")
+        solution = dc_operating_point(ckt)
+
+        expected = solve_with_networkx(edges, source_node, v_source)
+        for node, v_expected in expected.items():
+            v_actual = solution[ckt.index_of(f"n{node}")]
+            assert v_actual == pytest.approx(v_expected, abs=2e-4)
+
+    @given(
+        r1=st.floats(10.0, 1e5),
+        r2=st.floats(10.0, 1e5),
+        v=st.floats(-10.0, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_divider_property(self, r1, r2, v):
+        ckt = Circuit()
+        ckt.add_vsource("a", GROUND, DC(v), name="V1")
+        ckt.add_resistor("a", "b", r1)
+        ckt.add_resistor("b", GROUND, r2)
+        sol = dc_operating_point(ckt)
+        assert sol[ckt.index_of("b")] == pytest.approx(
+            v * r2 / (r1 + r2), abs=1e-5 + 1e-4 * abs(v)
+        )
+
+    @given(
+        resistances=st.lists(st.floats(100.0, 1e4), min_size=2, max_size=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_resistors_combine(self, resistances):
+        ckt = Circuit()
+        ckt.add_vsource("a", GROUND, DC(1.0), name="V1")
+        for k, r in enumerate(resistances):
+            ckt.add_resistor("a", GROUND, r, name=f"R{k}")
+        sol = dc_operating_point(ckt)
+        g_total = sum(1.0 / r for r in resistances)
+        # Source supplies V * G_total.
+        assert -sol[ckt["V1"].branch_index] == pytest.approx(
+            g_total, rel=1e-4
+        )

@@ -1,0 +1,88 @@
+"""Device-level Monte-Carlo engines: seeding, shapes, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.cards import (
+    bsim_nmos_40nm,
+    ground_truth_mismatch_nmos,
+    paper_alphas_nmos,
+    vs_nmos_40nm,
+)
+from repro.devices.bsim.mismatch import BSIMMismatch
+from repro.devices.vs.statistical import StatisticalVSModel
+from repro.stats.montecarlo import (
+    golden_sigmas_by_geometry,
+    golden_target_samples,
+    vs_target_samples,
+)
+
+VDD = 0.9
+
+
+@pytest.fixture()
+def mismatch():
+    return BSIMMismatch(bsim_nmos_40nm(), ground_truth_mismatch_nmos())
+
+
+@pytest.fixture()
+def stat_model():
+    return StatisticalVSModel(vs_nmos_40nm(), paper_alphas_nmos())
+
+
+class TestTargetSamples:
+    def test_sample_shapes(self, mismatch, rng):
+        s = golden_target_samples(mismatch, 600.0, 40.0, VDD, 500, rng)
+        for target in ("idsat", "log10_ioff", "cgg"):
+            assert s.samples[target].shape == (500,)
+
+    def test_seeded_reproducibility(self, mismatch):
+        a = golden_target_samples(mismatch, 600.0, 40.0, VDD, 300,
+                                  np.random.default_rng(5))
+        b = golden_target_samples(mismatch, 600.0, 40.0, VDD, 300,
+                                  np.random.default_rng(5))
+        np.testing.assert_array_equal(a.samples["idsat"], b.samples["idsat"])
+
+    def test_sigma_uses_ddof1(self, mismatch, rng):
+        s = golden_target_samples(mismatch, 600.0, 40.0, VDD, 200, rng)
+        manual = float(np.std(s.samples["idsat"], ddof=1))
+        assert s.sigma("idsat") == pytest.approx(manual)
+
+    def test_vs_samples_same_interface(self, stat_model, rng):
+        s = vs_target_samples(stat_model, 600.0, 40.0, VDD, 400, rng)
+        assert s.w_nm == 600.0
+        assert set(s.sigmas()) == {"idsat", "log10_ioff", "cgg"}
+
+    def test_golden_sigmas_by_geometry(self, mismatch, rng):
+        geos = ((600.0, 40.0), (120.0, 40.0))
+        result = golden_sigmas_by_geometry(mismatch, geos, VDD, 400, rng)
+        assert set(result) == set(geos)
+        # Smaller device: larger relative Idsat sigma but smaller absolute
+        # (less current); leakage sigma is cleanly ordered.
+        assert result[(120.0, 40.0)]["log10_ioff"] > result[(600.0, 40.0)][
+            "log10_ioff"
+        ]
+
+
+class TestStatisticalConsistency:
+    def test_idsat_gaussianish(self, stat_model, rng):
+        from repro.stats.distributions import summarize
+
+        s = vs_target_samples(stat_model, 600.0, 40.0, VDD, 5000, rng)
+        stats = summarize(s.samples["idsat"])
+        assert abs(stats.skewness) < 0.3
+
+    def test_log_ioff_gaussianish_but_raw_ioff_not(self, stat_model, rng):
+        from repro.stats.distributions import summarize
+
+        s = vs_target_samples(stat_model, 120.0, 40.0, VDD, 5000, rng)
+        log_stats = summarize(s.samples["log10_ioff"])
+        raw_stats = summarize(np.power(10.0, s.samples["log10_ioff"]))
+        assert abs(log_stats.skewness) < 0.4
+        assert raw_stats.skewness > 1.0
+
+    def test_ion_ioff_positively_correlated(self, stat_model, rng):
+        # Both driven by VT0: a fast device leaks more.
+        s = vs_target_samples(stat_model, 600.0, 40.0, VDD, 5000, rng)
+        r = np.corrcoef(s.samples["idsat"], s.samples["log10_ioff"])[0, 1]
+        assert r > 0.5

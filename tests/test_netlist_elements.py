@@ -1,0 +1,147 @@
+"""Netlist construction and element stamp mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import Capacitor, MOSFET, Resistor, VoltageSource
+from repro.circuit.mna import NewtonOptions, System
+from repro.circuit.netlist import Circuit, GROUND
+from repro.circuit.waveforms import DC
+from repro.data.cards import vs_nmos_40nm
+from repro.devices.vs.model import VSDevice
+
+
+class TestCircuitNodes:
+    def test_ground_is_minus_one(self):
+        ckt = Circuit()
+        assert ckt.node(GROUND) == -1
+
+    def test_nodes_numbered_in_order(self):
+        ckt = Circuit()
+        assert ckt.node("a") == 0
+        assert ckt.node("b") == 1
+        assert ckt.node("a") == 0  # idempotent
+        assert ckt.node_names == ["a", "b"]
+
+    def test_index_of_unknown_node_raises(self):
+        ckt = Circuit()
+        with pytest.raises(KeyError):
+            ckt.index_of("nope")
+
+    def test_element_lookup_by_name(self):
+        ckt = Circuit()
+        r = ckt.add_resistor("a", "b", 10.0, name="R1")
+        assert ckt["R1"] is r
+
+    def test_assign_branches_counts_sources(self):
+        ckt = Circuit()
+        ckt.add_vsource("a", GROUND, DC(1.0), name="V1")
+        ckt.add_vsource("b", GROUND, DC(2.0), name="V2")
+        ckt.add_resistor("a", "b", 1.0)
+        n = ckt.assign_branches()
+        assert n == 2 + 2  # two nodes + two branch currents
+        assert ckt["V1"].branch_index == 2
+        assert ckt["V2"].branch_index == 3
+
+    def test_vsources_and_mosfets_listing(self):
+        ckt = Circuit()
+        ckt.add_vsource("a", GROUND, DC(1.0), name="V1")
+        ckt.add_mosfet(VSDevice(vs_nmos_40nm()), d="a", g="a", s=GROUND,
+                       name="M1")
+        assert len(ckt.vsources()) == 1
+        assert len(ckt.mosfets()) == 1
+
+    def test_batch_shape_from_device(self):
+        ckt = Circuit()
+        card = vs_nmos_40nm().replace(vt0=np.full(9, 0.42))
+        ckt.add_mosfet(VSDevice(card), d="a", g="b", s=GROUND)
+        assert ckt.batch_shape == (9,)
+
+    def test_numeric_waveform_coerced_to_dc(self):
+        ckt = Circuit()
+        src = ckt.add_vsource("a", GROUND, 1.5, name="V1")
+        assert isinstance(src.waveform, DC)
+        assert float(src.waveform.value(0.0)) == 1.5
+
+
+class TestSystemAccumulator:
+    def test_ground_contributions_discarded(self):
+        sys = System((), 2)
+        sys.add_f(-1, 5.0)
+        sys.add_j(-1, 0, 1.0)
+        sys.add_j(0, -1, 1.0)
+        assert np.all(sys.residual == 0.0)
+        assert np.all(sys.jacobian == 0.0)
+
+    def test_accumulation(self):
+        sys = System((), 2)
+        sys.add_f(1, 2.0)
+        sys.add_f(1, 3.0)
+        assert sys.residual[1] == 5.0
+
+    def test_batched_shape(self):
+        sys = System((7,), 3)
+        assert sys.jacobian.shape == (7, 3, 3)
+        sys.add_f(0, np.arange(7.0))
+        assert sys.residual[3, 0] == 3.0
+
+
+class TestElementStamps:
+    def test_resistor_stamp_symmetry(self):
+        sys = System((), 2)
+        r = Resistor(0, 1, 100.0)
+        v = np.array([1.0, 0.0])
+        r.stamp_static(sys, v, 0.0)
+        g = 1.0 / 100.0
+        assert sys.jacobian[0, 0] == pytest.approx(g)
+        assert sys.jacobian[0, 1] == pytest.approx(-g)
+        assert sys.residual[0] == pytest.approx(g * 1.0)
+        assert sys.residual[1] == pytest.approx(-g * 1.0)
+
+    def test_capacitor_charge_vector(self):
+        c = Capacitor(0, 1, 2e-15)
+        v = np.array([0.5, 0.1])
+        q = c.charge_vector(v)
+        assert q[0] == pytest.approx(2e-15 * 0.4)
+        assert q[1] == pytest.approx(-2e-15 * 0.4)
+
+    def test_capacitor_jacobian(self):
+        c = Capacitor(0, 1, 3e-15)
+        v = np.zeros(2)
+        jac = c.charge_jacobian(v)
+        assert jac[0, 0] == pytest.approx(3e-15)
+        assert jac[0, 1] == pytest.approx(-3e-15)
+
+    def test_capacitor_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Capacitor(0, 1, -1e-15)
+
+    def test_vsource_unassigned_branch_raises(self):
+        src = VoltageSource(0, -1, DC(1.0))
+        sys = System((), 2)
+        with pytest.raises(RuntimeError):
+            src.stamp_static(sys, np.zeros(2), 0.0)
+
+    def test_mosfet_charge_conservation_in_stamps(self):
+        device = VSDevice(vs_nmos_40nm())
+        m = MOSFET(0, 1, -1, device)  # d=node0, g=node1, s=gnd
+        v = np.array([0.6, 0.9])
+        q = m.charge_vector(v)
+        assert float(q.sum()) == pytest.approx(0.0, abs=1e-20)
+
+    def test_mosfet_kcl_stamp_rows_balance(self):
+        device = VSDevice(vs_nmos_40nm())
+        m = MOSFET(0, 1, 2, device)
+        sys = System((), 3)
+        v = np.array([0.9, 0.9, 0.0])
+        m.stamp_nonlinear(sys, v)
+        # Drain and source rows carry equal and opposite current.
+        assert sys.residual[0] == pytest.approx(-sys.residual[2])
+        assert sys.residual[1] == 0.0  # no gate current in DC
+
+
+class TestNewtonOptions:
+    def test_defaults(self):
+        opts = NewtonOptions()
+        assert opts.max_iterations == 80
+        assert opts.gmin > 0.0

@@ -1,0 +1,86 @@
+"""Pelgrom scaling (Eq. 7-8) and the within/inter-die split (Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.pelgrom import (
+    PARAMETER_ORDER,
+    PelgromAlphas,
+    pelgrom_sigmas,
+    scaling_vector,
+    within_die_variance_split,
+)
+
+
+@pytest.fixture()
+def alphas() -> PelgromAlphas:
+    return PelgromAlphas(2.3, 3.71, 3.71, 944.0, 0.29)
+
+
+class TestScalingVector:
+    def test_area_law_for_vt0(self):
+        s1 = scaling_vector(600.0, 40.0)
+        s2 = scaling_vector(2400.0, 40.0)  # 4x area
+        assert s1[0] / s2[0] == pytest.approx(2.0)
+
+    def test_length_width_factors(self):
+        s = scaling_vector(600.0, 40.0)
+        assert s[1] == pytest.approx(np.sqrt(40.0 / 600.0))
+        assert s[2] == pytest.approx(np.sqrt(600.0 / 40.0))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaling_vector(0.0, 40.0)
+
+    @given(w=st.floats(50.0, 5000.0), l=st.floats(20.0, 500.0))
+    @settings(max_examples=50, deadline=None)
+    def test_relative_ler_obeys_area_law(self, w, l):
+        # sigma_L / L and sigma_W / W both scale as 1/sqrt(WL).
+        s = scaling_vector(w, l)
+        assert s[1] / l == pytest.approx(1.0 / np.sqrt(w * l))
+        assert s[2] / w == pytest.approx(1.0 / np.sqrt(w * l))
+
+
+class TestPelgromSigmas:
+    def test_paper_medium_device(self, alphas):
+        # alpha1 = 2.3 V nm at 600x40: sigma_VT0 ~ 14.8 mV.
+        sig = pelgrom_sigmas(alphas, 600.0, 40.0)
+        assert sig["vt0"] == pytest.approx(2.3 / np.sqrt(24000.0), rel=1e-9)
+        assert sig["vt0"] == pytest.approx(0.01485, rel=1e-2)
+
+    def test_all_parameters_present(self, alphas):
+        sig = pelgrom_sigmas(alphas, 300.0, 40.0)
+        assert set(sig) == set(PARAMETER_ORDER)
+
+    def test_ler_symmetry(self, alphas):
+        # With alpha2 = alpha3: sigma_L / sigma_W = L / W (paper Sec. III).
+        sig = pelgrom_sigmas(alphas, 600.0, 40.0)
+        assert sig["leff"] / sig["weff"] == pytest.approx(40.0 / 600.0)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            pelgrom_sigmas(PelgromAlphas(-1.0, 3.7, 3.7, 900.0, 0.3), 600.0, 40.0)
+
+    def test_tied_ler_constructor(self):
+        a = PelgromAlphas(2.3, 3.71, 9.99, 944.0, 0.29).with_tied_ler()
+        assert a.alpha3_nm == a.alpha2_nm
+
+
+class TestVarianceSplit:
+    def test_pythagorean(self):
+        assert within_die_variance_split(5.0, 3.0) == pytest.approx(4.0)
+
+    def test_zero_within(self):
+        assert within_die_variance_split(2.0, 0.0) == pytest.approx(2.0)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            within_die_variance_split(1.0, 2.0)
+
+    @given(total=st.floats(0.1, 10.0), frac=st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, total, frac):
+        within = frac * total
+        inter = within_die_variance_split(total, within)
+        assert inter**2 + within**2 == pytest.approx(total**2, rel=1e-9)

@@ -1,0 +1,75 @@
+"""End-to-end characterization flow and its headline claims."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import characterize_polarity
+from repro.stats.montecarlo import golden_target_samples, vs_target_samples
+
+
+class TestCharacterization:
+    def test_polarity_validation(self):
+        with pytest.raises(ValueError):
+            characterize_polarity("cmos")
+
+    def test_fit_quality_recorded(self, technology):
+        assert technology.nmos.fit.rms_log_error < 0.1
+        assert technology.pmos.fit.rms_log_error < 0.1
+
+    def test_alphas_land_near_ground_truth(self, technology):
+        # BPV should recover the synthetic fab's coefficients to ~20 %
+        # (the extraction is model-mediated, not a direct read-out).
+        for char, truth_avt in ((technology.nmos, 2.3), (technology.pmos, 2.86)):
+            a = char.bpv.alphas
+            assert a.alpha1_v_nm == pytest.approx(truth_avt, rel=0.25)
+            assert a.alpha2_nm == pytest.approx(3.7, rel=0.25)
+            assert a.alpha4_nm_cm2 > 0.0
+
+    def test_bpv_reconstructs_measured_sigmas(self, technology):
+        assert technology.nmos.bpv.max_sigma_error() < 0.10
+        assert technology.pmos.bpv.max_sigma_error() < 0.10
+
+    def test_table3_sigma_match(self, technology):
+        # The headline validation: VS MC sigmas match golden MC sigmas
+        # for Idsat and log10(Ioff) across wide/medium/short devices.
+        char = technology.nmos
+        for w in (1500.0, 600.0, 120.0):
+            g = golden_target_samples(
+                char.golden_mismatch, w, 40.0, 0.9, 3000,
+                np.random.default_rng(21),
+            )
+            v = vs_target_samples(
+                char.statistical, w, 40.0, 0.9, 3000, np.random.default_rng(22)
+            )
+            assert v.sigma("idsat") == pytest.approx(g.sigma("idsat"), rel=0.1)
+            assert v.sigma("log10_ioff") == pytest.approx(
+                g.sigma("log10_ioff"), rel=0.1
+            )
+
+    def test_sigma_ordering_with_width(self, technology):
+        # Pelgrom: smaller devices fluctuate more (relative).
+        char = technology.nmos
+        sigmas = []
+        for w in (1500.0, 600.0, 120.0):
+            v = vs_target_samples(
+                char.statistical, w, 40.0, 0.9, 2000, np.random.default_rng(5)
+            )
+            sigmas.append(v.sigma("idsat") / v.mean("idsat"))
+        assert sigmas[0] < sigmas[1] < sigmas[2]
+
+    def test_means_match_between_models(self, technology):
+        char = technology.nmos
+        g = golden_target_samples(
+            char.golden_mismatch, 600.0, 40.0, 0.9, 2000,
+            np.random.default_rng(31),
+        )
+        v = vs_target_samples(
+            char.statistical, 600.0, 40.0, 0.9, 2000, np.random.default_rng(32)
+        )
+        assert v.mean("idsat") == pytest.approx(g.mean("idsat"), rel=0.05)
+        assert v.mean("log10_ioff") == pytest.approx(g.mean("log10_ioff"), abs=0.3)
+
+    def test_technology_getitem(self, technology):
+        assert technology["nmos"] is technology.nmos
+        with pytest.raises(KeyError):
+            technology["finfet"]

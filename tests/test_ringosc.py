@@ -1,0 +1,47 @@
+"""Ring oscillator cell."""
+
+import numpy as np
+import pytest
+
+from repro.cells import MonteCarloDeviceFactory, NominalDeviceFactory
+from repro.cells.ringosc import RingOscSpec, ring_frequency
+
+
+class TestSpec:
+    def test_rejects_even_stage_count(self):
+        with pytest.raises(ValueError):
+            RingOscSpec(n_stages=4)
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ValueError):
+            RingOscSpec(n_stages=1)
+
+
+class TestOscillation:
+    @pytest.fixture(scope="class")
+    def nominal(self, technology):
+        return NominalDeviceFactory(technology, "vs")
+
+    def test_frequency_decade(self, nominal):
+        f = ring_frequency(nominal, RingOscSpec(n_stages=5))
+        # 5-stage 40-nm ring: tens of GHz.
+        assert 5e9 < float(f) < 2e11
+
+    def test_longer_ring_is_slower(self, nominal):
+        f5 = ring_frequency(nominal, RingOscSpec(n_stages=5))
+        f7 = ring_frequency(
+            nominal, RingOscSpec(n_stages=7),
+            n_periods=4.0,
+        )
+        # Period scales with stage count: f7 ~ (5/7) f5.
+        assert float(f7) == pytest.approx(float(f5) * 5.0 / 7.0, rel=0.15)
+
+    def test_monte_carlo_spread(self, technology):
+        mc = MonteCarloDeviceFactory(technology, 20, model="vs", seed=13)
+        f = ring_frequency(mc)
+        assert f.shape == (20,)
+        assert np.isnan(f).sum() == 0
+        rel = np.std(f, ddof=1) / np.mean(f)
+        # Per-stage variation averages over 2N transitions: small but
+        # nonzero relative spread.
+        assert 0.003 < rel < 0.2

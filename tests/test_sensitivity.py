@@ -1,0 +1,109 @@
+"""Sensitivity extraction: signs, linearity, consistency with MC."""
+
+import numpy as np
+import pytest
+
+from repro.data.cards import vs_nmos_40nm
+from repro.fitting.targets import TARGET_ORDER
+from repro.stats.pelgrom import PARAMETER_ORDER
+from repro.stats.sensitivity import (
+    propagate_variance,
+    vs_sensitivities,
+)
+
+VDD = 0.9
+
+
+@pytest.fixture(scope="module")
+def sens():
+    return vs_sensitivities(vs_nmos_40nm(), 600.0, 40.0, VDD)
+
+
+class TestSensitivityMatrix:
+    def test_shape_and_labels(self, sens):
+        assert sens.matrix.shape == (len(TARGET_ORDER), len(PARAMETER_ORDER))
+        assert sens.targets == TARGET_ORDER
+        assert sens.parameters == PARAMETER_ORDER
+
+    def test_idsat_decreases_with_vt0(self, sens):
+        assert sens.entry("idsat", "vt0") < 0.0
+
+    def test_ioff_decreases_with_vt0(self, sens):
+        # One volt of VT shift kills many decades of leakage.
+        s = sens.entry("log10_ioff", "vt0")
+        assert s < -5.0
+
+    def test_idsat_increases_with_width(self, sens):
+        assert sens.entry("idsat", "weff") > 0.0
+
+    def test_idsat_increases_with_mobility(self, sens):
+        assert sens.entry("idsat", "mu") > 0.0
+
+    def test_cgg_insensitive_to_vt0(self, sens):
+        # The (near-)zero entry of Eq. 10's third row: gate cap at Vdd
+        # barely cares about threshold (device deep in inversion).  A
+        # full 100 mV threshold shift must move Cgg by well under 1 %.
+        s_vt = abs(sens.entry("cgg", "vt0"))
+        cgg_nominal = sens.nominal_targets["cgg"]
+        assert s_vt * 0.1 < 0.01 * cgg_nominal
+
+    def test_cgg_scales_with_area_parameters(self, sens):
+        assert sens.entry("cgg", "weff") > 0.0
+        assert sens.entry("cgg", "leff") > 0.0
+        assert sens.entry("cgg", "cinv") > 0.0
+
+    def test_ioff_increases_with_shorter_channel(self, sens):
+        # Shorter Leff -> stronger DIBL -> exponentially more leakage.
+        assert sens.entry("log10_ioff", "leff") < 0.0
+
+    def test_linearity_of_targets(self):
+        # BPV assumes local linearity: the sensitivity predicts a +/- 2
+        # sigma excursion within a few percent.
+        from repro.devices.vs.statistical import apply_deviations
+        from repro.stats.sensitivity import target_vector
+
+        nominal = vs_nmos_40nm()
+        s = vs_sensitivities(nominal, 600.0, 40.0, VDD)
+        base = target_vector(
+            apply_deviations(nominal, 600.0, 40.0, {}), VDD, TARGET_ORDER
+        )
+        dv = 0.015  # ~ one sigma of VT0 at this geometry
+        shifted = target_vector(
+            apply_deviations(nominal, 600.0, 40.0, {"vt0": dv}), VDD, TARGET_ORDER
+        )
+        idx = TARGET_ORDER.index("idsat")
+        predicted_idsat = base[idx] + s.entry("idsat", "vt0") * dv
+        assert shifted[idx] == pytest.approx(predicted_idsat, rel=0.05)
+
+
+class TestPropagateVariance:
+    def test_quadrature_sum(self, sens):
+        sig = propagate_variance(sens, {"vt0": 0.01})
+        expected = abs(sens.entry("idsat", "vt0")) * 0.01
+        assert sig["idsat"] == pytest.approx(expected, rel=1e-9)
+
+    def test_two_parameters_add_in_quadrature(self, sens):
+        a = propagate_variance(sens, {"vt0": 0.01})["idsat"]
+        b = propagate_variance(sens, {"mu": 5.0})["idsat"]
+        both = propagate_variance(sens, {"vt0": 0.01, "mu": 5.0})["idsat"]
+        assert both == pytest.approx(np.hypot(a, b), rel=1e-9)
+
+    def test_missing_parameters_contribute_zero(self, sens):
+        sig = propagate_variance(sens, {})
+        assert all(v == 0.0 for v in sig.values())
+
+    def test_forward_propagation_matches_monte_carlo(self, rng):
+        # Eq. 9 check: linear propagation ~= MC sigma for small sigmas.
+        from repro.devices.vs.model import VSDevice
+        from repro.devices.vs.statistical import apply_deviations
+        from repro.fitting.targets import idsat as idsat_of
+
+        nominal = vs_nmos_40nm()
+        s = vs_sensitivities(nominal, 600.0, 40.0, VDD)
+        sigma_vt = 0.012
+        predicted = propagate_variance(s, {"vt0": sigma_vt})["idsat"]
+
+        deviations = {"vt0": sigma_vt * rng.standard_normal(4000)}
+        card = apply_deviations(nominal, 600.0, 40.0, deviations)
+        samples = idsat_of(VSDevice(card), VDD)
+        assert np.std(samples, ddof=1) == pytest.approx(predicted, rel=0.1)

@@ -1,0 +1,143 @@
+"""SSTA: delay models, timing graph, and both engines."""
+
+import numpy as np
+import pytest
+
+from repro.ssta import (
+    EmpiricalDelay,
+    FixedDelay,
+    GaussianDelay,
+    TimingGraph,
+    clark_arrival,
+    monte_carlo_arrival,
+)
+
+
+class TestDelayModels:
+    def test_fixed(self, rng):
+        d = FixedDelay(5.0)
+        assert d.mean == 5.0
+        assert d.variance == 0.0
+        np.testing.assert_array_equal(d.draw(4, rng), np.full(4, 5.0))
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedDelay(-1.0)
+
+    def test_gaussian_moments(self, rng):
+        d = GaussianDelay(10.0, 2.0)
+        draws = d.draw(50000, rng)
+        assert np.mean(draws) == pytest.approx(10.0, abs=0.05)
+        assert np.std(draws, ddof=1) == pytest.approx(2.0, rel=0.02)
+
+    def test_empirical_preserves_shape(self, rng):
+        skewed = np.exp(rng.standard_normal(5000))
+        d = EmpiricalDelay(skewed)
+        draws = d.draw(20000, rng)
+        from scipy import stats as sps
+
+        assert sps.skew(draws) == pytest.approx(sps.skew(skewed), rel=0.3)
+
+    def test_empirical_gaussian_twin(self, rng):
+        samples = 3.0 + 0.5 * rng.standard_normal(2000)
+        twin = EmpiricalDelay(samples).gaussian_twin()
+        assert twin.mu == pytest.approx(3.0, abs=0.05)
+        assert twin.sigma == pytest.approx(0.5, rel=0.1)
+
+    def test_empirical_needs_samples(self):
+        with pytest.raises(ValueError):
+            EmpiricalDelay([1.0, 2.0])
+
+
+class TestTimingGraph:
+    def test_cycle_rejected(self):
+        g = TimingGraph()
+        g.add_arc("a", "b", FixedDelay(1.0))
+        g.add_arc("b", "c", FixedDelay(1.0))
+        with pytest.raises(ValueError):
+            g.add_arc("c", "a", FixedDelay(1.0))
+
+    def test_delay_type_checked(self):
+        g = TimingGraph()
+        with pytest.raises(TypeError):
+            g.add_arc("a", "b", 1.0)
+
+    def test_chain_builder(self):
+        g = TimingGraph.chain([FixedDelay(1.0), FixedDelay(2.0)])
+        assert set(g.nodes) == {"n0", "n1", "n2"}
+
+    def test_critical_path(self):
+        g = TimingGraph.parallel_chains(
+            [
+                [FixedDelay(1.0), FixedDelay(1.0)],       # total 2
+                [FixedDelay(5.0)],                        # total 5
+            ]
+        )
+        path = g.critical_path("src", "snk")
+        assert path == ["src", "c1_0", "snk"]  # the single 5 ns arc wins
+
+    def test_endpoint_validation(self):
+        g = TimingGraph.chain([FixedDelay(1.0)])
+        with pytest.raises(KeyError):
+            g.validate_endpoints("n0", "zz")
+
+
+class TestEngines:
+    def test_chain_sums_deterministic(self, rng):
+        g = TimingGraph.chain([FixedDelay(1.0), FixedDelay(2.5)])
+        samples = monte_carlo_arrival(g, "n0", "n2", 100, rng)
+        np.testing.assert_allclose(samples, 3.5)
+        analytic = clark_arrival(g, "n0", "n2")
+        assert analytic.mean == pytest.approx(3.5)
+        assert analytic.sigma == pytest.approx(0.0)
+
+    def test_chain_variance_adds(self, rng):
+        g = TimingGraph.chain(
+            [GaussianDelay(1.0, 0.1), GaussianDelay(2.0, 0.2)]
+        )
+        analytic = clark_arrival(g, "n0", "n2")
+        assert analytic.mean == pytest.approx(3.0)
+        assert analytic.variance == pytest.approx(0.05)
+        mc = monte_carlo_arrival(g, "n0", "n2", 60000, rng)
+        assert np.std(mc, ddof=1) == pytest.approx(analytic.sigma, rel=0.02)
+
+    def test_max_of_identical_gaussians(self, rng):
+        # Known result: E[max(X1, X2)] = mu + sigma/sqrt(pi) for iid.
+        g = TimingGraph.parallel_chains(
+            [[GaussianDelay(5.0, 1.0)], [GaussianDelay(5.0, 1.0)]]
+        )
+        analytic = clark_arrival(g, "src", "snk")
+        assert analytic.mean == pytest.approx(5.0 + 1.0 / np.sqrt(np.pi),
+                                              rel=1e-6)
+        mc = monte_carlo_arrival(g, "src", "snk", 80000, rng)
+        assert np.mean(mc) == pytest.approx(analytic.mean, rel=0.01)
+
+    def test_clark_matches_mc_for_gaussian_arcs(self, rng):
+        chains = [
+            [GaussianDelay(2.0, 0.3), GaussianDelay(3.0, 0.4)],
+            [GaussianDelay(4.5, 0.5)],
+            [GaussianDelay(1.0, 0.2), GaussianDelay(2.0, 0.2),
+             GaussianDelay(2.0, 0.2)],
+        ]
+        g = TimingGraph.parallel_chains(chains)
+        analytic = clark_arrival(g, "src", "snk")
+        mc = monte_carlo_arrival(g, "src", "snk", 60000, rng)
+        assert np.mean(mc) == pytest.approx(analytic.mean, rel=0.02)
+        assert np.std(mc, ddof=1) == pytest.approx(analytic.sigma, rel=0.1)
+
+    def test_clark_underestimates_skewed_tail(self, rng):
+        # Log-normal arcs: Gaussian SSTA misses the high quantile — the
+        # low-Vdd failure mode of Fig. 7's discussion.
+        raw = np.exp(0.6 * rng.standard_normal(4000))
+        chains = [[EmpiricalDelay(raw)] for _ in range(3)]
+        g = TimingGraph.parallel_chains(chains)
+        mc = monte_carlo_arrival(g, "src", "snk", 40000, rng)
+        analytic = clark_arrival(g, "src", "snk")
+        q99_mc = float(np.quantile(mc, 0.99))
+        q99_clark = analytic.quantile(0.99)
+        assert q99_clark < q99_mc  # tail underestimated
+
+    def test_invalid_sample_count(self, rng):
+        g = TimingGraph.chain([FixedDelay(1.0)])
+        with pytest.raises(ValueError):
+            monte_carlo_arrival(g, "n0", "n1", 0, rng)

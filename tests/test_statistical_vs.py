@@ -1,0 +1,125 @@
+"""Statistical VS model: sampling semantics of Sec. II-B."""
+
+import numpy as np
+import pytest
+
+from repro.data.cards import paper_alphas_nmos, vs_nmos_40nm
+from repro.devices.vs.statistical import (
+    StatisticalVSModel,
+    apply_deviations,
+)
+from repro.stats.pelgrom import PARAMETER_ORDER
+
+
+@pytest.fixture()
+def model() -> StatisticalVSModel:
+    return StatisticalVSModel(vs_nmos_40nm(), paper_alphas_nmos())
+
+
+class TestSampling:
+    def test_sample_count_and_fields(self, model, rng):
+        sample = model.sample(500, rng, w_nm=600.0, l_nm=40.0)
+        assert sample.n_samples == 500
+        params = sample.params
+        for field in ("vt0", "w_nm", "l_nm", "mu_cm2", "cinv_uf_cm2", "vxo_cm_s"):
+            assert np.asarray(getattr(params, field)).shape == (500,)
+
+    def test_sample_sigmas_match_pelgrom(self, model, rng):
+        sample = model.sample(20000, rng, w_nm=600.0, l_nm=40.0)
+        sig = model.sigmas(600.0, 40.0)
+        assert np.std(sample.params.vt0, ddof=1) == pytest.approx(
+            sig["vt0"], rel=0.05
+        )
+        assert np.std(sample.params.l_nm, ddof=1) == pytest.approx(
+            sig["leff"], rel=0.05
+        )
+
+    def test_independent_parameters_uncorrelated(self, model, rng):
+        sample = model.sample(20000, rng, w_nm=600.0, l_nm=40.0)
+        d = sample.deviations
+        for a in PARAMETER_ORDER:
+            for b in PARAMETER_ORDER:
+                if a < b:
+                    r = np.corrcoef(d[a], d[b])[0, 1]
+                    assert abs(r) < 0.05, f"{a} vs {b} correlated: r={r}"
+
+    def test_vxo_is_derived_not_independent(self, model, rng):
+        # vxo must correlate with mu: it is slaved through Eq. (5).
+        sample = model.sample(5000, rng, w_nm=600.0, l_nm=40.0)
+        r = np.corrcoef(sample.params.mu_cm2, sample.params.vxo_cm_s)[0, 1]
+        assert r > 0.5
+
+    def test_vxo_tracks_dibl_through_leff(self, model, rng):
+        # With mu variation switched off, vxo still moves with Leff.
+        sigma_scale_model = StatisticalVSModel(
+            vs_nmos_40nm(),
+            paper_alphas_nmos(),
+        )
+        sample = sigma_scale_model.sample(4000, rng, w_nm=600.0, l_nm=40.0)
+        # Longer channel -> smaller delta -> smaller vxo (positive corr
+        # between delta shift and vxo shift means negative corr with L).
+        r = np.corrcoef(sample.params.l_nm, sample.params.vxo_cm_s)[0, 1]
+        assert r < -0.1
+
+    def test_sigma_scale(self, model, rng):
+        s1 = model.sample(20000, rng, w_nm=600.0, l_nm=40.0, sigma_scale=1.0)
+        s2 = model.sample(20000, rng, w_nm=600.0, l_nm=40.0, sigma_scale=2.0)
+        assert np.std(s2.params.vt0, ddof=1) == pytest.approx(
+            2.0 * np.std(s1.params.vt0, ddof=1), rel=0.1
+        )
+
+    def test_rejects_nonpositive_count(self, model, rng):
+        with pytest.raises(ValueError):
+            model.sample(0, rng)
+
+    def test_geometry_dependence(self, model, rng):
+        small = model.sample(8000, rng, w_nm=120.0, l_nm=40.0)
+        large = model.sample(8000, rng, w_nm=1500.0, l_nm=40.0)
+        assert np.std(small.params.vt0, ddof=1) > 2.0 * np.std(
+            large.params.vt0, ddof=1
+        )
+
+
+class TestPerturbations:
+    def test_perturbed_moves_one_parameter(self, model):
+        card = model.perturbed(600.0, 40.0, "vt0", 1.0)
+        sig = model.sigmas(600.0, 40.0)
+        nominal_vt0 = float(np.asarray(model.nominal.vt0))
+        assert float(card.vt0[0]) == pytest.approx(nominal_vt0 + sig["vt0"])
+        # Untouched parameters stay nominal.
+        assert float(card.mu_cm2[0] if np.ndim(card.mu_cm2) else card.mu_cm2) == (
+            pytest.approx(float(np.asarray(model.nominal.mu_cm2)))
+        )
+
+    def test_perturbed_unknown_parameter(self, model):
+        with pytest.raises(KeyError):
+            model.perturbed(600.0, 40.0, "vxo", 1.0)
+
+    def test_leff_perturbation_moves_vxo(self, model):
+        card = model.perturbed(600.0, 40.0, "leff", 3.0)
+        assert float(np.asarray(card.vxo_cm_s)[0]) != pytest.approx(
+            float(np.asarray(model.nominal.vxo_cm_s))
+        )
+
+
+class TestApplyDeviations:
+    def test_empty_deviation_is_nominal_geometry_override(self):
+        nominal = vs_nmos_40nm()
+        card = apply_deviations(nominal, 600.0, 40.0, {})
+        assert float(np.asarray(card.w_nm)) == pytest.approx(600.0)
+        assert float(np.asarray(card.vt0)) == pytest.approx(
+            float(np.asarray(nominal.vt0))
+        )
+
+    def test_clip_prevents_nonphysical_cards(self):
+        nominal = vs_nmos_40nm()
+        card = apply_deviations(nominal, 600.0, 40.0, {"leff": np.array([-100.0])})
+        assert float(card.l_nm[0]) > 0.0
+
+    def test_mu_deviation_shifts_vxo_by_eq5(self):
+        nominal = vs_nmos_40nm()
+        mu_nom = float(np.asarray(nominal.mu_cm2))
+        card = apply_deviations(nominal, 600.0, 40.0, {"mu": np.array([0.01 * mu_nom])})
+        # k_mu for the default card: B = 10/(10+2*5) = 0.5 -> 0.975.
+        expected = float(np.asarray(nominal.vxo_cm_s)) * (1.0 + 0.975 * 0.01)
+        assert float(card.vxo_cm_s[0]) == pytest.approx(expected, rel=1e-6)

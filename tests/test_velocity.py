@@ -1,0 +1,76 @@
+"""Eq. (5)-(6): ballistic efficiency and vxo sensitivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.vs.velocity import (
+    ballistic_efficiency,
+    mobility_sensitivity_coefficient,
+    vxo_relative_shift,
+)
+
+
+class TestBallisticEfficiency:
+    def test_formula(self):
+        # B = lambda / (lambda + 2 l).
+        assert ballistic_efficiency(10.0, 5.0) == pytest.approx(0.5)
+
+    def test_ballistic_limit(self):
+        assert ballistic_efficiency(1e6, 5.0) == pytest.approx(1.0, abs=1e-4)
+
+    def test_diffusive_limit(self):
+        assert ballistic_efficiency(1e-3, 5.0) == pytest.approx(0.0, abs=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ballistic_efficiency(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            ballistic_efficiency(10.0, 0.0)
+
+    @given(lam=st.floats(0.1, 100.0), lc=st.floats(0.1, 100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, lam, lc):
+        b = float(ballistic_efficiency(lam, lc))
+        assert 0.0 < b < 1.0
+
+
+class TestMobilityCoefficient:
+    def test_paper_values(self):
+        # B = 0.5, alpha = 0.5, gamma = 0.45: k = 0.5 + 0.5*0.95 = 0.975.
+        k = mobility_sensitivity_coefficient(0.5, 0.5, 0.45)
+        assert k == pytest.approx(0.975)
+
+    def test_ballistic_limit_is_alpha(self):
+        assert mobility_sensitivity_coefficient(1.0, 0.5, 0.45) == pytest.approx(0.5)
+
+    def test_diffusive_limit(self):
+        # B = 0: k = alpha + (1 - alpha + gamma) = 1 + gamma.
+        assert mobility_sensitivity_coefficient(0.0, 0.5, 0.45) == pytest.approx(1.45)
+
+    def test_rejects_out_of_range_b(self):
+        with pytest.raises(ValueError):
+            mobility_sensitivity_coefficient(1.5)
+
+
+class TestVxoShift:
+    def test_pure_mobility_shift(self):
+        shift = vxo_relative_shift(0.02, 0.0, 10.0, 5.0)
+        assert shift == pytest.approx(0.975 * 0.02)
+
+    def test_pure_dibl_shift(self):
+        # d vxo / vxo = 2 * d delta with the paper's coefficient.
+        shift = vxo_relative_shift(0.0, 0.01, 10.0, 5.0, dvxo_ddelta=2.0)
+        assert shift == pytest.approx(0.02)
+
+    def test_linearity(self):
+        s1 = vxo_relative_shift(0.01, 0.002, 10.0, 5.0)
+        s2 = vxo_relative_shift(0.02, 0.004, 10.0, 5.0)
+        assert s2 == pytest.approx(2.0 * float(s1))
+
+    def test_vectorized(self):
+        dmu = np.array([0.0, 0.01, -0.01])
+        shift = vxo_relative_shift(dmu, 0.0, 10.0, 5.0)
+        assert shift.shape == (3,)
+        assert shift[0] == pytest.approx(0.0)
+        assert shift[2] == pytest.approx(-float(shift[1]))

@@ -1,0 +1,98 @@
+"""Source waveforms, including the batch-delay mechanism behind Fig. 8."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.waveforms import DC, PiecewiseLinear, Pulse, Step
+
+
+class TestDC:
+    def test_constant(self):
+        w = DC(0.9)
+        assert float(w.value(0.0)) == 0.9
+        assert float(w.value(1e-9)) == 0.9
+
+    def test_batched_level(self):
+        w = DC(np.array([0.1, 0.9]))
+        np.testing.assert_allclose(w.value(5e-12), [0.1, 0.9])
+
+
+class TestStep:
+    def test_before_and_after(self):
+        w = Step(0.0, 0.9, t_step=10e-12, t_rise=2e-12)
+        assert float(w.value(0.0)) == 0.0
+        assert float(w.value(20e-12)) == 0.9
+
+    def test_midpoint(self):
+        w = Step(0.0, 0.9, t_step=10e-12, t_rise=2e-12)
+        assert float(w.value(11e-12)) == pytest.approx(0.45)
+
+    def test_rejects_zero_rise(self):
+        with pytest.raises(ValueError):
+            Step(0.0, 1.0, 0.0, t_rise=0.0)
+
+
+class TestPulse:
+    def make(self, **kw):
+        defaults = dict(v0=0.0, v1=0.9, delay=10e-12, t_rise=2e-12,
+                        t_fall=2e-12, width=20e-12)
+        defaults.update(kw)
+        return Pulse(**defaults)
+
+    def test_phases(self):
+        w = self.make()
+        assert float(w.value(0.0)) == 0.0                 # before delay
+        assert float(w.value(11e-12)) == pytest.approx(0.45)   # mid-rise
+        assert float(w.value(20e-12)) == pytest.approx(0.9)    # top
+        assert float(w.value(33e-12)) == pytest.approx(0.45)   # mid-fall
+        assert float(w.value(50e-12)) == pytest.approx(0.0)    # after
+
+    def test_periodic(self):
+        w = self.make(period=100e-12)
+        assert float(w.value(120e-12)) == pytest.approx(float(w.value(20e-12)))
+
+    def test_single_shot_stays_low(self):
+        w = self.make(period=0.0)
+        assert float(w.value(500e-12)) == pytest.approx(0.0)
+
+    def test_inverted_pulse(self):
+        # Clock-bar style: starts high, drops low.
+        w = Pulse(0.9, 0.0, delay=10e-12, t_rise=2e-12, t_fall=2e-12, width=20e-12)
+        assert float(w.value(0.0)) == pytest.approx(0.9)
+        assert float(w.value(20e-12)) == pytest.approx(0.0)
+
+    def test_batched_delay(self):
+        w = self.make(delay=np.array([10e-12, 15e-12]))
+        values = w.value(12e-12)
+        assert values[0] == pytest.approx(0.9)   # past its rise
+        assert values[1] == pytest.approx(0.0)   # not yet risen
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            self.make(width=-1e-12)
+
+
+class TestPWL:
+    def test_interpolation(self):
+        w = PiecewiseLinear([0.0, 1e-9], [0.0, 1.0])
+        assert float(w.value(0.5e-9)) == pytest.approx(0.5)
+
+    def test_holds_ends(self):
+        w = PiecewiseLinear([1e-9, 2e-9], [0.2, 0.8])
+        assert float(w.value(0.0)) == pytest.approx(0.2)
+        assert float(w.value(5e-9)) == pytest.approx(0.8)
+
+    def test_batched_delay_shifts_waveform(self):
+        w = PiecewiseLinear([0.0, 1e-9], [0.0, 1.0],
+                            delay=np.array([0.0, 0.5e-9]))
+        values = w.value(1.0e-9)
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(0.5)
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0, 0.0], [0.0, 1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 1.0])
