@@ -16,6 +16,15 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is `slow`: excluded from the default fast tier.
+
+    Run them with ``pytest benchmarks -m slow``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _warm_technology():
     """Characterize the shared technology once, outside any timing."""

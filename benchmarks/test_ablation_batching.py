@@ -1,62 +1,34 @@
 """Ablation — batched Monte-Carlo transient vs per-sample loop.
 
 The engine's defining optimization (DESIGN.md): the MC axis rides through
-device evaluation and the stacked linear solves.  This bench times the
-same 24-sample INV transient both ways — the per-sample loop replays the
-exact devices the batched factory drew, so the physics is identical and
-only the execution strategy differs.
+device evaluation and the stacked linear solves, and since the compiled
+assembly engine it also rides a *device* axis — every transistor of the
+circuit is evaluated in one stacked model call per Newton iteration.
+
+This bench runs the paper's 1000-sample INV FO3 delay Monte-Carlo in one
+batched transient, then replays the exact same sampled devices through
+the per-sample loop for a subset of the dies (the full loop would take
+tens of minutes — exactly the point).  The loop cost is linear in the
+sample count, so the subset timing extrapolates directly; the subset
+speedup alone already clears the acceptance bar.
 """
 
 import time
 
 import numpy as np
 
-from repro.cells.factory import MonteCarloDeviceFactory
+from repro.cells.factory import (
+    MonteCarloDeviceFactory,
+    RecordingFactory,
+    ScalarReplayFactory,
+)
 from repro.cells.inverter import InverterSpec, inverter_delays
-from repro.devices.vs.model import VSDevice
 from repro.pipeline import default_technology
 
-N_SAMPLES = 24
-
-#: VS card fields carried per-sample by the statistical sampler.
-_SAMPLED_FIELDS = ("w_nm", "l_nm", "vt0", "mu_cm2", "cinv_uf_cm2", "vxo_cm_s")
-
-
-class _RecordingFactory:
-    """Wraps a Monte-Carlo factory, remembering every produced device."""
-
-    def __init__(self, inner):
-        self.inner = inner
-        self.batch_shape = inner.batch_shape
-        self.devices = []
-
-    def __call__(self, polarity, w_nm, l_nm):
-        device = self.inner(polarity, w_nm, l_nm)
-        self.devices.append(device)
-        return device
-
-
-class _ReplayFactory:
-    """Replays one scalar slice of previously recorded batched devices."""
-
-    batch_shape = ()
-
-    def __init__(self, devices, sample_index):
-        self.devices = devices
-        self.sample_index = sample_index
-        self.call_index = 0
-
-    def __call__(self, polarity, w_nm, l_nm):
-        base = self.devices[self.call_index]
-        self.call_index += 1
-        params = base.params
-        scalar = params.replace(
-            **{
-                name: float(np.asarray(getattr(params, name))[self.sample_index])
-                for name in _SAMPLED_FIELDS
-            }
-        )
-        return VSDevice(scalar)
+#: Batched Monte-Carlo size (the paper's Fig. 5 scale).
+N_SAMPLES = 1000
+#: Dies replayed through the per-sample loop for timing/equivalence.
+N_LOOP = 24
 
 
 def test_ablation_batching(benchmark, record_report):
@@ -64,13 +36,12 @@ def test_ablation_batching(benchmark, record_report):
     spec = InverterSpec(600.0, 300.0)
     vdd = tech.vdd
 
-    recorder = _RecordingFactory(
+    recorder = RecordingFactory(
         MonteCarloDeviceFactory(tech, N_SAMPLES, model="vs", seed=4)
     )
 
     def batched():
         recorder.devices.clear()
-        recorder.call_index = 0
         return inverter_delays(recorder, spec, vdd)["tphl"].delay
 
     t0 = time.perf_counter()
@@ -79,25 +50,34 @@ def test_ablation_batching(benchmark, record_report):
 
     t0 = time.perf_counter()
     loop_delays = []
-    for k in range(N_SAMPLES):
-        replay = _ReplayFactory(recorder.devices, k)
+    for k in range(N_LOOP):
+        replay = ScalarReplayFactory(recorder.devices, k)
         d = inverter_delays(replay, spec, vdd)
         loop_delays.append(float(d["tphl"].delay))
     loop_delays = np.asarray(loop_delays)
-    t_loop = time.perf_counter() - t0
+    t_loop_subset = time.perf_counter() - t0
 
-    speedup = t_loop / t_batched
+    # The loop cost is linear in the die count, so the measured subset
+    # extrapolates to the full sample count; the resulting speedup is
+    # one number (per-die and at-scale are the same figure).
+    t_loop_full = t_loop_subset * (N_SAMPLES / N_LOOP)
+    speedup = t_loop_full / t_batched
     report = "\n".join(
         [
             f"Ablation -- batched MC transient vs per-sample loop "
             f"({N_SAMPLES} samples, INV FO3)",
-            f"batched : {t_batched:.2f} s",
-            f"loop    : {t_loop:.2f} s",
-            f"speedup : {speedup:.1f}x (grows with sample count)",
+            f"batched {N_SAMPLES} samples : {t_batched:.2f} s",
+            f"loop {N_LOOP} samples       : {t_loop_subset:.2f} s measured"
+            f" -> {t_loop_full:.0f} s for {N_SAMPLES} (linear in dies)",
+            f"speedup               : {speedup:.1f}x",
         ]
     )
     record_report("ablation_batching", report)
 
-    # Identical devices must give (nearly) identical delays.
-    np.testing.assert_allclose(batched_delays, loop_delays, rtol=0.02)
-    assert speedup > 2.0
+    # The per-sample replay reproduces the batched result die-for-die:
+    # the batched engine freezes each converged sample on its scalar
+    # Newton trajectory, so agreement is to machine precision.
+    np.testing.assert_allclose(
+        batched_delays[:N_LOOP], loop_delays, rtol=1e-9
+    )
+    assert speedup > 3.0

@@ -16,7 +16,8 @@ sample axis ties instance k of sample b across the whole circuit.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+import dataclasses
+from typing import List, Optional
 
 import numpy as np
 
@@ -116,3 +117,51 @@ class MonteCarloDeviceFactory(DeviceFactory):
         return char.golden_mismatch.sample_device(
             self.n_samples, self.rng, w_nm=w_nm, l_nm=l_nm
         )
+
+
+class RecordingFactory(DeviceFactory):
+    """Wraps a factory, remembering every device it hands out.
+
+    The recorded devices are what :class:`ScalarReplayFactory` replays
+    per sample — the foundation of the batched-vs-scalar equivalence
+    tests and the batching ablation benchmark.
+    """
+
+    def __init__(self, inner: DeviceFactory):
+        self.inner = inner
+        self.batch_shape = inner.batch_shape
+        self.devices: List[DeviceModel] = []
+
+    def __call__(self, polarity: str, w_nm: float, l_nm: float) -> DeviceModel:
+        device = self.inner(polarity, w_nm, l_nm)
+        self.devices.append(device)
+        return device
+
+
+class ScalarReplayFactory(DeviceFactory):
+    """Replays one scalar slice of previously recorded batched devices.
+
+    Every array-valued card field is indexed at *sample_index* along the
+    Monte-Carlo axis, so the k-th replayed circuit carries exactly the
+    devices sample k saw in the batched run.  Device call order must
+    match the recorded cell builder (guaranteed when the same builder
+    runs with both factories).
+    """
+
+    batch_shape = ()
+
+    def __init__(self, devices: List[DeviceModel], sample_index: int):
+        self.devices = devices
+        self.sample_index = sample_index
+        self.call_index = 0
+
+    def __call__(self, polarity: str, w_nm: float, l_nm: float) -> DeviceModel:
+        base = self.devices[self.call_index]
+        self.call_index += 1
+        params = base.params
+        changes = {}
+        for field in dataclasses.fields(params):
+            value = getattr(params, field.name)
+            if isinstance(value, np.ndarray) and value.ndim:
+                changes[field.name] = float(value[self.sample_index])
+        return base.with_params(params.replace(**changes))

@@ -18,8 +18,14 @@ from repro.circuit.elements import (
 )
 from repro.circuit.waveforms import DC, Pulse, PiecewiseLinear, Step
 from repro.circuit.ac import ac_analysis, ACResult
+from repro.circuit.compiled import (
+    CompiledCircuit,
+    UnsupportedCircuitError,
+    compile_circuit,
+)
 from repro.circuit.dcop import dc_operating_point, ConvergenceError
 from repro.circuit.dcsweep import dc_sweep
+from repro.circuit.mna import NewtonInfo, NewtonOptions
 from repro.circuit.transient import transient, TransientResult
 
 __all__ = [
@@ -41,4 +47,9 @@ __all__ = [
     "ac_analysis",
     "ACResult",
     "ConvergenceError",
+    "CompiledCircuit",
+    "UnsupportedCircuitError",
+    "compile_circuit",
+    "NewtonInfo",
+    "NewtonOptions",
 ]

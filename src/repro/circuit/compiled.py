@@ -1,0 +1,430 @@
+"""Compiled batched assembly: the device-axis vectorized MNA engine.
+
+The generic assembly path (:mod:`repro.circuit.dcop` / ``transient``)
+walks the element list in Python and stamps one element at a time.  That
+is fine for the Monte-Carlo axis — every stamp is vectorized over
+samples — but the per-element Python work (model calls, small-array
+arithmetic) dominates the runtime of nominal and small-batch transients.
+
+This module removes that loop.  A :class:`CompiledCircuit` partitions
+the netlist once:
+
+* **Linear stamps** (resistors, the voltage-source branch pattern) are
+  accumulated into a constant conductance matrix ``G``; the per-iteration
+  linear residual is one batched matvec ``G @ v``.
+* **Sources** are evaluated once per time point into a vector ``b(t)``.
+* **MOSFETs are stacked along a trailing device axis**: all transistors
+  sharing a model class, polarity and temperature become ONE stacked
+  device whose parameter card holds arrays of shape ``batch + (n_dev,)``.
+  One model evaluation per Newton iteration computes every transistor of
+  the circuit across every Monte-Carlo sample; the results are scattered
+  into the Jacobian/residual with precomputed flat index arrays
+  (``np.add.at`` handles coincident entries).
+* **Capacitors** are likewise grouped; their constant charge Jacobian is
+  folded into the per-step companion base matrix.
+
+Ground bookkeeping uses an augmented unknown vector: index ``n`` is a
+dump row that absorbs every ground contribution and is sliced off before
+the solve, so no masking appears in the hot loop.
+
+Sample-for-sample the arithmetic is elementwise, so a batched solve
+reproduces the scalar (``batch = ()``) solve of each sample exactly —
+the property ``tests/test_batched_circuit.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuit import elements as _el
+
+__all__ = ["CompiledCircuit", "UnsupportedCircuitError", "compile_circuit"]
+
+#: Charge terminal order of a MOSFET group (matches ``MOSFET.charge_terminals``).
+_TERMS = ("g", "d", "s")
+
+
+class UnsupportedCircuitError(TypeError):
+    """The netlist contains elements the vectorized engine cannot plan.
+
+    This is the ONLY condition under which :func:`compile_circuit` falls
+    back to the generic per-element path — genuine defects inside the
+    compiler propagate instead of silently degrading to the slow path.
+    """
+
+
+class _Assembled:
+    """Duck-typed :class:`repro.circuit.mna.System` result."""
+
+    __slots__ = ("jacobian", "residual")
+
+    def __init__(self, jacobian: np.ndarray, residual: np.ndarray):
+        self.jacobian = jacobian
+        self.residual = residual
+
+
+def _stack_field(values):
+    """Stack one parameter field across devices along a new last axis.
+
+    Scalars that agree across the whole group stay scalar (no broadcast
+    cost in the model's arithmetic); anything else becomes an array of
+    shape ``field_batch + (n_dev,)``.
+    """
+    arrays = [np.asarray(value, dtype=float) for value in values]
+    if all(a.ndim == 0 for a in arrays):
+        first = float(arrays[0])
+        if all(float(a) == first for a in arrays):
+            return first
+    common = np.broadcast_shapes(*(a.shape for a in arrays))
+    return np.stack([np.broadcast_to(a, common) for a in arrays], axis=-1)
+
+
+def _stack_devices(models):
+    """One stacked device evaluating all of *models* in a single call.
+
+    All models share a class, polarity and temperature (the group key),
+    so only the numeric card fields differ; each field is stacked along
+    a trailing device axis.  The stacked instance bypasses ``__init__``
+    — the member cards are already validated and temperature-adjusted —
+    and copies every other instance attribute (polarity, temperature,
+    derived constants like ``phit``) from the first member, so any
+    :class:`DeviceModel` subclass with elementwise math stacks cleanly.
+    """
+    first = models[0]
+    cls = type(first)
+    changes = {}
+    for field in dataclasses.fields(first.params):
+        if field.name == "polarity":
+            continue
+        changes[field.name] = _stack_field(
+            [getattr(m.params, field.name) for m in models]
+        )
+    stacked = cls.__new__(cls)
+    stacked.__dict__.update(first.__dict__)
+    stacked.params = dataclasses.replace(first.params, **changes)
+    return stacked
+
+
+def _scatter_add(target: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+    """``target[..., idx] += values`` with accumulation on repeated indices.
+
+    *target* has shape ``batch + (M,)``; *values* broadcasts to
+    ``batch + (K,)`` with ``idx`` of shape ``(K,)``.
+    """
+    values = np.broadcast_to(values, target.shape[:-1] + idx.shape)
+    flat_t = target.reshape(-1, target.shape[-1])
+    flat_v = values.reshape(-1, idx.shape[0])
+    np.add.at(flat_t, (slice(None), idx), flat_v)
+
+
+class _MosfetGroup:
+    """All MOSFETs sharing one stacked model evaluation."""
+
+    def __init__(self, elements: List[_el.MOSFET], n: int):
+        naug = n + 1
+        self.device = _stack_devices([e.model for e in elements])
+
+        def aug(index: int) -> int:
+            return index if index >= 0 else n
+
+        g = np.array([aug(e.g) for e in elements])
+        d = np.array([aug(e.d) for e in elements])
+        s = np.array([aug(e.s) for e in elements])
+        self.g_idx, self.d_idx, self.s_idx = g, d, s
+        self.n_dev = len(elements)
+
+        # I-V stamps: residual +ids at d, -ids at s; Jacobian entries
+        # (d,g) (d,d) (d,s) (s,g) (s,d) (s,s) = gm gds gms -gm -gds -gms.
+        self.f_idx = np.concatenate([d, s])
+        rows = np.concatenate([d, d, d, s, s, s])
+        cols = np.concatenate([g, d, s, g, d, s])
+        self.j_idx = rows * naug + cols
+
+        # Charge stamps over terminals (g, d, s), terminal-major layout.
+        term = {"g": g, "d": d, "s": s}
+        self.qf_idx = np.concatenate([term[t] for t in _TERMS])
+        self.qj_idx = np.concatenate(
+            [term[ti] * naug + term[tj] for ti in _TERMS for tj in _TERMS]
+        )
+
+    def gather(self, v_aug: np.ndarray):
+        return (
+            v_aug[..., self.g_idx],
+            v_aug[..., self.d_idx],
+            v_aug[..., self.s_idx],
+        )
+
+    def charge_flat(self, v_aug: np.ndarray) -> np.ndarray:
+        """Terminal charges in ``qf_idx`` layout, shape ``batch + (3 n_dev,)``."""
+        qg, qd, qs = self.device.charges(*self.gather(v_aug))
+        return np.concatenate(
+            np.broadcast_arrays(qg, qd, qs), axis=-1
+        )
+
+
+class _CapacitorGroup:
+    """All linear capacitors, stacked."""
+
+    def __init__(self, elements: List[_el.Capacitor], n: int):
+        def aug(index: int) -> int:
+            return index if index >= 0 else n
+
+        self.n1_idx = np.array([aug(e.n1) for e in elements])
+        self.n2_idx = np.array([aug(e.n2) for e in elements])
+        self.c = _stack_field([e.capacitance for e in elements])
+        self.qf_idx = np.concatenate([self.n1_idx, self.n2_idx])
+        self.n_cap = len(elements)
+
+    def charge_flat(self, v_aug: np.ndarray) -> np.ndarray:
+        dv = v_aug[..., self.n1_idx] - v_aug[..., self.n2_idx]
+        q = np.asarray(self.c) * dv
+        return np.concatenate([q, -q], axis=-1)
+
+
+class CompiledCircuit:
+    """Precomputed vectorized assembly for one :class:`Circuit`.
+
+    Compilation snapshots element parameters (device cards, resistances,
+    capacitances); only *waveform* levels may change between solves.
+    :meth:`Circuit.add` invalidates the owner's cached compilation.
+    """
+
+    def __init__(self, circuit):
+        self.circuit = circuit
+        self.n = circuit.assign_branches()
+        self.n_nodes = circuit.n_nodes
+        self.batch = circuit.batch_shape
+        n = self.n
+
+        resistors: List[_el.Resistor] = []
+        capacitors: List[_el.Capacitor] = []
+        self.vsources: List[_el.VoltageSource] = []
+        self.isources: List[_el.CurrentSource] = []
+        mosfets: List[_el.MOSFET] = []
+        for element in circuit.elements:
+            if type(element) is _el.Resistor:
+                resistors.append(element)
+            elif type(element) is _el.Capacitor:
+                capacitors.append(element)
+            elif type(element) is _el.VoltageSource:
+                self.vsources.append(element)
+            elif type(element) is _el.CurrentSource:
+                self.isources.append(element)
+            elif type(element) is _el.MOSFET:
+                mosfets.append(element)
+            else:
+                raise UnsupportedCircuitError(
+                    f"unsupported element {type(element).__name__}"
+                )
+
+        # Constant linear Jacobian: resistor conductances + source pattern.
+        lin_batch = ()
+        for r in resistors:
+            lin_batch = np.broadcast_shapes(
+                lin_batch, np.asarray(r.resistance).shape
+            )
+        j_const = np.zeros(lin_batch + (n, n))
+        for r in resistors:
+            g = 1.0 / np.asarray(r.resistance, dtype=float)
+            for a, b, sign in (
+                (r.n1, r.n1, 1.0), (r.n2, r.n2, 1.0),
+                (r.n1, r.n2, -1.0), (r.n2, r.n1, -1.0),
+            ):
+                if a >= 0 and b >= 0:
+                    j_const[..., a, b] += sign * g
+        for src in self.vsources:
+            nb = src.branch_index
+            for a, b, sign in (
+                (src.pos, nb, 1.0), (src.neg, nb, -1.0),
+                (nb, src.pos, 1.0), (nb, src.neg, -1.0),
+            ):
+                if a >= 0 and b >= 0:
+                    j_const[..., a, b] += sign
+        self.j_const = j_const
+
+        # Constant capacitor charge Jacobian (node space); the transient
+        # folds ``coeff * c_lin`` into the per-step base matrix.
+        cap_batch = ()
+        for c in capacitors:
+            cap_batch = np.broadcast_shapes(
+                cap_batch, np.asarray(c.capacitance).shape
+            )
+        c_lin = np.zeros(cap_batch + (n, n))
+        for cap in capacitors:
+            cval = np.asarray(cap.capacitance, dtype=float)
+            for a, b, sign in (
+                (cap.n1, cap.n1, 1.0), (cap.n2, cap.n2, 1.0),
+                (cap.n1, cap.n2, -1.0), (cap.n2, cap.n1, -1.0),
+            ):
+                if a >= 0 and b >= 0:
+                    c_lin[..., a, b] += sign * cval
+        self.c_lin = c_lin
+
+        # Stacked device groups, keyed by (class, polarity, temperature).
+        grouped = {}
+        for element in mosfets:
+            model = element.model
+            params = getattr(model, "params", None)
+            if params is None or not dataclasses.is_dataclass(params):
+                raise UnsupportedCircuitError("MOSFET model without a dataclass card")
+            key = (type(model), model.polarity, getattr(model, "temperature", None))
+            grouped.setdefault(key, []).append(element)
+        self.mos_groups = [_MosfetGroup(els, n) for els in grouped.values()]
+        self.cap_group = _CapacitorGroup(capacitors, n) if capacitors else None
+
+    # ------------------------------------------------------------------
+    # Per-time-point pieces.
+    # ------------------------------------------------------------------
+    def source_vector(self, t: float) -> np.ndarray:
+        """Source contributions ``b(t)`` to the residual."""
+        v_vals = [
+            np.asarray(src.waveform.value(t), dtype=float)
+            for src in self.vsources
+        ]
+        i_vals = [
+            np.asarray(src.waveform.value(t), dtype=float)
+            for src in self.isources
+        ]
+        shape = np.broadcast_shapes(*(v.shape for v in v_vals + i_vals), ())
+        b = np.zeros(shape + (self.n,))
+        for src, val in zip(self.vsources, v_vals):
+            b[..., src.branch_index] -= val
+        for src, val in zip(self.isources, i_vals):
+            if src.pos >= 0:
+                b[..., src.pos] += val
+            if src.neg >= 0:
+                b[..., src.neg] -= val
+        return b
+
+    # ------------------------------------------------------------------
+    # Assembly.
+    # ------------------------------------------------------------------
+    def _augment(self, v: np.ndarray) -> np.ndarray:
+        return np.concatenate(
+            [v, np.zeros(v.shape[:-1] + (1,))], axis=-1
+        )
+
+    def _nonlinear(self, v: np.ndarray):
+        """Stacked MOSFET I-V stamps at *v*.
+
+        Returns augmented residual/flat-Jacobian accumulators plus the
+        augmented solution vector for reuse by the charge stamps.
+        """
+        naug = self.n + 1
+        batch = v.shape[:-1]
+        v_aug = self._augment(v)
+        res_aug = np.zeros(batch + (naug,))
+        jac_flat = np.zeros(batch + (naug * naug,))
+        for grp in self.mos_groups:
+            ids, gm, gds, gms = self.device_iv(grp, v_aug)
+            _scatter_add(
+                res_aug, grp.f_idx, np.concatenate([ids, -ids], axis=-1)
+            )
+            _scatter_add(
+                jac_flat,
+                grp.j_idx,
+                np.concatenate([gm, gds, gms, -gm, -gds, -gms], axis=-1),
+            )
+        return v_aug, res_aug, jac_flat
+
+    @staticmethod
+    def device_iv(grp: _MosfetGroup, v_aug: np.ndarray):
+        ids, gm, gds, gms = grp.device.ids_and_derivatives(*grp.gather(v_aug))
+        return np.broadcast_arrays(ids, gm, gds, gms)
+
+    def _finish(self, v, base_jac, res_aug, jac_flat, b):
+        naug = self.n + 1
+        batch = v.shape[:-1]
+        jac_nl = jac_flat.reshape(batch + (naug, naug))[..., : self.n, : self.n]
+        jacobian = jac_nl + base_jac
+        residual = (
+            res_aug[..., : self.n]
+            + np.matmul(self.j_const, v[..., None])[..., 0]
+            + b
+        )
+        return _Assembled(jacobian, residual)
+
+    def assemble_dc(self, t: float):
+        """DC assembly closure for :func:`repro.circuit.mna.newton_solve`."""
+        b = self.source_vector(t)
+
+        def assemble(v: np.ndarray) -> _Assembled:
+            _, res_aug, jac_flat = self._nonlinear(v)
+            return self._finish(v, self.j_const, res_aug, jac_flat, b)
+
+        return assemble
+
+    # ------------------------------------------------------------------
+    # Transient support (companion-model integration).
+    # ------------------------------------------------------------------
+    def charge_groups(self):
+        """Charge-bearing groups in a stable order (caps first)."""
+        groups = []
+        if self.cap_group is not None:
+            groups.append(self.cap_group)
+        groups.extend(self.mos_groups)
+        return groups
+
+    def charge_state(self, v: np.ndarray):
+        """Flat charge vectors per charge group at solution *v*."""
+        v_aug = self._augment(v)
+        return [np.array(g.charge_flat(v_aug)) for g in self.charge_groups()]
+
+    def assemble_transient(self, t, coeff, use_be, q_hist, i_hist):
+        """Assembly closure for one implicit integration step.
+
+        ``q_hist``/``i_hist`` are the per-group flat charge and companion
+        current histories (layouts from :meth:`charge_state`).
+        """
+        b = self.source_vector(t)
+        base_jac = self.j_const + coeff * self.c_lin
+
+        def assemble(v: np.ndarray) -> _Assembled:
+            v_aug, res_aug, jac_flat = self._nonlinear(v)
+            for k, grp in enumerate(self.charge_groups()):
+                if isinstance(grp, _CapacitorGroup):
+                    # Linear Jacobian already folded into base_jac.
+                    q_new = grp.charge_flat(v_aug)
+                else:
+                    q0, cmat = grp.device.charges_and_capacitance(
+                        *grp.gather(v_aug)
+                    )
+                    q_new = np.concatenate(
+                        np.broadcast_arrays(*q0), axis=-1
+                    )
+                    cap_vals = np.concatenate(
+                        np.broadcast_arrays(
+                            *(cmat[(ti, tj)] for ti in _TERMS for tj in _TERMS)
+                        ),
+                        axis=-1,
+                    )
+                    _scatter_add(jac_flat, grp.qj_idx, coeff * cap_vals)
+                i_comp = coeff * (q_new - q_hist[k])
+                if not use_be:
+                    i_comp = i_comp - i_hist[k]
+                _scatter_add(res_aug, grp.qf_idx, i_comp)
+            return self._finish(v, base_jac, res_aug, jac_flat, b)
+
+        return assemble
+
+    def advance_history(self, v, coeff, use_be, q_hist, i_hist):
+        """Update charge/current histories at the accepted solution."""
+        for k, q_new in enumerate(self.charge_state(v)):
+            i_new = coeff * (q_new - q_hist[k])
+            if not use_be:
+                i_new = i_new - i_hist[k]
+            q_hist[k] = q_new
+            i_hist[k] = np.broadcast_to(i_new, q_new.shape).copy()
+
+
+def compile_circuit(circuit) -> Optional[CompiledCircuit]:
+    """Compile *circuit*, or return None when it contains elements the
+    vectorized engine does not know (callers fall back to the generic
+    per-element assembly)."""
+    try:
+        return CompiledCircuit(circuit)
+    except UnsupportedCircuitError:
+        return None

@@ -32,6 +32,10 @@ def initial_guess(
 
 
 def _assemble_dc(circuit: Circuit, t: float):
+    compiled = circuit.compiled()
+    if compiled is not None:
+        return compiled.assemble_dc(t), compiled.n, compiled.batch
+
     n = circuit.assign_branches()
     batch = circuit.batch_shape
 

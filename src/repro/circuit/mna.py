@@ -63,12 +63,23 @@ class NewtonOptions:
     gmin_steps: tuple = (1e-3, 1e-5, 1e-7, DEFAULT_GMIN)
 
 
+@dataclass
+class NewtonInfo:
+    """Per-sample outcome of a Newton solve."""
+
+    #: Boolean mask with the batch shape: True where the sample converged.
+    converged: np.ndarray
+    #: Iterations spent in the last inner loop (max over samples).
+    iterations: int = 0
+
+
 def newton_solve(
     assemble: Callable[[np.ndarray], System],
     v0: np.ndarray,
     n_nodes: int,
     options: Optional[NewtonOptions] = None,
-) -> np.ndarray:
+    return_info: bool = False,
+):
     """Solve ``F(v) = 0`` by damped Newton-Raphson on batched systems.
 
     Parameters
@@ -82,22 +93,66 @@ def newton_solve(
     n_nodes:
         Number of node unknowns (gmin applies only to these rows, not to
         source branch currents).
+    return_info:
+        When True, return ``(v, NewtonInfo)`` instead of raising on
+        failure; samples whose mask entry is False did not converge.
+
+    Convergence is tracked per sample: a sample that meets the tolerance
+    is frozen (its unknowns stop moving) while stragglers keep
+    iterating, so every sample follows exactly the trajectory it would
+    follow in a standalone scalar solve.  A sample whose update turns
+    non-finite is frozen as failed without disturbing the others.
     """
     opts = options or NewtonOptions()
     v = np.array(v0, dtype=float)
-    converged = _newton_inner(assemble, v, n_nodes, opts, opts.gmin)
-    if converged:
-        return v
+    converged, iters = _newton_inner(assemble, v, n_nodes, opts, opts.gmin)
+    if np.all(converged):
+        return (v, NewtonInfo(converged, iters)) if return_info else v
 
-    # gmin stepping: solve heavily damped systems first, reusing each
-    # solution as the next initial guess.
-    v = np.array(v0, dtype=float)
+    # gmin stepping for the samples the plain pass could not solve:
+    # heavily damped systems first, reusing each solution as the next
+    # initial guess.  Samples that already converged keep their plain
+    # Newton result and sit the ladder out — exactly what their
+    # standalone scalar solves would do — and every rung runs so the
+    # verdict comes from the final (lightest-damped) rung, never a
+    # damped rung's accuracy.
+    ladder = ~converged
+    v0 = np.broadcast_to(np.asarray(v0, dtype=float), v.shape)
+    n = v.shape[-1]
+    v.reshape(-1, n)[ladder.reshape(-1)] = v0.reshape(-1, n)[ladder.reshape(-1)]
+    ladder_converged = converged
     for gmin in opts.gmin_steps:
-        if not _newton_inner(assemble, v, n_nodes, opts, gmin):
-            raise ConvergenceError(
-                f"Newton failed to converge (gmin stepping at gmin={gmin:g})"
-            )
-    return v
+        ladder_converged, iters = _newton_inner(
+            assemble, v, n_nodes, opts, gmin, restrict=ladder
+        )
+    converged = converged | ladder_converged
+    if np.all(converged) or return_info:
+        return (v, NewtonInfo(converged, iters)) if return_info else v
+    raise ConvergenceError(
+        f"Newton failed to converge (gmin stepping down to "
+        f"gmin={opts.gmin_steps[-1]:g})"
+    )
+
+
+def _solve_stacked(jac: np.ndarray, res: np.ndarray):
+    """Newton updates for a stacked selection; isolates singular members.
+
+    Returns ``(dv, solvable)``: rows of *dv* for unsolvable (singular)
+    systems are zero and flagged False in *solvable*.  The common case
+    is one batched ``np.linalg.solve``; only when that throws does the
+    per-sample fallback run to pin the offenders.
+    """
+    try:
+        return np.linalg.solve(jac, -res[..., None])[..., 0], None
+    except np.linalg.LinAlgError:
+        dv = np.zeros_like(res)
+        solvable = np.ones(res.shape[0], dtype=bool)
+        for k in range(res.shape[0]):
+            try:
+                dv[k] = np.linalg.solve(jac[k], -res[k])
+            except np.linalg.LinAlgError:
+                solvable[k] = False
+        return dv, solvable
 
 
 def _newton_inner(
@@ -106,30 +161,77 @@ def _newton_inner(
     n_nodes: int,
     opts: NewtonOptions,
     gmin: float,
-) -> bool:
-    """In-place Newton loop; returns True when every sample converged."""
-    for _ in range(opts.max_iterations):
+    restrict: Optional[np.ndarray] = None,
+):
+    """In-place Newton loop with per-sample convergence masking.
+
+    Returns ``(converged, iterations)`` where *converged* is a boolean
+    mask with the batch shape (a 0-d array for unbatched solves).
+    Converged samples are frozen; only still-active samples enter the
+    stacked ``np.linalg.solve``, so a handful of stragglers no longer
+    pays the factorization cost of the whole batch.  (Assembly still
+    evaluates the full batch — frozen samples' unknowns are unchanged,
+    so their stamps are recomputed identically; restricting assembly to
+    the active subset would need mask-aware assemble closures for a
+    cost that is secondary to the solve in the workloads here.)
+
+    *restrict* (optional boolean mask, batch shape) limits the loop to a
+    subset of samples; everything outside it is left untouched and
+    reported unconverged.
+    """
+    batch = v.shape[:-1]
+    n = v.shape[-1]
+    n_batch = int(np.prod(batch, dtype=np.int64)) if batch else 1
+    vf = v.reshape(n_batch, n)  # view: updates land in the caller's array
+
+    if restrict is None:
+        active = np.ones(n_batch, dtype=bool)
+    else:
+        active = np.broadcast_to(restrict, batch).reshape(n_batch).copy()
+    started = active.copy()
+    failed = np.zeros(n_batch, dtype=bool)
+    node_idx = np.arange(n_nodes)
+    iteration = 0
+    for iteration in range(1, opts.max_iterations + 1):
+        if not active.any():
+            break
         system = assemble(v)
         jac = system.jacobian
         res = system.residual.copy()
 
         # gmin conditioning on node rows only.
-        idx = np.arange(n_nodes)
-        jac[..., idx, idx] += gmin
+        jac[..., node_idx, node_idx] += gmin
         res[..., :n_nodes] += gmin * v[..., :n_nodes]
 
-        try:
-            dv = np.linalg.solve(jac, -res[..., None])[..., 0]
-        except np.linalg.LinAlgError:
-            return False
-        if not np.all(np.isfinite(dv)):
-            return False
+        jac_f = jac.reshape(n_batch, n, n)
+        res_f = res.reshape(n_batch, n)
+        sel = np.flatnonzero(active)
+        dv, solvable = _solve_stacked(jac_f[sel], res_f[sel])
+        if solvable is not None:
+            singular = sel[~solvable]
+            failed[singular] = True
+            active[singular] = False
+            sel = sel[solvable]
+            dv = dv[solvable]
 
-        dv = np.clip(dv, -opts.vlimit, opts.vlimit)
-        v += dv
+        finite = np.isfinite(dv).all(axis=-1)
+        diverged = sel[~finite]
+        failed[diverged] = True
+        active[diverged] = False
+
+        sel = sel[finite]
+        dv = np.clip(dv[finite], -opts.vlimit, opts.vlimit)
+        res_active = res_f[sel]
+        vf[sel] += dv
 
         dv_ok = np.abs(dv).max(axis=-1) < opts.vtol
-        res_ok = np.abs(res[..., :n_nodes]).max(axis=-1) < opts.itol
-        if np.all(dv_ok & res_ok):
-            return True
-    return False
+        if n_nodes:
+            res_ok = np.abs(res_active[:, :n_nodes]).max(axis=-1) < opts.itol
+        else:
+            res_ok = np.ones(sel.shape, dtype=bool)
+        active[sel[dv_ok & res_ok]] = False
+        if not active.any():
+            break
+
+    converged = started & ~(active | failed)
+    return converged.reshape(batch), iteration

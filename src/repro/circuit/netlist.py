@@ -31,6 +31,7 @@ class Circuit:
         self._node_index: Dict[str, int] = {}
         self.elements: List[_el.Element] = []
         self._names: Dict[str, _el.Element] = {}
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Node management.
@@ -69,6 +70,7 @@ class Circuit:
                 raise ValueError(f"duplicate element name {element.name!r}")
             self._names[element.name] = element
         self.elements.append(element)
+        self._compiled = None
         return element
 
     def __getitem__(self, name: str) -> "_el.Element":
@@ -129,6 +131,53 @@ class Circuit:
         for element in self.elements:
             shape = np.broadcast_shapes(shape, element.batch_shape())
         return shape
+
+    def _param_fingerprint(self) -> list:
+        """Snapshot of the parameter objects a compile bakes in.
+
+        The object list holds the parameter objects themselves (keeping
+        them alive, so identity comparison is reliable); rebinding a
+        parameter attribute (``ckt['R1'].resistance = 2e3``, replacing a
+        MOSFET's model or its frozen card) changes an identity and
+        forces a recompile.  Waveform *values* are exempt — they are
+        re-read every time point — but the per-element batch shapes are
+        snapshotted alongside, so a waveform (or any parameter) whose
+        batch shape changes between solves also recompiles.  In-place
+        mutation of a parameter array's contents at unchanged shape is
+        not detected — device cards are frozen dataclasses, so that only
+        concerns raw ndarray values.
+        """
+        parts = []
+        for e in self.elements:
+            parts.append(e)
+            for attr in ("resistance", "capacitance", "model"):
+                value = getattr(e, attr, None)
+                if value is not None:
+                    parts.append(value)
+                    params = getattr(value, "params", None)
+                    if params is not None:
+                        parts.append(params)
+        shapes = tuple(e.batch_shape() for e in self.elements)
+        return parts, shapes
+
+    def compiled(self):
+        """Cached vectorized assembly plan (None for unsupported netlists).
+
+        Compilation snapshots element parameters; registering a new
+        element or rebinding an element's parameters invalidates the
+        cache.  Waveform levels/delays may change freely between solves
+        — they are re-read at every time point.
+        """
+        objects, shapes = self._param_fingerprint()
+        if self._compiled is None or not (
+            self._compiled[2] == shapes
+            and len(self._compiled[1]) == len(objects)
+            and all(a is b for a, b in zip(self._compiled[1], objects))
+        ):
+            from repro.circuit.compiled import compile_circuit
+
+            self._compiled = (compile_circuit(self), objects, shapes)
+        return self._compiled[0]
 
     def vsources(self) -> List["_el.VoltageSource"]:
         """All voltage sources in netlist order."""

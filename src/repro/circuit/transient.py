@@ -80,9 +80,56 @@ def transient(
     else:
         v = np.broadcast_to(np.asarray(v0, dtype=float), batch + (n,)).copy()
 
-    charge_elements: List = [e for e in circuit.elements if e.charge_terminals]
-    q_hist = [np.array(e.charge_vector(v), dtype=float) for e in charge_elements]
-    i_hist = [np.zeros_like(q) for q in q_hist]
+    compiled = circuit.compiled()
+    if compiled is not None:
+        # Charge/companion histories live as one flat array per element
+        # group; the stepping loop below is shared with the generic path.
+        q_hist = compiled.charge_state(v)
+        i_hist = [np.zeros_like(q) for q in q_hist]
+
+        def make_assemble(t_new, coeff, use_be):
+            return compiled.assemble_transient(t_new, coeff, use_be, q_hist, i_hist)
+
+        def advance_history(v_new, coeff, use_be):
+            compiled.advance_history(v_new, coeff, use_be, q_hist, i_hist)
+
+    else:
+        charge_elements: List = [
+            e for e in circuit.elements if e.charge_terminals
+        ]
+        q_hist = [
+            np.array(e.charge_vector(v), dtype=float) for e in charge_elements
+        ]
+        i_hist = [np.zeros_like(q) for q in q_hist]
+
+        def make_assemble(t_new, coeff, use_be):
+            def assemble(v_trial: np.ndarray) -> System:
+                system = System(batch, n)
+                for element in circuit.elements:
+                    element.stamp_static(system, v_trial, t_new)
+                    element.stamp_nonlinear(system, v_trial)
+                for k, element in enumerate(charge_elements):
+                    q_new, cap = element.charge_and_jacobian(v_trial)
+                    i_comp = coeff * (q_new - q_hist[k])
+                    if not use_be:
+                        i_comp = i_comp - i_hist[k]
+                    terminals = element.charge_terminals
+                    for a, node_a in enumerate(terminals):
+                        system.add_f(node_a, i_comp[..., a])
+                        for b, node_b in enumerate(terminals):
+                            system.add_j(node_a, node_b, coeff * cap[..., a, b])
+                return system
+
+            return assemble
+
+        def advance_history(v_new, coeff, use_be):
+            for k, element in enumerate(charge_elements):
+                q_new = np.array(element.charge_vector(v_new), dtype=float)
+                i_new = coeff * (q_new - q_hist[k])
+                if not use_be:
+                    i_new = i_new - i_hist[k]
+                q_hist[k] = q_new
+                i_hist[k] = np.broadcast_to(i_new, q_new.shape).copy()
 
     recorded_times = [t_start]
     recorded_v = [v.copy()]
@@ -92,33 +139,10 @@ def transient(
         use_be = method == "be" or step == 1
         coeff = (1.0 / dt) if use_be else (2.0 / dt)
 
-        def assemble(v_trial: np.ndarray) -> System:
-            system = System(batch, n)
-            for element in circuit.elements:
-                element.stamp_static(system, v_trial, t_new)
-                element.stamp_nonlinear(system, v_trial)
-            for k, element in enumerate(charge_elements):
-                q_new, cap = element.charge_and_jacobian(v_trial)
-                i_comp = coeff * (q_new - q_hist[k])
-                if not use_be:
-                    i_comp = i_comp - i_hist[k]
-                terminals = element.charge_terminals
-                for a, node_a in enumerate(terminals):
-                    system.add_f(node_a, i_comp[..., a])
-                    for b, node_b in enumerate(terminals):
-                        system.add_j(node_a, node_b, coeff * cap[..., a, b])
-            return system
-
-        v = newton_solve(assemble, v, circuit.n_nodes, options)
-
-        # Update integration history at the accepted solution.
-        for k, element in enumerate(charge_elements):
-            q_new = np.array(element.charge_vector(v), dtype=float)
-            i_new = coeff * (q_new - q_hist[k])
-            if not use_be:
-                i_new = i_new - i_hist[k]
-            q_hist[k] = q_new
-            i_hist[k] = np.broadcast_to(i_new, q_new.shape).copy()
+        v = newton_solve(
+            make_assemble(t_new, coeff, use_be), v, circuit.n_nodes, options
+        )
+        advance_history(v, coeff, use_be)
 
         if step % record_every == 0 or step == n_steps:
             recorded_times.append(t_new)

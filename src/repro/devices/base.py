@@ -40,6 +40,25 @@ class Polarity(enum.IntEnum):
     PMOS = -1
 
 
+def _fd_bias_points(vg, vd, vs, h):
+    """Base point plus one *h*-perturbed point per terminal, stacked.
+
+    Returns ``(vg4, vd4, vs4)`` with a leading axis of length 4 in the
+    order (base, +dg, +dd, +ds); lane k of a stacked model evaluation
+    sees exactly the arithmetic of a separate call, so derivatives
+    computed from one evaluation are bitwise identical to four.
+    """
+    vg, vd, vs = np.broadcast_arrays(
+        np.asarray(vg, dtype=float),
+        np.asarray(vd, dtype=float),
+        np.asarray(vs, dtype=float),
+    )
+    vg4 = np.stack((vg, vg + h, vg, vg))
+    vd4 = np.stack((vd, vd, vd + h, vd))
+    vs4 = np.stack((vs, vs, vs, vs + h))
+    return vg4, vd4, vs4
+
+
 class DeviceModel(abc.ABC):
     """Abstract four-terminal (gate/drain/source, bulk folded) MOSFET model."""
 
@@ -100,30 +119,32 @@ class DeviceModel(abc.ABC):
         ``gm = d ids/d vg``, ``gds = d ids/d vd``, ``gms = d ids/d vs``;
         evaluated by forward differences (an inexact Jacobian only costs
         Newton an occasional extra iteration, and forward differences
-        halve the model-evaluation count of the inner solver loop).
+        halve the model-evaluation count of the inner solver loop).  All
+        four bias points share one stacked model call
+        (:func:`_fd_bias_points`).
         """
-        i0 = self.ids(vg, vd, vs)
         h = _FD_STEP
-        gm = (self.ids(vg + h, vd, vs) - i0) / h
-        gds = (self.ids(vg, vd + h, vs) - i0) / h
-        gms = (self.ids(vg, vd, vs + h) - i0) / h
-        return i0, gm, gds, gms
+        i4 = self.ids(*_fd_bias_points(vg, vd, vs, h))
+        i0 = i4[0]
+        return i0, (i4[1] - i0) / h, (i4[2] - i0) / h, (i4[3] - i0) / h
 
     def charges_and_capacitance(self, vg, vd, vs):
         """Return ``(q, cmat)`` for the transient companion model.
 
         ``q`` is the terminal charge tuple ``(qg, qd, qs)``; ``cmat`` the
         dict ``{(i, j): dq_i/dv_j}`` over terminals ``'g'/'d'/'s'``,
-        computed by forward differences reusing the base evaluation.
+        computed by forward differences.  As in
+        :meth:`ids_and_derivatives`, the four bias points share one
+        stacked model evaluation (:func:`_fd_bias_points`).
         """
         h = _FD_STEP
         terminals = ("g", "d", "s")
-        q0 = self.charges(vg, vd, vs)
+        q4 = self.charges(*_fd_bias_points(vg, vd, vs, h))
+        q0 = tuple(q[0] for q in q4)
         cmat = {}
-        for j, (dg, dd, ds) in enumerate(((h, 0, 0), (0, h, 0), (0, 0, h))):
-            q_plus = self.charges(vg + dg, vd + dd, vs + ds)
-            for i, term in enumerate(terminals):
-                cmat[(term, terminals[j])] = (q_plus[i] - q0[i]) / h
+        for j, term_j in enumerate(terminals):
+            for i, term_i in enumerate(terminals):
+                cmat[(term_i, term_j)] = (q4[i][j + 1] - q0[i]) / h
         return q0, cmat
 
     def capacitance_matrix(self, vg, vd, vs):

@@ -64,44 +64,47 @@ class BSIMDevice(DeviceModel):
 
     def channel_charge(self, vgs, vds):
         """Smoothed channel charge density [C/m^2]."""
+        return self._core_normalized(vgs, vds)[0]
+
+    def effective_mobility(self, vgs, vds):
+        """Vertical-field degraded mobility [m^2/(V s)]."""
+        return self._core_normalized(vgs, vds)[1]
+
+    def saturation_voltage(self, vgs, vds):
+        """Saturation voltage with thermal floor [V]."""
+        return self._core_normalized(vgs, vds)[3]
+
+    def _vdseff(self, vgs, vds):
+        return self._core_normalized(vgs, vds)[4]
+
+    def _core_normalized(self, vgs, vds):
+        """Single evaluation of ``(qch, ueff, esat_l, vdsat, vdseff)``.
+
+        The one place the transport-chain arithmetic lives: the public
+        piecewise methods above return slices of it, and the hot-loop
+        I-V/C-V hooks pay for the chain exactly once per bias point
+        instead of recomputing the channel charge three times.
+        """
         p = self.params
         n = np.asarray(p.nfactor, dtype=float)
         vth = self.threshold_voltage(vds)
         x = (np.asarray(vgs, dtype=float) - vth) / (n * self.phit)
-        return p.cox_si * n * self.phit * _softplus(x)
-
-    def effective_mobility(self, vgs, vds):
-        """Vertical-field degraded mobility [m^2/(V s)]."""
-        p = self.params
-        vq = self.channel_charge(vgs, vds) / p.cox_si
-        return p.u0_si / (1.0 + np.asarray(p.theta_mob, dtype=float) * vq)
-
-    def saturation_voltage(self, vgs, vds):
-        """Saturation voltage with thermal floor [V]."""
-        p = self.params
-        n = np.asarray(p.nfactor, dtype=float)
-        vq = self.channel_charge(vgs, vds) / p.cox_si
+        qch = p.cox_si * n * self.phit * _softplus(x)
+        vq = qch / p.cox_si
+        ueff = p.u0_si / (1.0 + np.asarray(p.theta_mob, dtype=float) * vq)
         vq2 = np.sqrt(vq**2 + (2.0 * n * self.phit) ** 2)
-        ueff = self.effective_mobility(vgs, vds)
         esat_l = 2.0 * p.vsat_si / ueff * p.l_si
-        return esat_l * vq2 / (esat_l + vq2)
-
-    def _vdseff(self, vgs, vds):
-        p = self.params
+        vdsat = esat_l * vq2 / (esat_l + vq2)
         m = np.asarray(p.mexp, dtype=float)
-        vdsat = self.saturation_voltage(vgs, vds)
-        ratio = np.asarray(vds, dtype=float) / vdsat
-        return np.asarray(vds, dtype=float) / np.power(
-            1.0 + np.power(ratio, m), 1.0 / m
-        )
+        vds = np.asarray(vds, dtype=float)
+        ratio = vds / vdsat
+        vdseff = vds / np.power(1.0 + np.power(ratio, m), 1.0 / m)
+        return qch, ueff, esat_l, vdsat, vdseff
 
     # ------------------------------------------------------------------
     def _ids_normalized(self, vgs, vds):
         p = self.params
-        qch = self.channel_charge(vgs, vds)
-        ueff = self.effective_mobility(vgs, vds)
-        esat_l = 2.0 * p.vsat_si / ueff * p.l_si
-        vdseff = self._vdseff(vgs, vds)
+        qch, ueff, esat_l, _, vdseff = self._core_normalized(vgs, vds)
         ids = (
             (p.w_si / p.l_si)
             * ueff
@@ -117,9 +120,7 @@ class BSIMDevice(DeviceModel):
     def _charges_normalized(self, vgs, vds):
         p = self.params
         area = p.w_si * p.l_si
-        qch_s = self.channel_charge(vgs, vds)
-        vdsat = self.saturation_voltage(vgs, vds)
-        vdseff = self._vdseff(vgs, vds)
+        qch_s, _, _, vdsat, vdseff = self._core_normalized(vgs, vds)
         # Drain-end charge reduced by the local overdrive drop.
         frac = np.clip(vdseff / vdsat, 0.0, 1.0)
         qch_d = qch_s * (1.0 - frac)

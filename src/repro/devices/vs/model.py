@@ -90,15 +90,7 @@ class VSDevice(DeviceModel):
 
     def inversion_charge_density(self, vgs, vds):
         """Virtual-source inversion charge density ``Qixo`` [C/m^2]."""
-        p = self.params
-        phit = self.phit
-        n = np.asarray(p.n0, dtype=float)
-        alpha_phit = np.asarray(p.alpha_sm, dtype=float) * phit
-        vt = self.threshold_voltage(vds)
-        # Fermi blend between weak inversion (ff ~ 1) and strong (ff ~ 0):
-        ff = _fermi((np.asarray(vgs, dtype=float) - (vt - alpha_phit / 2.0)) / alpha_phit)
-        veff = np.asarray(vgs, dtype=float) - (vt - alpha_phit * ff)
-        return p.cinv_si * n * phit * _softplus(veff / (n * phit))
+        return self._core_normalized(vgs, vds)[0]
 
     def saturation_voltage(self, vgs, vds):
         """Blended saturation voltage ``Vdsat`` [V].
@@ -107,36 +99,51 @@ class VSDevice(DeviceModel):
         weak inversion: the thermal value ``phit``; blended with the same
         Fermi function used for the charge.
         """
-        p = self.params
-        phit = self.phit
-        alpha_phit = np.asarray(p.alpha_sm, dtype=float) * phit
-        vt = self.threshold_voltage(vds)
-        ff = _fermi((np.asarray(vgs, dtype=float) - (vt - alpha_phit / 2.0)) / alpha_phit)
-        vdsat_strong = p.vxo_si * p.l_si / p.mu_si
-        return vdsat_strong * (1.0 - ff) + phit * ff
+        return self._core_normalized(vgs, vds)[2]
 
     def saturation_function(self, vgs, vds):
         """The non-saturation continuity function ``Fs`` (Eq. 3)."""
+        return self._core_normalized(vgs, vds)[1]
+
+    def _core_normalized(self, vgs, vds):
+        """Single evaluation of ``(Qixo, Fs, Vdsat)``.
+
+        The threshold and Fermi blend are shared by the charge density
+        and the saturation chain; this is the one place the Eq. 2-4
+        arithmetic lives — the public piecewise methods above return
+        slices of it, and the hot-loop I-V/C-V hooks below pay for it
+        exactly once per bias point.
+        """
         p = self.params
+        phit = self.phit
+        n = np.asarray(p.n0, dtype=float)
+        alpha_phit = np.asarray(p.alpha_sm, dtype=float) * phit
+        vt = self.threshold_voltage(vds)
+        vgs = np.asarray(vgs, dtype=float)
+        # Fermi blend between weak inversion (ff ~ 1) and strong (ff ~ 0):
+        ff = _fermi((vgs - (vt - alpha_phit / 2.0)) / alpha_phit)
+        veff = vgs - (vt - alpha_phit * ff)
+        qixo = p.cinv_si * n * phit * _softplus(veff / (n * phit))
+
+        vdsat_strong = p.vxo_si * p.l_si / p.mu_si
+        vdsat = vdsat_strong * (1.0 - ff) + phit * ff
         beta = np.asarray(p.beta, dtype=float)
-        vdsat = self.saturation_voltage(vgs, vds)
         ratio = np.asarray(vds, dtype=float) / vdsat
-        return ratio / np.power(1.0 + np.power(ratio, beta), 1.0 / beta)
+        fs = ratio / np.power(1.0 + np.power(ratio, beta), 1.0 / beta)
+        return qixo, fs, vdsat
 
     # ------------------------------------------------------------------
     # DeviceModel hooks.
     # ------------------------------------------------------------------
     def _ids_normalized(self, vgs, vds):
         p = self.params
-        qixo = self.inversion_charge_density(vgs, vds)
-        fs = self.saturation_function(vgs, vds)
+        qixo, fs, _ = self._core_normalized(vgs, vds)
         return p.w_si * fs * qixo * p.vxo_si
 
     def _charges_normalized(self, vgs, vds):
         p = self.params
         area = p.w_si * p.l_si
-        qixo = self.inversion_charge_density(vgs, vds)
-        fs = self.saturation_function(vgs, vds)
+        qixo, fs, _ = self._core_normalized(vgs, vds)
         qixd = qixo * (1.0 - fs)
 
         # Ward-Dutton partition of a linear charge profile from source-end

@@ -1,0 +1,221 @@
+"""Batched-vs-scalar equivalence of the whole circuit stack.
+
+Every cell and analysis is run twice from one fixed seed: once through
+the batched Monte-Carlo path (one circuit, parameter arrays of shape
+``(n,)``) and once as *n* scalar circuits replaying the same sampled
+devices sample by sample.  The batched engine must reproduce the scalar
+engine sample-for-sample — per-sample convergence masking means each
+sample follows exactly the Newton trajectory of its standalone solve,
+so agreement is to machine precision (asserted at 1e-9 relative).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.leakage import supply_leakage
+from repro.cells.dff import DFFSpec, dff_setup_time
+from repro.cells.factory import (
+    MonteCarloDeviceFactory,
+    RecordingFactory,
+    ScalarReplayFactory,
+)
+from repro.cells.inverter import InverterSpec, build_inverter_fo, inverter_delays
+from repro.cells.nand import Nand2Spec, nand2_delays
+from repro.cells.ringosc import RingOscSpec, ring_frequency
+from repro.cells.sram import SRAMSpec, butterfly_curves, sram_snm
+
+RTOL = 1e-9
+
+
+def _compare(technology, measure, n_samples, model="vs", seed=11):
+    """Run *measure* batched and per-sample; return both result arrays."""
+    recorder = RecordingFactory(
+        MonteCarloDeviceFactory(technology, n_samples, model=model, seed=seed)
+    )
+    batched = np.asarray(measure(recorder), dtype=float)
+    scalars = np.stack(
+        [
+            np.asarray(
+                measure(ScalarReplayFactory(recorder.devices, k)), dtype=float
+            )
+            for k in range(n_samples)
+        ],
+        axis=-1,
+    )
+    return batched, scalars
+
+
+def _assert_equivalent(batched, scalars):
+    assert batched.shape == scalars.shape
+    np.testing.assert_allclose(batched, scalars, rtol=RTOL, equal_nan=True)
+
+
+class TestCells:
+    @pytest.mark.parametrize("model", ["vs", "bsim"])
+    def test_inverter_delays(self, technology, model):
+        spec = InverterSpec(600.0, 300.0)
+
+        def measure(factory):
+            delays = inverter_delays(factory, spec, technology.vdd, dt=1e-12)
+            return np.stack([delays["tphl"].delay, delays["tplh"].delay])
+
+        batched, scalars = _compare(technology, measure, 6, model=model)
+        _assert_equivalent(batched, scalars)
+
+    def test_nand2_delays(self, technology):
+        spec = Nand2Spec()
+
+        def measure(factory):
+            return nand2_delays(
+                factory, spec, technology.vdd, dt=1e-12
+            )["tphl"].delay
+
+        batched, scalars = _compare(technology, measure, 5)
+        _assert_equivalent(batched, scalars)
+
+    @pytest.mark.parametrize("mode", ["read", "hold"])
+    def test_sram_snm(self, technology, mode):
+        spec = SRAMSpec()
+
+        def measure(factory):
+            return sram_snm(factory, spec, technology.vdd, mode=mode)
+
+        batched, scalars = _compare(technology, measure, 6, seed=23)
+        _assert_equivalent(batched, scalars)
+
+    def test_sram_butterfly_voltages(self, technology):
+        """Raw DC-sweep transfer curves (not just the SNM scalar)."""
+        spec = SRAMSpec()
+
+        def measure(factory):
+            _, curve_a, curve_b = butterfly_curves(
+                factory, spec, technology.vdd, mode="read", n_points=31
+            )
+            return np.stack([curve_a, curve_b])
+
+        batched, scalars = _compare(technology, measure, 4, seed=29)
+        _assert_equivalent(batched, scalars)
+
+    def test_ring_frequency(self, technology):
+        spec = RingOscSpec(n_stages=3)
+
+        def measure(factory):
+            return ring_frequency(factory, spec, technology.vdd, dt=2e-12)
+
+        batched, scalars = _compare(technology, measure, 4, seed=31)
+        _assert_equivalent(batched, scalars)
+
+    def test_dff_setup_time(self, technology):
+        """Batched bisection: every sample follows its scalar schedule."""
+        spec = DFFSpec()
+
+        def measure(factory):
+            return dff_setup_time(
+                factory, spec, technology.vdd, n_iterations=4, dt=2e-12
+            )
+
+        batched, scalars = _compare(technology, measure, 3, seed=37)
+        _assert_equivalent(batched, scalars)
+
+
+class TestCompiledEngine:
+    def test_alphapower_devices_compile_and_solve(self, technology):
+        """Models without a `phit` attribute (alpha-power) stack too."""
+        from repro.circuit import Circuit, GROUND, DC, dc_operating_point
+        from repro.devices.alphapower.model import AlphaPowerDevice
+        from repro.devices.alphapower.params import AlphaPowerParams
+        from repro.devices.base import Polarity
+
+        vdd = technology.vdd
+        nmos = AlphaPowerDevice(AlphaPowerParams(polarity=Polarity.NMOS))
+        pmos = AlphaPowerDevice(AlphaPowerParams(polarity=Polarity.PMOS))
+        circuit = Circuit()
+        circuit.add_vsource("vdd", GROUND, DC(vdd), name="VDD")
+        circuit.add_vsource("in", GROUND, DC(0.0), name="VIN")
+        circuit.add_mosfet(pmos, d="out", g="in", s="vdd", name="MP")
+        circuit.add_mosfet(nmos, d="out", g="in", s=GROUND, name="MN")
+        assert circuit.compiled() is not None
+        solution = dc_operating_point(circuit)
+        # Input low -> output pulled to the rail.
+        assert solution[circuit.index_of("out")] == pytest.approx(vdd, abs=0.05)
+
+    def test_parameter_rebinding_invalidates_compile_cache(self):
+        """Rebinding an element parameter after a solve must recompile."""
+        from repro.circuit import Circuit, GROUND, DC, dc_operating_point
+
+        circuit = Circuit()
+        circuit.add_vsource("a", GROUND, DC(1.0), name="V1")
+        circuit.add_resistor("a", "b", 1e3, name="R1")
+        circuit.add_resistor("b", GROUND, 1e3, name="R2")
+        first = dc_operating_point(circuit)[circuit.index_of("b")]
+        assert first == pytest.approx(0.5, abs=1e-6)
+
+        circuit["R1"].resistance = 3e3
+        second = dc_operating_point(circuit)[circuit.index_of("b")]
+        assert second == pytest.approx(0.25, abs=1e-6)
+
+    def test_waveform_batch_shape_change_invalidates_compile_cache(self):
+        """Rebinding a source to a different batch shape must recompile
+        (waveform values are exempt from the fingerprint, shapes are not)."""
+        from repro.circuit import Circuit, GROUND, DC, dc_operating_point
+
+        circuit = Circuit()
+        circuit.add_vsource("a", GROUND, DC(1.0), name="V1")
+        circuit.add_resistor("a", "b", 1e3, name="R1")
+        circuit.add_resistor("b", GROUND, 1e3, name="R2")
+        scalar = dc_operating_point(circuit)
+        assert scalar.shape == (3,)
+
+        circuit["V1"].waveform = DC(np.array([1.0, 2.0, 3.0]))
+        batched = dc_operating_point(circuit)
+        assert batched.shape == (3, 3)
+        np.testing.assert_allclose(
+            batched[:, circuit.index_of("b")], [0.5, 1.0, 1.5], atol=1e-6
+        )
+
+
+class TestAnalyses:
+    def test_supply_leakage(self, technology):
+        spec = InverterSpec(600.0, 300.0)
+
+        def measure(factory):
+            circuit, hints = build_inverter_fo(
+                factory, spec, technology.vdd, separate_load_supply=True
+            )
+            return supply_leakage(circuit, "VDD", hints)
+
+        batched, scalars = _compare(technology, measure, 8, seed=41)
+        _assert_equivalent(batched, scalars)
+
+    def test_mixed_nominal_and_batched_parameters(self, technology):
+        """A circuit mixing scalar cards and batched waveform delays still
+        broadcasts to the full Monte-Carlo batch."""
+        from repro.circuit.netlist import Circuit, GROUND
+        from repro.circuit.transient import transient
+        from repro.circuit.waveforms import PiecewiseLinear
+
+        delays = np.array([5e-12, 10e-12, 20e-12])
+        wave = PiecewiseLinear([0.0, 5e-12], [0.0, technology.vdd], delay=delays)
+
+        def build(delay_value):
+            circuit = Circuit()
+            circuit.add_vsource("in", GROUND, wave_k(delay_value), name="VIN")
+            circuit.add_resistor("in", "out", 1e4)
+            circuit.add_capacitor("out", GROUND, 1e-15)
+            return circuit
+
+        def wave_k(delay_value):
+            return PiecewiseLinear(
+                [0.0, 5e-12], [0.0, technology.vdd], delay=delay_value
+            )
+
+        circuit = Circuit()
+        circuit.add_vsource("in", GROUND, wave, name="VIN")
+        circuit.add_resistor("in", "out", 1e4)
+        circuit.add_capacitor("out", GROUND, 1e-15)
+        batched = transient(circuit, 60e-12, 1e-12)["out"]
+        assert batched.shape[1:] == (3,)
+
+        for k, delay_value in enumerate(delays):
+            scalar = transient(build(float(delay_value)), 60e-12, 1e-12)["out"]
+            np.testing.assert_allclose(batched[:, k], scalar, rtol=RTOL)

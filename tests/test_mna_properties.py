@@ -11,6 +11,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.circuit import Circuit, GROUND, DC, dc_operating_point
+from repro.circuit.mna import (
+    ConvergenceError,
+    NewtonOptions,
+    System,
+    newton_solve,
+)
 
 
 def solve_with_networkx(edges, source_node, v_source):
@@ -119,3 +125,105 @@ class TestAgainstLaplacian:
         assert -sol[ckt["V1"].branch_index] == pytest.approx(
             g_total, rel=1e-4
         )
+
+
+def _scalar_root_assemble(targets):
+    """``F(v) = v^2 - targets`` on a 1-unknown system, batched."""
+    targets = np.asarray(targets, dtype=float)
+
+    def assemble(v):
+        system = System(targets.shape, 1)
+        system.add_f(0, v[..., 0] ** 2 - targets)
+        system.add_j(0, 0, 2.0 * v[..., 0])
+        return system
+
+    return assemble
+
+
+class TestConvergenceMasking:
+    """Per-sample Newton masking: edge cases of the batched solver."""
+
+    def test_batch_of_one_matches_scalar(self):
+        assemble_b = _scalar_root_assemble(np.array([4.0]))
+        assemble_s = _scalar_root_assemble(4.0)
+        vb = newton_solve(assemble_b, np.full((1, 1), 3.0), 1)
+        vs = newton_solve(assemble_s, np.full((1,), 3.0), 1)
+        np.testing.assert_array_equal(vb[0], vs)
+        assert vb[0, 0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_all_converged_early_stops_iterating(self):
+        # A linear system converges on the first update; the loop must
+        # stop long before max_iterations.
+        def assemble(v):
+            system = System((5,), 1)
+            system.add_f(0, v[..., 0] - 1.0)
+            system.add_j(0, 0, 1.0)
+            return system
+
+        opts = NewtonOptions(max_iterations=80, vlimit=10.0)
+        v, info = newton_solve(
+            assemble, np.zeros((5, 1)), 1, options=opts, return_info=True
+        )
+        assert np.all(info.converged)
+        assert info.iterations <= 3
+        np.testing.assert_allclose(v[:, 0], 1.0, atol=1e-9)
+
+    def test_one_diverged_sample_does_not_corrupt_the_rest(self):
+        # Sample 1's residual is NaN from the start: its update turns
+        # non-finite and it must be frozen as failed while samples 0 and
+        # 2 converge to their roots exactly as they would alone.
+        targets = np.array([4.0, np.nan, 9.0])
+        assemble = _scalar_root_assemble(targets)
+        v0 = np.full((3, 1), 5.0)
+        v, info = newton_solve(assemble, v0, 1, return_info=True)
+        assert list(info.converged) == [True, False, True]
+        assert v[0, 0] == pytest.approx(2.0, abs=1e-6)
+        assert v[2, 0] == pytest.approx(3.0, abs=1e-6)
+        # The healthy samples converged in the plain pass; the gmin
+        # ladder triggered by the bad die must not have re-run them —
+        # they keep bitwise the result of their standalone solves.
+        for k in (0, 2):
+            standalone = newton_solve(
+                _scalar_root_assemble(targets[k]), np.full((1,), 5.0), 1
+            )
+            np.testing.assert_array_equal(v[k], standalone)
+        # Without return_info the failure is a clean ConvergenceError.
+        with pytest.raises(ConvergenceError):
+            newton_solve(assemble, v0, 1)
+
+    def test_frozen_samples_match_standalone_trajectories(self):
+        # Mixed convergence speeds: the fast sample freezes early, yet
+        # both finish bitwise-identical to their standalone solves.
+        targets = np.array([1.0, 1e6])
+        assemble = _scalar_root_assemble(targets)
+        opts = NewtonOptions(vlimit=1e6, max_iterations=200)
+        v = newton_solve(assemble, np.full((2, 1), 2.0), 1, options=opts)
+        for k in range(2):
+            vk = newton_solve(
+                _scalar_root_assemble(targets[k]), np.full((1,), 2.0), 1,
+                options=opts,
+            )
+            np.testing.assert_array_equal(v[k], vk)
+
+
+class TestSingularJacobians:
+    def test_zero_derivative_start_recovers(self):
+        # F(v) = v^2 - 4 from v0 = 0: the Jacobian is singular at the
+        # first iterate; gmin conditioning plus the vlimit clamp walk
+        # the solve off the stationary point and it still finds a root.
+        assemble = _scalar_root_assemble(4.0)
+        v = newton_solve(assemble, np.zeros(1), 1)
+        assert abs(v[0]) == pytest.approx(2.0, abs=1e-6)
+
+    def test_permanently_singular_system_raises_cleanly(self):
+        # A zero branch row (no gmin on branch rows) is singular at
+        # every gmin rung: the ladder must surface ConvergenceError,
+        # not a raw LinAlgError.
+        def assemble(v):
+            system = System((), 2)
+            system.add_f(0, v[..., 0] - 1.0)
+            system.add_j(0, 0, 1.0)
+            return system
+
+        with pytest.raises(ConvergenceError):
+            newton_solve(assemble, np.zeros(2), 1)
