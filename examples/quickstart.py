@@ -1,13 +1,17 @@
-"""Quickstart: characterize a technology and run your first statistical MC.
+"""Quickstart: one `Session`, and your first statistical analyses.
 
-This walks the library's core loop in five steps:
+This walks the library's core loop in five steps, all through the
+public declarative API (`repro.api`):
 
-1. characterize the 40-nm technology (fit the nominal VS model to the
-   golden kit, extract the Pelgrom alphas by BPV);
+1. open a :class:`Session` — it owns the characterized 40-nm technology
+   (fit the nominal VS model to the golden kit, extract the Pelgrom
+   alphas by BPV), a seed tree, backend selection, and the compiled
+   plan cache;
 2. inspect the extracted statistical coefficients (paper Table II);
-3. Monte-Carlo a single device and compare VS vs golden sigmas
-   (paper Table III);
-4. simulate a CMOS inverter at SPICE level with the batched engine;
+3. Monte-Carlo a single device under both models with a declarative
+   :class:`MonteCarlo` spec (paper Table III) — note the uniform
+   ``Result`` envelope;
+4. simulate a CMOS inverter at SPICE level with a session factory;
 5. emit the statistical VS Verilog-A module.
 
 Run:  python examples/quickstart.py
@@ -15,17 +19,17 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.cells import InverterSpec, MonteCarloDeviceFactory, inverter_delays
+from repro.api import MonteCarlo, Session
+from repro.cells import InverterSpec, inverter_delays
 from repro.codegen import generate_veriloga
-from repro.pipeline import default_technology
-from repro.stats.montecarlo import golden_target_samples, vs_target_samples
 
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. Characterize (cached after the first call).
+    # 1. One session = technology + seeds + backends + plan cache.
     # ------------------------------------------------------------------
-    tech = default_technology()
+    session = Session(seed=1)
+    tech = session.technology
     nmos = tech.nmos
     print(f"technology characterized at Vdd = {tech.vdd} V")
     print(f"nominal VS fit quality: {nmos.fit.rms_log_error:.3f} decades RMS\n")
@@ -42,24 +46,28 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # 3. Device-level Monte-Carlo: VS vs golden (Table III flavor).
+    #    Declarative specs in, Result envelopes out.
     # ------------------------------------------------------------------
     w, l = 600.0, 40.0
-    golden = golden_target_samples(
-        nmos.golden_mismatch, w, l, tech.vdd, 3000, np.random.default_rng(1)
+    golden = session.run(
+        MonteCarlo(n_samples=3000, model="bsim", w_nm=w, l_nm=l, seed_offset=0)
     )
-    vs = vs_target_samples(
-        nmos.statistical, w, l, tech.vdd, 3000, np.random.default_rng(2)
+    vs = session.run(
+        MonteCarlo(n_samples=3000, model="vs", w_nm=w, l_nm=l, seed_offset=1)
     )
-    print(f"medium device ({w:.0f}/{l:.0f} nm), 3000 MC samples:")
-    print(f"  sigma(Idsat): golden {golden.sigma('idsat') * 1e6:.1f} uA, "
-          f"VS {vs.sigma('idsat') * 1e6:.1f} uA")
-    print(f"  sigma(log10 Ioff): golden {golden.sigma('log10_ioff'):.3f}, "
-          f"VS {vs.sigma('log10_ioff'):.3f}\n")
+    print(f"medium device ({w:.0f}/{l:.0f} nm), 3000 MC samples "
+          f"(seeds {golden.seed}/{vs.seed}, {golden.wall_time_s * 1e3:.0f} ms):")
+    print(f"  sigma(Idsat): golden {golden.payload.sigma('idsat') * 1e6:.1f} uA, "
+          f"VS {vs.payload.sigma('idsat') * 1e6:.1f} uA")
+    print(f"  sigma(log10 Ioff): golden {golden.payload.sigma('log10_ioff'):.3f}, "
+          f"VS {vs.payload.sigma('log10_ioff'):.3f}\n")
 
     # ------------------------------------------------------------------
-    # 4. Circuit-level: a 200-sample INV FO3 delay distribution.
+    # 4. Circuit-level: a 200-sample INV FO3 delay distribution.  The
+    #    session factory carries the plan cache + backend into the cell.
     # ------------------------------------------------------------------
-    factory = MonteCarloDeviceFactory(tech, 200, model="vs", seed=7)
+    # Offset 6 on root seed 1 replays the pre-API default_rng(7) stream.
+    factory = session.mc_factory(200, model="vs", seed_offset=6)
     delays = inverter_delays(factory, InverterSpec(600.0, 300.0), tech.vdd)
     tphl = delays["tphl"].delay
     print("INV FO3 (600/300 nm), 200-sample Monte-Carlo transient:")

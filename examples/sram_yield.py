@@ -6,13 +6,17 @@ designer wants the failure probability (SNM below a noise budget) as a
 function of supply voltage.  The ultra-compact statistical VS model makes
 the required thousands of butterfly extractions cheap.
 
+All Monte-Carlo plumbing (technology, seeding, plan cache) comes from
+one `repro.api.Session`; the per-supply seed offsets make every row
+independently reproducible.
+
 Run:  python examples/sram_yield.py
 """
 
 import numpy as np
 
-from repro.cells import MonteCarloDeviceFactory, SRAMSpec, sram_snm
-from repro.pipeline import default_technology
+from repro.api import Session
+from repro.cells import SRAMSpec, sram_snm
 from repro.stats.distributions import summarize
 
 #: Noise budget: a READ SNM below this is counted as a stability failure.
@@ -23,7 +27,7 @@ SUPPLIES = (0.9, 0.8, 0.7)
 
 
 def main() -> None:
-    tech = default_technology()
+    session = Session(seed=31)
     spec = SRAMSpec()
     print(f"6T SRAM read-stability yield "
           f"(PD/PU/AX = {spec.wn_pd_nm:.0f}/{spec.wp_pu_nm:.0f}/"
@@ -32,8 +36,8 @@ def main() -> None:
           f"{'P(SNM < ' + str(int(SNM_BUDGET_V * 1e3)) + ' mV)':>16}")
 
     for vdd in SUPPLIES:
-        factory = MonteCarloDeviceFactory(tech, N_SAMPLES, model="vs",
-                                          seed=31 + int(vdd * 100))
+        factory = session.mc_factory(N_SAMPLES, model="vs",
+                                     seed_offset=int(vdd * 100))
         snm = sram_snm(factory, spec, vdd, mode="read")
         stats = summarize(snm)
         fail = float(np.mean(snm < SNM_BUDGET_V))

@@ -9,22 +9,19 @@ the worst-case arrival time of a reconvergent logic block.  Three ways:
 
 At nominal supply all three roughly agree; the interesting engineering
 output is *how much margin corners waste* and how the Gaussian
-approximation drifts at reduced supply.
+approximation drifts at reduced supply.  Arc characterization draws its
+factories — Monte-Carlo, nominal, and corner — from one
+`repro.api.Session`.
 
 Run:  python examples/ssta_signoff.py   (a few minutes)
 """
 
 import numpy as np
 
-from repro.cells import (
-    InverterSpec,
-    MonteCarloDeviceFactory,
-    NominalDeviceFactory,
-    inverter_delays,
-)
+from repro.api import Session
+from repro.cells import InverterSpec, inverter_delays
 from repro.cells.factory import DeviceFactory
 from repro.devices.vs.model import VSDevice
-from repro.pipeline import default_technology
 from repro.ssta import EmpiricalDelay, TimingGraph, clark_arrival, monte_carlo_arrival
 from repro.stats.corners import generate_corners
 
@@ -49,21 +46,23 @@ class _CornerFactory(DeviceFactory):
 
 
 def main() -> None:
-    tech = default_technology()
+    session = Session(seed=3)
+    tech = session.technology
     vdd = tech.vdd
 
     # --- arc characterization (statistical + corner) -------------------
-    mc_factory = MonteCarloDeviceFactory(tech, N_DEVICE_MC, model="vs", seed=3)
+    mc_factory = session.mc_factory(N_DEVICE_MC, model="vs", seed_offset=0)
     samples = inverter_delays(mc_factory, SPEC, vdd)["tphl"].delay
     samples = samples[np.isfinite(samples)]
 
     corners = generate_corners(tech.nmos.statistical, tech.pmos.statistical,
                                k_sigma=3.0)
     ss_delay = float(
-        inverter_delays(_CornerFactory(corners["SS"]), SPEC, vdd)["tphl"].delay
+        inverter_delays(session.equip(_CornerFactory(corners["SS"])),
+                        SPEC, vdd)["tphl"].delay
     )
     tt_delay = float(
-        inverter_delays(NominalDeviceFactory(tech, "vs"), SPEC, vdd)["tphl"].delay
+        inverter_delays(session.nominal_factory("vs"), SPEC, vdd)["tphl"].delay
     )
 
     # --- build the block's timing graph ---------------------------------
@@ -71,8 +70,8 @@ def main() -> None:
     graph = TimingGraph.parallel_chains(
         [[arc] * CHAIN_DEPTH for _ in range(N_CHAINS)]
     )
-    rng = np.random.default_rng(11)
-    arrivals = monte_carlo_arrival(graph, "src", "snk", N_GRAPH_MC, rng)
+    arrivals = monte_carlo_arrival(graph, "src", "snk", N_GRAPH_MC,
+                                   session.rng(8))
     analytic = clark_arrival(graph, "src", "snk")
 
     mc_q999 = float(np.quantile(arrivals, 0.999))

@@ -7,16 +7,20 @@ Monte-Carlos a NAND2's delay and leakage, and reports how the mean, the
 spread, and the *shape* (Gaussianity) of the delay distribution evolve —
 the dynamic-voltage-scaling design question of Fig. 7.
 
+Factories come from one `repro.api.Session`; re-requesting the same
+seed offset replays the identical sampled devices, which is how the
+leakage measurement reuses the delay run's dice.
+
 Run:  python examples/voltage_scaling.py
 """
 
 import numpy as np
 
 from repro.analysis.leakage import supply_leakage
-from repro.cells import MonteCarloDeviceFactory, Nand2Spec, nand2_delays
+from repro.api import Session
+from repro.cells import Nand2Spec, nand2_delays
 from repro.cells.nand import build_nand2_fo
 from repro.circuit.waveforms import DC
-from repro.pipeline import default_technology
 from repro.stats.distributions import qq_tail_nonlinearity, summarize
 
 N_SAMPLES = 300
@@ -24,26 +28,25 @@ SUPPLIES = (0.9, 0.7, 0.55)
 
 
 def main() -> None:
-    tech = default_technology()
+    session = Session(seed=17)
     spec = Nand2Spec()
     print(f"NAND2 FO3 voltage-scaling study ({N_SAMPLES} MC samples)\n")
     print(f"{'Vdd (V)':>8}  {'delay (ps)':>11}  {'sigma/mean':>10}  "
           f"{'QQ curvature':>12}  {'leakage (nA)':>13}")
 
     for vdd in SUPPLIES:
-        factory = MonteCarloDeviceFactory(tech, N_SAMPLES, model="vs",
-                                          seed=17 + int(vdd * 100))
+        offset = int(vdd * 100)
+        factory = session.mc_factory(N_SAMPLES, model="vs", seed_offset=offset)
         delays = nand2_delays(factory, spec, vdd)
         tphl = delays["tphl"].delay
         tphl = tphl[np.isfinite(tphl)]
         stats = summarize(tphl)
         curvature = qq_tail_nonlinearity(tphl)
 
-        # Static leakage of the same cell at input A=0, B=1 (fresh
-        # factory with the same seed reproduces the sampled devices).
-        factory_static = MonteCarloDeviceFactory(
-            tech, N_SAMPLES, model="vs", seed=17 + int(vdd * 100)
-        )
+        # Static leakage of the same cell at input A=0, B=1: the same
+        # seed offset replays the identical sampled devices.
+        factory_static = session.mc_factory(N_SAMPLES, model="vs",
+                                            seed_offset=offset)
         circuit, hints = build_nand2_fo(factory_static, spec, vdd,
                                         input_waveform=DC(0.0))
         leak = supply_leakage(circuit, "VDD", hints)

@@ -2,6 +2,10 @@
 
 The package provides:
 
+* :mod:`repro.api` — the public entry point: a declarative
+  ``Session``/``AnalysisSpec`` API over every analysis and experiment
+  (seeding, backend selection, plan caching, uniform ``Result``
+  envelopes, the experiment registry);
 * :mod:`repro.devices` — the Virtual Source compact model and a BSIM4-lite
   "golden" model, both vectorized over a Monte-Carlo sample axis;
 * :mod:`repro.circuit` — a batched MNA circuit simulator (DC, sweep,
@@ -14,14 +18,34 @@ The package provides:
 * :mod:`repro.experiments` — one module per figure/table of the paper.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.api import (
+    AC,
+    AnalysisSpec,
+    DCOp,
+    DCSweep,
+    ImportanceSampling,
+    MonteCarlo,
+    Result,
+    Session,
+    Transient,
+)
 from repro.devices.base import DeviceModel, Polarity
 from repro.devices.vs import VSParams, VSDevice, StatisticalVSModel
 from repro.devices.bsim import BSIMParams, BSIMDevice, BSIMMismatch, MismatchSpec
 from repro.stats.pelgrom import PelgromAlphas
 
 __all__ = [
+    "Session",
+    "Result",
+    "AnalysisSpec",
+    "DCOp",
+    "Transient",
+    "AC",
+    "DCSweep",
+    "MonteCarlo",
+    "ImportanceSampling",
     "DeviceModel",
     "Polarity",
     "VSParams",

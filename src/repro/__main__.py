@@ -6,43 +6,24 @@ Usage::
     python -m repro fig3 table2 ...     # run selected, print reports
     python -m repro all                  # everything (long: full circuit MC)
     python -m repro fig5 --quick         # reduced sample counts
+    python -m repro fig5 --json          # machine-readable Result envelope
+    python -m repro fig5 --seed 7        # reseed the whole session
+    python -m repro fig5 --backend generic   # force per-element MNA
 
-Each experiment prints the rows/series of the corresponding figure or
-table of the DATE-2013 paper.
+Every experiment is a declarative entry in the :mod:`repro.api`
+registry and executes through one :class:`repro.api.Session`, which
+owns the technology, the seed tree, backend selection and the compiled
+plan cache.  Default output is the experiment's human-readable report;
+``--json`` dumps the uniform ``Result`` envelope instead.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
-import time
 
-#: Experiment registry: name -> (module, quick kwargs, full kwargs).
-EXPERIMENTS = {
-    "fig1": ("repro.experiments.fig1_iv_fit", {}, {}),
-    "fig2": ("repro.experiments.fig2_bpv_consistency", {}, {}),
-    "fig3": ("repro.experiments.fig3_idsat_mismatch",
-             {"n_samples": 1500}, {"n_samples": 3000}),
-    "fig4": ("repro.experiments.fig4_scatter_ellipses",
-             {"n_samples": 600}, {"n_samples": 1000}),
-    "fig5": ("repro.experiments.fig5_inv_delay",
-             {"n_samples": 150}, {"n_samples": 2500}),
-    "fig6": ("repro.experiments.fig6_leakage_freq",
-             {"n_samples": 300}, {"n_samples": 5000}),
-    "fig7": ("repro.experiments.fig7_nand2_vdd",
-             {"n_samples": 150}, {"n_samples": 2500}),
-    "fig8": ("repro.experiments.fig8_dff_setup",
-             {"n_samples": 30, "n_iterations": 6}, {"n_samples": 250}),
-    "fig9": ("repro.experiments.fig9_sram_snm",
-             {"n_samples": 250}, {"n_samples": 2500}),
-    "table2": ("repro.experiments.table2_alphas", {}, {}),
-    "table3": ("repro.experiments.table3_device_sigma",
-               {"n_samples": 2000}, {"n_samples": 4000}),
-    "table4": ("repro.experiments.table4_runtime",
-               {"n_nand": 150, "n_dff": 20, "n_sram": 150},
-               {"n_nand": 2000, "n_dff": 250, "n_sram": 2000}),
-}
+from repro.api import Session, load_all, names
+from repro.api.registry import get as registry_get_def
 
 
 def main(argv=None) -> int:
@@ -52,33 +33,55 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiments", nargs="+",
-        help="experiment names (fig1..fig9, table2..table4), 'all', or 'list'",
+        help="experiment names (fig1..fig9, table2..table4, baseline, "
+             "ssta), 'all', or 'list'",
     )
     parser.add_argument(
         "--quick", action="store_true",
         help="reduced Monte-Carlo counts (same shapes, minutes not hours)",
     )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print each experiment's Result envelope as one JSON document "
+             "per line (JSON-lines) instead of the text report",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the session's root seed (default: the paper seed; "
+             "golden figures are pinned to it)",
+    )
+    parser.add_argument(
+        "--backend", choices=("compiled", "generic"), default=None,
+        help="force the circuit assembly backend for every analysis "
+             "(default: auto — compile when the netlist supports it)",
+    )
     args = parser.parse_args(argv)
 
+    load_all()
     if args.experiments == ["list"]:
-        for name, (module, _, _) in EXPERIMENTS.items():
-            print(f"{name:8s} {module}")
+        for name in names():
+            defn = registry_get_def(name)
+            print(f"{name:8s} {defn.module:42s} {defn.title}")
         return 0
 
-    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    requested = names() if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in requested if n not in names()]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; try 'list'")
 
-    for name in names:
-        module_name, quick_kwargs, full_kwargs = EXPERIMENTS[name]
-        module = importlib.import_module(module_name)
-        kwargs = quick_kwargs if args.quick else full_kwargs
-        start = time.perf_counter()
-        result = module.run(**kwargs)
-        elapsed = time.perf_counter() - start
-        print(module.report(result))
-        print(f"[{name} done in {elapsed:.1f} s]\n")
+    session = Session(
+        **({} if args.seed is None else {"seed": args.seed}),
+        backend=args.backend or "auto",
+    )
+    for name in requested:
+        result = session.run_experiment(name, quick=args.quick)
+        if args.as_json:
+            # One compact document per experiment: stdout is valid JSONL
+            # for multi-experiment runs and plain JSON for a single one.
+            print(result.to_json(indent=None))
+        else:
+            print(registry_get_def(name).report(result.payload))
+            print(f"[{name} done in {result.wall_time_s:.1f} s]\n")
     return 0
 
 

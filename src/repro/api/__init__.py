@@ -1,0 +1,64 @@
+"""Public, declarative API: ``Session`` + ``AnalysisSpec`` + ``Result``.
+
+The one stable entry point every analysis and experiment plugs into::
+
+    from repro.api import Session, MonteCarlo
+
+    session = Session(seed=424242)                # technology + seed tree
+    result = session.run(MonteCarlo(n_samples=2000, w_nm=600.0))
+    print(result.payload.sigma("idsat"), result.to_json(include_payload=False))
+
+See :mod:`repro.api.session` for the facade, :mod:`repro.api.specs` for
+the spec vocabulary, and :mod:`repro.api.registry` for the
+``@experiment`` registration the CLI iterates.
+"""
+
+from repro.api.plans import PlanCache
+from repro.api.registry import (
+    REGISTRY,
+    ExperimentDef,
+    experiment,
+    get,
+    load_all,
+    names,
+)
+from repro.api.result import Result, jsonify
+from repro.api.seeding import EXPERIMENT_SEED, SeedTree, derived_rng
+from repro.api.session import Session, default_session
+from repro.api.specs import (
+    AC,
+    BACKENDS,
+    AnalysisSpec,
+    DCOp,
+    DCSweep,
+    ExperimentSpec,
+    ImportanceSampling,
+    MonteCarlo,
+    Transient,
+)
+
+__all__ = [
+    "Session",
+    "default_session",
+    "AnalysisSpec",
+    "DCOp",
+    "Transient",
+    "AC",
+    "DCSweep",
+    "MonteCarlo",
+    "ImportanceSampling",
+    "ExperimentSpec",
+    "BACKENDS",
+    "Result",
+    "jsonify",
+    "PlanCache",
+    "SeedTree",
+    "derived_rng",
+    "EXPERIMENT_SEED",
+    "experiment",
+    "ExperimentDef",
+    "REGISTRY",
+    "load_all",
+    "names",
+    "get",
+]

@@ -1,0 +1,92 @@
+"""Session-owned cache of compiled assembly plans.
+
+PR 1 gave every :class:`~repro.circuit.netlist.Circuit` a private cached
+``CompiledCircuit`` keyed by its parameter fingerprint.  The cache now
+has a central owner: a :class:`PlanCache` attached by the
+:class:`~repro.api.session.Session` to every circuit its factories
+build.  Plans are still keyed by the PR-1 fingerprint
+(``Circuit._param_fingerprint``: parameter-object identities + element
+batch shapes), but live in one bounded LRU structure with hit/miss
+accounting — the handle later scaling work (sharding, cross-run reuse,
+multi-backend planning) needs.
+
+Entries hold only a *weak* reference to their circuit and are dropped
+the moment the circuit is garbage-collected, so the cache never
+outlives the (potentially multi-megabyte, batched-parameter) plans of
+dead netlists — matching the lifetime behaviour of the PR-1
+per-circuit cache while keeping central accounting.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["PlanCache"]
+
+
+class _Entry:
+    __slots__ = ("plan", "objects", "shapes", "circuit_ref")
+
+    def __init__(self, plan, objects, shapes, circuit_ref):
+        self.plan = plan
+        # Strong refs keep the fingerprinted parameter objects alive so
+        # identity comparison stays reliable for the entry's lifetime.
+        self.objects = objects
+        self.shapes = shapes
+        self.circuit_ref = circuit_ref
+
+
+class PlanCache:
+    """Bounded LRU cache of :class:`CompiledCircuit` plans."""
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def plan_for(self, circuit) -> Optional[object]:
+        """The compiled plan for *circuit* (None when uncompilable).
+
+        Cached per circuit and invalidated exactly like the PR-1
+        per-circuit cache: any change to the parameter-object identity
+        list or the per-element batch shapes triggers a recompile.
+        """
+        from repro.circuit.netlist import fingerprint_matches
+
+        objects, shapes = circuit._param_fingerprint()
+        key = id(circuit)
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and entry.circuit_ref() is circuit
+            and fingerprint_matches(entry.objects, entry.shapes, objects, shapes)
+        ):
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry.plan
+
+        from repro.circuit.compiled import compile_circuit
+
+        self.misses += 1
+        plan = compile_circuit(circuit)
+        # The weakref callback evicts the entry (plan + pinned parameter
+        # arrays) as soon as the circuit itself is garbage-collected.
+        entries = self._entries
+        circuit_ref = weakref.ref(circuit, lambda _, k=key: entries.pop(k, None))
+        entries[key] = _Entry(plan, objects, shapes, circuit_ref)
+        entries.move_to_end(key)
+        while len(entries) > self.maxsize:
+            entries.popitem(last=False)
+        return plan
+
+    def stats(self) -> dict:
+        """Hit/miss counters and current size (for result metadata)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}

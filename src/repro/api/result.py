@@ -1,0 +1,105 @@
+"""Uniform result envelope for every analysis and experiment.
+
+A :class:`Result` carries the analysis payload (whatever dataclass or
+array the underlying engine produced) together with the metadata every
+consumer keeps re-deriving by hand: the seed that reproduces the run,
+the Monte-Carlo sample count, the backend that executed it, the wall
+time, and a verbatim echo of the spec.  ``to_dict``/``to_json`` render
+the whole envelope — numpy arrays, nested dataclasses, complex phasors
+and all — into plain JSON types for logging, CI artifacts, and the
+``python -m repro --json`` CLI mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.api.specs import AnalysisSpec
+
+__all__ = ["Result", "jsonify"]
+
+
+def jsonify(obj: Any) -> Any:
+    """Recursively convert *obj* into JSON-serializable plain types.
+
+    Handles nested dataclasses, numpy arrays/scalars (complex arrays
+    become ``{"real": ..., "imag": ...}``), mappings, sequences, and
+    falls back to ``repr`` for anything exotic (callables, models).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if np.isfinite(obj) else repr(obj)
+    if isinstance(obj, complex):
+        return {"real": obj.real, "imag": obj.imag}
+    if isinstance(obj, np.generic):
+        return jsonify(obj.item())
+    if isinstance(obj, np.ndarray):
+        if np.iscomplexobj(obj):
+            return {"real": jsonify(obj.real), "imag": jsonify(obj.imag)}
+        return jsonify(obj.tolist())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"type": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = jsonify(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [jsonify(v) for v in obj]
+    return repr(obj)
+
+
+@dataclass(frozen=True)
+class Result:
+    """Envelope returned by every ``Session`` analysis."""
+
+    #: The analysis output (engine dataclass, array, or experiment result).
+    payload: Any
+    #: Verbatim echo of the spec that produced the payload.
+    spec: AnalysisSpec
+    #: Backend that executed the run: ``compiled``, ``generic`` (MNA
+    #: paths) or ``device`` for device-level statistical analyses.  For
+    #: registry-experiment envelopes — which may run many circuits —
+    #: this is the session's backend *policy* instead (``auto``
+    #: resolves per circuit; ``compiled``/``generic`` were forced).
+    backend: str
+    #: Root seed of the run's random streams (None for deterministic runs).
+    seed: Optional[int] = None
+    #: Monte-Carlo sample count / batch size (None for nominal runs).
+    n_samples: Optional[int] = None
+    #: Wall-clock duration of the run [s].
+    wall_time_s: float = 0.0
+    #: Registry name when the run came through an ``@experiment`` entry.
+    experiment: Optional[str] = None
+    #: Free-form extras (plan-cache statistics, engine diagnostics...).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self, include_payload: bool = True) -> Dict[str, Any]:
+        """The envelope as plain JSON types."""
+        out: Dict[str, Any] = {
+            "experiment": self.experiment,
+            "spec": jsonify(self.spec.describe()),
+            "backend": self.backend,
+            "seed": self.seed,
+            "n_samples": self.n_samples,
+            "wall_time_s": self.wall_time_s,
+            "meta": jsonify(self.meta),
+        }
+        if include_payload:
+            out["payload"] = jsonify(self.payload)
+        return out
+
+    def to_json(self, indent: Optional[int] = 2,
+                include_payload: bool = True) -> str:
+        """The envelope serialized to JSON text."""
+        return json.dumps(
+            self.to_dict(include_payload=include_payload),
+            indent=indent,
+            sort_keys=True,
+        )

@@ -1,0 +1,367 @@
+"""The `Session` facade: one entry point for every analysis.
+
+A :class:`Session` owns the four cross-cutting concerns that every
+analysis and experiment used to re-implement by hand:
+
+* the characterized **technology** (defaults to the shared 40-nm kit);
+* a **seed tree** (`SeedSequence`-based, legacy-stream compatible) that
+  hands out every random stream;
+* **backend selection** — compiled device-stacked assembly vs. generic
+  per-element MNA — session-wide with per-spec override;
+* the **plan cache** of compiled assemblies, injected into every
+  circuit built through the session's device factories.
+
+Analyses are described by frozen :mod:`repro.api.specs` dataclasses and
+executed with :meth:`Session.run`; registry experiments run through
+:meth:`Session.run_experiment`.  Everything returns a
+:class:`~repro.api.result.Result` envelope.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.api.plans import PlanCache
+from repro.api.registry import ExperimentDef, get as registry_get
+from repro.api.result import Result
+from repro.api.seeding import EXPERIMENT_SEED, SeedTree
+from repro.api.specs import (
+    AC,
+    BACKENDS,
+    AnalysisSpec,
+    DCOp,
+    DCSweep,
+    ExperimentSpec,
+    ImportanceSampling,
+    MonteCarlo,
+    Transient,
+)
+
+__all__ = ["Session", "default_session"]
+
+
+def _batch_samples(batch_shape: tuple) -> Optional[int]:
+    """Monte-Carlo sample count from a batch shape (None for nominal)."""
+    if not batch_shape:
+        return None
+    return int(np.prod(batch_shape))
+
+
+class Session:
+    """Facade over the technology, seeding, backends, and plan cache.
+
+    Parameters
+    ----------
+    technology:
+        A characterized :class:`~repro.pipeline.Technology`; the shared
+        default 40-nm kit when omitted (resolved lazily, so pure-circuit
+        sessions never pay for characterization).
+    seed:
+        Root of the session's seed tree.  The default keeps every
+        experiment bit-identical to the historical per-module seeding.
+    backend:
+        Session-wide backend: ``auto`` (compile when possible),
+        ``compiled`` (require the vectorized plan) or ``generic``
+        (force per-element assembly).  Specs may override per run.
+    """
+
+    def __init__(
+        self,
+        technology=None,
+        seed: int = EXPERIMENT_SEED,
+        backend: str = "auto",
+        plan_cache: Optional[PlanCache] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self._technology = technology
+        self.seeds = SeedTree(seed)
+        self.backend = backend
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+
+    # ------------------------------------------------------------------
+    # Owned resources.
+    # ------------------------------------------------------------------
+    @property
+    def technology(self):
+        """The session's characterized technology (lazily resolved)."""
+        if self._technology is None:
+            from repro.pipeline import default_technology
+
+            self._technology = default_technology()
+        return self._technology
+
+    @property
+    def seed(self) -> int:
+        """Root seed of the session's seed tree."""
+        return self.seeds.root
+
+    def rng(self, offset: int = 0) -> np.random.Generator:
+        """Fresh generator for stream *offset* of the seed tree."""
+        return self.seeds.rng(offset)
+
+    # ------------------------------------------------------------------
+    # Device factories (the way cells obtain transistors).
+    # ------------------------------------------------------------------
+    def mc_factory(
+        self,
+        n_samples: int,
+        model: str = "vs",
+        seed_offset: int = 0,
+        interdie_sigma=None,
+    ):
+        """Monte-Carlo device factory drawing from the session seed tree.
+
+        Circuits built by cell builders from this factory inherit the
+        session's plan cache and backend selection.
+        """
+        from repro.cells.factory import MonteCarloDeviceFactory
+
+        factory = MonteCarloDeviceFactory(
+            self.technology,
+            n_samples,
+            rng=self.rng(seed_offset),
+            model=model,
+            interdie_sigma=interdie_sigma,
+        )
+        return self._equip(factory)
+
+    def nominal_factory(self, model: str = "vs"):
+        """Nominal (variation-free) device factory."""
+        from repro.cells.factory import NominalDeviceFactory
+
+        return self._equip(NominalDeviceFactory(self.technology, model))
+
+    def equip(self, factory):
+        """Adopt a locally constructed factory into this session.
+
+        Attaches the session's plan cache and backend selection, so
+        circuits built from custom :class:`DeviceFactory` subclasses
+        (corner factories, replay factories...) honor the session policy
+        exactly like factories born from :meth:`mc_factory`.
+        """
+        return self._equip(factory)
+
+    def _equip(self, factory):
+        factory.plan_cache = self.plan_cache
+        factory.backend = None if self.backend == "auto" else self.backend
+        return factory
+
+    # ------------------------------------------------------------------
+    # Circuit configuration.
+    # ------------------------------------------------------------------
+    def configure(self, circuit, backend: Optional[str] = None):
+        """Attach the session plan cache + backend selection to *circuit*.
+
+        Called automatically for circuits built through session
+        factories; call it directly for hand-built netlists.
+        """
+        circuit.plan_cache = self.plan_cache
+        circuit.set_backend(backend or self.backend)
+        return circuit
+
+    def _circuit_backend(self, circuit) -> str:
+        """The backend a configured circuit actually uses.
+
+        Forced modes are authoritative (a 'compiled' solve would have
+        raised if the plan were missing); only 'auto' needs to probe the
+        cached plan.
+        """
+        if circuit.backend in ("compiled", "generic"):
+            return circuit.backend
+        return "compiled" if circuit.compiled() is not None else "generic"
+
+    # ------------------------------------------------------------------
+    # Analysis execution.
+    # ------------------------------------------------------------------
+    def run(self, spec: AnalysisSpec, circuit=None) -> Result:
+        """Execute *spec* and wrap the output in a :class:`Result`.
+
+        Circuit-level specs require *circuit*; device-level statistical
+        specs (:class:`MonteCarlo`, :class:`ImportanceSampling`) run
+        against the session technology and must not pass one.
+        """
+        circuit_specs = (DCOp, Transient, AC, DCSweep)
+        if isinstance(spec, circuit_specs):
+            if circuit is None:
+                raise ValueError(f"{spec.kind} requires a circuit")
+            return self._run_circuit(spec, circuit)
+        if circuit is not None:
+            raise ValueError(f"{spec.kind} does not take a circuit")
+        if isinstance(spec, MonteCarlo):
+            return self._run_montecarlo(spec)
+        if isinstance(spec, ImportanceSampling):
+            return self._run_importance(spec)
+        raise TypeError(f"unknown spec type {type(spec).__name__}")
+
+    def _run_circuit(self, spec, circuit) -> Result:
+        from repro.circuit.ac import ac_analysis
+        from repro.circuit.dcop import dc_operating_point, initial_guess
+        from repro.circuit.dcsweep import dc_sweep
+        from repro.circuit.transient import transient
+
+        # A per-spec backend override is scoped to this run; the
+        # session-level policy (spec.backend None) persists on the
+        # circuit, matching what session factories configure at build.
+        prior_backend = circuit.backend
+        self.configure(circuit, backend=spec.backend)
+        try:
+            hints = spec.hints_dict()
+            v0 = initial_guess(circuit, hints) if hints else None
+
+            start = time.perf_counter()
+            if isinstance(spec, DCOp):
+                payload = dc_operating_point(circuit, v0=v0, t=spec.t)
+            elif isinstance(spec, Transient):
+                payload = transient(
+                    circuit,
+                    spec.t_stop,
+                    spec.dt,
+                    t_start=spec.t_start,
+                    method=spec.method,
+                    record_every=spec.record_every,
+                    dc_guess=v0,
+                )
+            elif isinstance(spec, AC):
+                payload = ac_analysis(
+                    circuit,
+                    np.asarray(spec.frequencies),
+                    ac_sources=spec.ac_sources,
+                    amplitudes=spec.amplitudes_dict(),
+                    v_op=v0 if v0 is None else dc_operating_point(circuit, v0=v0),
+                )
+            else:  # DCSweep
+                payload = dc_sweep(
+                    circuit, spec.source, np.asarray(spec.values), v0=v0
+                )
+            elapsed = time.perf_counter() - start
+            # Snapshot cache accounting first (so it reflects only the
+            # solve), then resolve which backend actually executed —
+            # probed after the run so the first compile is inside the
+            # timed window, while the override is still applied.
+            meta = {"plan_cache": self.plan_cache.stats()}
+            backend = self._circuit_backend(circuit)
+        finally:
+            if spec.backend is not None:
+                circuit.set_backend(prior_backend)
+
+        if isinstance(spec, AC):
+            # The backend governs the embedded DC operating point; the
+            # linearization + phasor solves always run per-element.
+            meta["ac_phasor_path"] = "generic"
+        return Result(
+            payload=payload,
+            spec=spec,
+            backend=backend,
+            seed=None,
+            n_samples=_batch_samples(circuit.batch_shape),
+            wall_time_s=elapsed,
+            meta=meta,
+        )
+
+    def _run_montecarlo(self, spec: MonteCarlo) -> Result:
+        from repro.stats.montecarlo import target_samples
+
+        char = self.technology[spec.polarity]
+        start = time.perf_counter()
+        payload = target_samples(
+            char,
+            spec.model,
+            spec.w_nm,
+            spec.l_nm,
+            self.technology.vdd,
+            spec.n_samples,
+            self.rng(spec.seed_offset),
+        )
+        elapsed = time.perf_counter() - start
+        return Result(
+            payload=payload,
+            spec=spec,
+            backend="device",
+            seed=self.seeds.seed(spec.seed_offset),
+            n_samples=spec.n_samples,
+            wall_time_s=elapsed,
+        )
+
+    def _run_importance(self, spec: ImportanceSampling) -> Result:
+        from repro.stats.importance import estimate_failure_probability
+
+        model = self.technology[spec.polarity].statistical
+        start = time.perf_counter()
+        payload = estimate_failure_probability(
+            model,
+            spec.metric,
+            spec.threshold,
+            spec.shifts_dict(),
+            spec.n_samples,
+            self.rng(spec.seed_offset),
+            w_nm=spec.w_nm,
+            l_nm=spec.l_nm,
+            fail_below=spec.fail_below,
+        )
+        elapsed = time.perf_counter() - start
+        return Result(
+            payload=payload,
+            spec=spec,
+            backend="device",
+            seed=self.seeds.seed(spec.seed_offset),
+            n_samples=spec.n_samples,
+            wall_time_s=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Registry experiments.
+    # ------------------------------------------------------------------
+    def run_experiment(
+        self,
+        name_or_def: Union[str, ExperimentDef],
+        quick: bool = False,
+        **overrides,
+    ) -> Result:
+        """Run a registered experiment through this session.
+
+        The experiment's declared quick/full preset supplies the keyword
+        arguments; *overrides* are applied on top.  The experiment
+        receives this session (seeding, factories, backend, plan cache)
+        and its result dataclass becomes the envelope payload.
+        """
+        defn = (
+            name_or_def
+            if isinstance(name_or_def, ExperimentDef)
+            else registry_get(name_or_def)
+        )
+        kwargs = defn.kwargs(quick=quick)
+        kwargs.update(overrides)
+
+        start = time.perf_counter()
+        payload = defn.func(session=self, **kwargs)
+        elapsed = time.perf_counter() - start
+
+        return Result(
+            payload=payload,
+            spec=ExperimentSpec(name=defn.name, kwargs=tuple(kwargs.items())),
+            backend=self.backend,
+            seed=self.seed,
+            n_samples=kwargs.get("n_samples"),
+            wall_time_s=elapsed,
+            experiment=defn.name,
+            meta={"quick": quick, "plan_cache": self.plan_cache.stats()},
+        )
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The shared default session (default technology, legacy seed root).
+
+    Experiment ``run`` functions fall back to this when called without a
+    session — the path the golden-figure regressions exercise.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

@@ -1,0 +1,247 @@
+"""Declarative analysis specifications.
+
+An :class:`AnalysisSpec` is a frozen, validated description of *what* to
+run; the :class:`~repro.api.session.Session` decides *how* (backend,
+seeding, plan caching) and wraps the output in a uniform
+:class:`~repro.api.result.Result` envelope.  Specs are plain data: they
+can be constructed up front, stored, compared, and echoed verbatim into
+result metadata.
+
+Circuit-level specs (:class:`DCOp`, :class:`Transient`, :class:`AC`,
+:class:`DCSweep`) are executed against a :class:`~repro.circuit.Circuit`
+passed to ``Session.run``; device-level statistical specs
+(:class:`MonteCarlo`, :class:`ImportanceSampling`) run against the
+session's characterized technology directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "AnalysisSpec",
+    "DCOp",
+    "Transient",
+    "AC",
+    "DCSweep",
+    "MonteCarlo",
+    "ImportanceSampling",
+    "ExperimentSpec",
+    "BACKENDS",
+]
+
+#: Valid backend selections.  ``auto`` compiles when the netlist supports
+#: it; ``compiled`` requires the vectorized plan (raises otherwise);
+#: ``generic`` forces the per-element MNA assembly.
+BACKENDS = ("auto", "compiled", "generic")
+
+
+def _freeze_pairs(mapping) -> Optional[Tuple[Tuple[str, Any], ...]]:
+    """Normalize an optional mapping to a hashable, ordered pair tuple."""
+    if mapping is None:
+        return None
+    if isinstance(mapping, tuple):
+        mapping = dict(mapping)
+    return tuple((str(k), mapping[k]) for k in mapping)
+
+
+def _check_backend(backend: Optional[str]) -> None:
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS} or None, got {backend!r}"
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """Base class of every declarative analysis description."""
+
+    @property
+    def kind(self) -> str:
+        """Spec type name used in result envelopes (e.g. ``"Transient"``)."""
+        return type(self).__name__
+
+    def describe(self) -> Dict[str, Any]:
+        """The spec as a plain ``{field: value}`` dict (for metadata echo)."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if callable(value):
+                value = getattr(value, "__qualname__", repr(value))
+            out[f.name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class _CircuitSpec(AnalysisSpec):
+    """Shared fields of the circuit-level analyses (keyword-only, so the
+    concrete specs' own fields stay positional)."""
+
+    #: ``{node: voltage}`` Newton starting hints (stored as pairs).
+    node_hints: Optional[Tuple[Tuple[str, float], ...]] = field(
+        default=None, kw_only=True
+    )
+    #: Per-spec backend override; ``None`` defers to the session.
+    backend: Optional[str] = field(default=None, kw_only=True)
+
+    def __post_init__(self):
+        object.__setattr__(self, "node_hints", _freeze_pairs(self.node_hints))
+        _check_backend(self.backend)
+
+    def hints_dict(self) -> Optional[Dict[str, float]]:
+        """Node hints back as the dict the solvers consume."""
+        return None if self.node_hints is None else dict(self.node_hints)
+
+
+@dataclass(frozen=True)
+class DCOp(_CircuitSpec):
+    """DC operating point at time *t* (sources evaluated there)."""
+
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class Transient(_CircuitSpec):
+    """Fixed-step transient from *t_start* to *t_stop*."""
+
+    t_stop: float
+    dt: float
+    t_start: float = 0.0
+    method: str = "trap"
+    record_every: int = 1
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.dt <= 0.0:
+            raise ValueError("dt must be positive")
+        if self.t_stop <= self.t_start:
+            raise ValueError("t_stop must exceed t_start")
+        if self.method not in ("trap", "be"):
+            raise ValueError(f"unknown integration method {self.method!r}")
+        if self.record_every < 1:
+            raise ValueError("record_every must be >= 1")
+
+
+@dataclass(frozen=True)
+class AC(_CircuitSpec):
+    """Small-signal frequency sweep of the linearized circuit."""
+
+    frequencies: Tuple[float, ...]
+    ac_sources: Tuple[str, ...]
+    amplitudes: Optional[Tuple[Tuple[str, float], ...]] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        object.__setattr__(
+            self, "frequencies", tuple(float(f) for f in self.frequencies)
+        )
+        sources = self.ac_sources
+        if isinstance(sources, str):
+            sources = (sources,)
+        object.__setattr__(self, "ac_sources", tuple(sources))
+        object.__setattr__(self, "amplitudes", _freeze_pairs(self.amplitudes))
+        if not self.frequencies:
+            raise ValueError("frequencies must be non-empty")
+        if any(f < 0.0 for f in self.frequencies):
+            raise ValueError("frequencies must be non-negative")
+        if not self.ac_sources:
+            raise ValueError("need at least one AC source")
+
+    def amplitudes_dict(self) -> Optional[Dict[str, float]]:
+        return None if self.amplitudes is None else dict(self.amplitudes)
+
+
+@dataclass(frozen=True)
+class DCSweep(_CircuitSpec):
+    """Warm-started sweep of one DC voltage source's level."""
+
+    source: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self):
+        super().__post_init__()
+        object.__setattr__(self, "values", tuple(float(v) for v in self.values))
+        if not self.source:
+            raise ValueError("source name must be non-empty")
+        if not self.values:
+            raise ValueError("values must be non-empty")
+
+
+@dataclass(frozen=True)
+class MonteCarlo(AnalysisSpec):
+    """Device-level target Monte-Carlo (sigma(Idsat), sigma(log10 Ioff)...).
+
+    Draws *n_samples* devices of *polarity* from the session technology's
+    ``vs`` (statistical VS) or ``bsim`` (golden mismatch) model and
+    measures the electrical targets at geometry ``w_nm x l_nm``.
+    """
+
+    n_samples: int = 1000
+    polarity: str = "nmos"
+    model: str = "vs"
+    w_nm: float = 600.0
+    l_nm: float = 40.0
+    #: Stream offset in the session's seed tree.
+    seed_offset: int = 0
+
+    def __post_init__(self):
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+        if self.model not in ("vs", "bsim"):
+            raise ValueError(f"model must be 'vs' or 'bsim', got {self.model!r}")
+        if self.w_nm <= 0.0 or self.l_nm <= 0.0:
+            raise ValueError("geometry must be positive")
+
+
+@dataclass(frozen=True)
+class ImportanceSampling(AnalysisSpec):
+    """Mean-shift importance sampling on the statistical VS parameters.
+
+    ``metric`` maps a batched ``VSParams`` card to a metric array; the
+    estimate is ``P(metric < threshold)`` (or ``>`` with
+    ``fail_below=False``).  ``shifts`` are per-parameter shifts in sigma
+    units, e.g. ``{"vt0": +4.0}``.
+    """
+
+    metric: Callable
+    threshold: float
+    shifts: Tuple[Tuple[str, float], ...]
+    n_samples: int = 10000
+    polarity: str = "nmos"
+    w_nm: Optional[float] = None
+    l_nm: Optional[float] = None
+    fail_below: bool = True
+    seed_offset: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "shifts", _freeze_pairs(self.shifts) or ())
+        if self.metric is None or not callable(self.metric):
+            raise ValueError("metric must be a callable")
+        if not self.shifts:
+            raise ValueError("shifts must name at least one parameter")
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+
+    def shifts_dict(self) -> Dict[str, float]:
+        return dict(self.shifts)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec(AnalysisSpec):
+    """Echo of a registry experiment invocation (name + kwargs)."""
+
+    name: str
+    kwargs: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "kwargs", _freeze_pairs(self.kwargs) or ())
+        if not self.name:
+            raise ValueError("experiment name must be non-empty")
+
+    def kwargs_dict(self) -> Dict[str, Any]:
+        return dict(self.kwargs)

@@ -37,6 +37,26 @@ class DeviceFactory(abc.ABC):
     #: Batch shape the produced devices carry (``()`` for nominal).
     batch_shape: tuple = ()
 
+    #: Session-owned plan cache to attach to circuits built from this
+    #: factory (None -> circuits keep their private compile cache).
+    plan_cache = None
+    #: Backend selection for those circuits ('compiled'/'generic';
+    #: None -> leave the circuit's default 'auto' mode).
+    backend = None
+
+    def configure_circuit(self, circuit):
+        """Propagate the session's plan cache/backend onto *circuit*.
+
+        Cell builders call this on every netlist they assemble, so a
+        factory handed out by a :class:`repro.api.Session` carries the
+        session's execution policy into every solve.
+        """
+        if self.plan_cache is not None:
+            circuit.plan_cache = self.plan_cache
+        if self.backend is not None:
+            circuit.set_backend(self.backend)
+        return circuit
+
 
 class NominalDeviceFactory(DeviceFactory):
     """Nominal (variation-free) devices from a characterized technology."""
@@ -131,6 +151,25 @@ class RecordingFactory(DeviceFactory):
         self.inner = inner
         self.batch_shape = inner.batch_shape
         self.devices: List[DeviceModel] = []
+
+    # Session policy delegates to the wrapped factory (live, both ways),
+    # so equipping either the recorder or the inner factory works and a
+    # later (re-)equip is never stale.
+    @property
+    def plan_cache(self):
+        return self.inner.plan_cache
+
+    @plan_cache.setter
+    def plan_cache(self, value):
+        self.inner.plan_cache = value
+
+    @property
+    def backend(self):
+        return self.inner.backend
+
+    @backend.setter
+    def backend(self, value):
+        self.inner.backend = value
 
     def __call__(self, polarity: str, w_nm: float, l_nm: float) -> DeviceModel:
         device = self.inner(polarity, w_nm, l_nm)

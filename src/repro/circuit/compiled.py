@@ -35,6 +35,7 @@ the property ``tests/test_batched_circuit.py`` locks in.
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from typing import List, Optional
 
 import numpy as np
@@ -193,7 +194,10 @@ class CompiledCircuit:
     """
 
     def __init__(self, circuit):
-        self.circuit = circuit
+        # Weak back-reference only: plans are held by caches that may
+        # outlive the netlist, and a strong ref would pin the circuit
+        # (and its batched parameter arrays) for the cache's lifetime.
+        self._circuit_ref = weakref.ref(circuit)
         self.n = circuit.assign_branches()
         self.n_nodes = circuit.n_nodes
         self.batch = circuit.batch_shape
@@ -274,6 +278,11 @@ class CompiledCircuit:
             grouped.setdefault(key, []).append(element)
         self.mos_groups = [_MosfetGroup(els, n) for els in grouped.values()]
         self.cap_group = _CapacitorGroup(capacitors, n) if capacitors else None
+
+    @property
+    def circuit(self):
+        """The source netlist, or None once it has been collected."""
+        return self._circuit_ref()
 
     # ------------------------------------------------------------------
     # Per-time-point pieces.

@@ -23,6 +23,21 @@ from repro.circuit.waveforms import Waveform, DC
 GROUND = "gnd"
 
 
+def fingerprint_matches(cached_objects, cached_shapes, objects, shapes) -> bool:
+    """Whether a cached compile fingerprint still describes a circuit.
+
+    The single staleness predicate shared by the private per-circuit
+    cache and the session-owned :class:`repro.api.plans.PlanCache`:
+    per-element batch shapes equal AND the parameter-object identity
+    list unchanged.
+    """
+    return (
+        cached_shapes == shapes
+        and len(cached_objects) == len(objects)
+        and all(a is b for a, b in zip(cached_objects, objects))
+    )
+
+
 class Circuit:
     """A netlist: named nodes plus a list of elements."""
 
@@ -32,6 +47,10 @@ class Circuit:
         self.elements: List[_el.Element] = []
         self._names: Dict[str, _el.Element] = {}
         self._compiled = None
+        #: Externally owned plan cache (duck-typed ``plan_for(circuit)``),
+        #: e.g. :class:`repro.api.plans.PlanCache`; None -> private cache.
+        self.plan_cache = None
+        self._backend = "auto"
 
     # ------------------------------------------------------------------
     # Node management.
@@ -160,24 +179,64 @@ class Circuit:
         shapes = tuple(e.batch_shape() for e in self.elements)
         return parts, shapes
 
+    def set_backend(self, mode: str) -> None:
+        """Select the assembly backend for this circuit's solves.
+
+        ``auto`` (default): compile when the netlist supports it, fall
+        back to generic per-element assembly otherwise.  ``compiled``:
+        require the vectorized plan — :meth:`compiled` raises
+        ``UnsupportedCircuitError`` if the netlist cannot be planned.
+        ``generic``: force the per-element path (reference/debug mode).
+        """
+        if mode not in ("auto", "compiled", "generic"):
+            raise ValueError(
+                f"backend must be 'auto', 'compiled' or 'generic', got {mode!r}"
+            )
+        self._backend = mode
+
+    @property
+    def backend(self) -> str:
+        """The selected assembly backend mode."""
+        return self._backend
+
     def compiled(self):
-        """Cached vectorized assembly plan (None for unsupported netlists).
+        """Cached vectorized assembly plan (None for unsupported netlists
+        and for circuits forced onto the generic backend).
 
         Compilation snapshots element parameters; registering a new
         element or rebinding an element's parameters invalidates the
         cache.  Waveform levels/delays may change freely between solves
-        — they are re-read at every time point.
+        — they are re-read at every time point.  When a session-owned
+        :attr:`plan_cache` is attached, plans live there instead of in
+        the private per-circuit slot.
         """
-        objects, shapes = self._param_fingerprint()
-        if self._compiled is None or not (
-            self._compiled[2] == shapes
-            and len(self._compiled[1]) == len(objects)
-            and all(a is b for a, b in zip(self._compiled[1], objects))
-        ):
-            from repro.circuit.compiled import compile_circuit
+        if self._backend == "generic":
+            return None
 
-            self._compiled = (compile_circuit(self), objects, shapes)
-        return self._compiled[0]
+        if self.plan_cache is not None:
+            # Plans now live in the shared cache: drop any plan the
+            # private slot compiled earlier so it is not pinned (and
+            # duplicated) for the circuit's remaining lifetime.
+            self._compiled = None
+            plan = self.plan_cache.plan_for(self)
+        else:
+            objects, shapes = self._param_fingerprint()
+            if self._compiled is None or not fingerprint_matches(
+                self._compiled[1], self._compiled[2], objects, shapes
+            ):
+                from repro.circuit.compiled import compile_circuit
+
+                self._compiled = (compile_circuit(self), objects, shapes)
+            plan = self._compiled[0]
+
+        if plan is None and self._backend == "compiled":
+            from repro.circuit.compiled import UnsupportedCircuitError
+
+            raise UnsupportedCircuitError(
+                f"circuit {self.title!r} cannot be compiled but backend "
+                "'compiled' was requested"
+            )
+        return plan
 
     def vsources(self) -> List["_el.VoltageSource"]:
         """All voltage sources in netlist order."""

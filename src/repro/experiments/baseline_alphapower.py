@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.cells.factory import DeviceFactory, NominalDeviceFactory
+from repro.api import default_session, experiment
+from repro.cells.factory import DeviceFactory
 from repro.cells.inverter import InverterSpec, inverter_delays
 from repro.devices.alphapower import (
     AlphaPowerDevice,
@@ -27,7 +28,6 @@ from repro.devices.base import Polarity
 from repro.devices.bsim.model import BSIMDevice
 from repro.experiments.common import format_table
 from repro.fitting.nominal import iv_reference_data
-from repro.pipeline import default_technology
 
 #: DC parameter counts: VS (paper Sec. I) vs the 5-parameter empirical law.
 PARAMETER_COUNT = {"vs": 11, "alpha-power": 5}
@@ -60,9 +60,15 @@ class BaselineResult:
     vs_fit_rms_decades: float
 
 
-def run(spec: InverterSpec = InverterSpec(600.0, 300.0)) -> BaselineResult:
+@experiment(
+    "baseline",
+    title="VS vs alpha-power-law model (timing accuracy)",
+)
+def run(spec: InverterSpec = InverterSpec(600.0, 300.0),
+        *, session=None) -> BaselineResult:
     """Fit both models, measure inverter timing against the golden kit."""
-    tech = default_technology()
+    session = session or default_session()
+    tech = session.technology
     vdd = tech.vdd
 
     ap_cards: Dict[str, AlphaPowerParams] = {}
@@ -80,9 +86,9 @@ def run(spec: InverterSpec = InverterSpec(600.0, 300.0)) -> BaselineResult:
         ap_rms[polarity] = fit.rms_rel_error
 
     factories = {
-        "golden": NominalDeviceFactory(tech, "bsim"),
-        "vs": NominalDeviceFactory(tech, "vs"),
-        "alpha-power": _AlphaPowerFactory(ap_cards),
+        "golden": session.nominal_factory("bsim"),
+        "vs": session.nominal_factory("vs"),
+        "alpha-power": session.equip(_AlphaPowerFactory(ap_cards)),
     }
     delays: Dict[str, Dict[str, float]] = {}
     for name, factory in factories.items():

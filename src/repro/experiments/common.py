@@ -1,12 +1,15 @@
-"""Shared experiment plumbing: formatting and seeds."""
+"""Shared experiment plumbing: report formatting.
+
+Seeding lives in :mod:`repro.api.seeding` — experiments draw every
+random stream from their session's seed tree; ``EXPERIMENT_SEED`` is
+re-exported here for backward compatibility (benchmarks import it).
+"""
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-#: Seed base for experiment Monte-Carlo runs (distinct from the
-#: characterization seed so "measurement" and "validation" draws differ).
-EXPERIMENT_SEED = 424242
+from repro.api.seeding import EXPERIMENT_SEED  # noqa: F401  (re-export)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

@@ -11,11 +11,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import default_session, experiment
 from repro.devices.bsim.model import BSIMDevice
 from repro.devices.vs.model import VSDevice
 from repro.experiments.common import format_table
 from repro.fitting.nominal import IVReference, iv_reference_data
-from repro.pipeline import PolarityCharacterization, default_technology
+from repro.pipeline import PolarityCharacterization
 
 
 @dataclass(frozen=True)
@@ -31,10 +32,13 @@ class Fig1Result:
     idsat_rel_error: float
 
 
-def run(polarity: str = "nmos", w_nm: float = 300.0) -> Fig1Result:
+@experiment("fig1", title="VS model fitted to the golden kit's I-V")
+def run(
+    polarity: str = "nmos", w_nm: float = 300.0, *, session=None
+) -> Fig1Result:
     """Regenerate the Fig. 1 overlay for one polarity."""
-    tech = default_technology()
-    char: PolarityCharacterization = tech[polarity]
+    session = session or default_session()
+    char: PolarityCharacterization = session.technology[polarity]
 
     golden = BSIMDevice(char.golden_nominal.replace(w_nm=w_nm))
     ref = iv_reference_data(golden, char.vdd)

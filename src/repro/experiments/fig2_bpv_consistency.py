@@ -13,8 +13,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.api import default_session, experiment
 from repro.experiments.common import format_table
-from repro.pipeline import default_technology
 from repro.stats.bpv import extract_alphas_individual
 from repro.stats.pelgrom import pelgrom_sigmas
 
@@ -30,10 +30,11 @@ class Fig2Result:
     max_abs_percent: float
 
 
-def run(polarity: str = "nmos") -> Fig2Result:
+@experiment("fig2", title="Individual vs stacked BPV solve across widths")
+def run(polarity: str = "nmos", *, session=None) -> Fig2Result:
     """Compare the two solve styles of Sec. III."""
-    tech = default_technology()
-    char = tech[polarity]
+    session = session or default_session()
+    char = session.technology[polarity]
     alpha5 = char.golden_mismatch.spec.acox_nm_uf
     stacked = char.bpv.alphas
 

@@ -14,8 +14,8 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.common import EXPERIMENT_SEED, format_table
-from repro.pipeline import default_technology
+from repro.api import default_session, experiment
+from repro.experiments.common import format_table
 from repro.stats.montecarlo import vs_target_samples
 from repro.stats.pelgrom import PARAMETER_ORDER, pelgrom_sigmas
 from repro.stats.sensitivity import vs_sensitivities
@@ -35,17 +35,27 @@ class Fig3Result:
     contributions: Dict[str, np.ndarray]       #: parameter -> sigma/mu
 
 
+@experiment(
+    "fig3",
+    title="Idsat mismatch vs width, decomposed by parameter",
+    quick={"n_samples": 1500},
+    full={"n_samples": 3000},
+)
 def run(
     polarity: str = "nmos",
     widths_nm=DEFAULT_WIDTHS,
     l_nm: float = 40.0,
     n_samples: int = 3000,
+    *,
+    session=None,
 ) -> Fig3Result:
     """Compute the Fig. 3 decomposition."""
-    tech = default_technology()
+    session = session or default_session()
+    tech = session.technology
     char = tech[polarity]
     stat = char.statistical
-    rng = np.random.default_rng(EXPERIMENT_SEED)
+    # One stream shared across widths (stream 0 of the session tree).
+    rng = session.rng(0)
 
     totals_mc: List[float] = []
     totals_lin: List[float] = []

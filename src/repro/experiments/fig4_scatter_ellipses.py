@@ -14,14 +14,13 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.experiments.common import EXPERIMENT_SEED, format_table
-from repro.pipeline import default_technology
+from repro.api import MonteCarlo, default_session, experiment
+from repro.experiments.common import format_table
 from repro.stats.ellipse import (
     ConfidenceEllipse,
     confidence_ellipse,
     expected_mahalanobis_fraction,
 )
-from repro.stats.montecarlo import golden_target_samples, vs_target_samples
 
 
 @dataclass(frozen=True)
@@ -39,22 +38,31 @@ class Fig4Result:
     cross_coverage: Dict[float, float]
 
 
+@experiment(
+    "fig4",
+    title="(Ion, log10 Ioff) scatter with confidence ellipses",
+    quick={"n_samples": 600},
+    full={"n_samples": 1000},
+)
 def run(
     polarity: str = "nmos",
     w_nm: float = 600.0,
     l_nm: float = 40.0,
     n_samples: int = 1000,
+    *,
+    session=None,
 ) -> Fig4Result:
     """Monte-Carlo both models and fit the ellipse overlays."""
-    tech = default_technology()
-    char = tech[polarity]
-    rng_g = np.random.default_rng(EXPERIMENT_SEED + 1)
-    rng_v = np.random.default_rng(EXPERIMENT_SEED + 2)
+    session = session or default_session()
 
-    g = golden_target_samples(char.golden_mismatch, w_nm, l_nm, char.vdd,
-                              n_samples, rng_g)
-    v = vs_target_samples(char.statistical, w_nm, l_nm, char.vdd,
-                          n_samples, rng_v)
+    g = session.run(
+        MonteCarlo(n_samples=n_samples, polarity=polarity, model="bsim",
+                   w_nm=w_nm, l_nm=l_nm, seed_offset=1)
+    ).payload
+    v = session.run(
+        MonteCarlo(n_samples=n_samples, polarity=polarity, model="vs",
+                   w_nm=w_nm, l_nm=l_nm, seed_offset=2)
+    ).payload
 
     golden_cloud = (g.samples["idsat"], g.samples["log10_ioff"])
     vs_cloud = (v.samples["idsat"], v.samples["log10_ioff"])

@@ -12,10 +12,9 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.cells.factory import MonteCarloDeviceFactory
+from repro.api import default_session, experiment
 from repro.cells.inverter import FIG5_SIZES, InverterSpec, inverter_delays
-from repro.experiments.common import EXPERIMENT_SEED, format_table, si
-from repro.pipeline import default_technology
+from repro.experiments.common import format_table, si
 from repro.stats.distributions import (
     DistributionSummary,
     centered_ks,
@@ -48,26 +47,30 @@ class Fig5Result:
     cases: Tuple[DelayComparison, ...]
 
 
-def _mc_delays(tech, model: str, spec: InverterSpec, vdd: float,
-               n_samples: int, seed: int) -> np.ndarray:
-    factory = MonteCarloDeviceFactory(tech, n_samples, model=model, seed=seed)
+def _mc_delays(session, model: str, spec: InverterSpec, vdd: float,
+               n_samples: int, seed_offset: int) -> np.ndarray:
+    factory = session.mc_factory(n_samples, model=model, seed_offset=seed_offset)
     delays = inverter_delays(factory, spec, vdd)
     tphl = delays["tphl"].delay
     valid = np.isfinite(tphl)
     return tphl[valid]
 
 
-def run(n_samples: int = 2500, sizes=FIG5_SIZES) -> Fig5Result:
+@experiment(
+    "fig5",
+    title="INV FO3 delay PDFs for three drive strengths",
+    quick={"n_samples": 150},
+    full={"n_samples": 2500},
+)
+def run(n_samples: int = 2500, sizes=FIG5_SIZES, *, session=None) -> Fig5Result:
     """Monte-Carlo the INV delay under both statistical models."""
-    tech = default_technology()
-    vdd = tech.vdd
+    session = session or default_session()
+    vdd = session.technology.vdd
     cases = []
     for k, (label, wp, wn) in enumerate(sizes):
         spec = InverterSpec(wp_nm=wp, wn_nm=wn)
-        vs = _mc_delays(tech, "vs", spec, vdd, n_samples, EXPERIMENT_SEED + 10 + k)
-        golden = _mc_delays(
-            tech, "bsim", spec, vdd, n_samples, EXPERIMENT_SEED + 20 + k
-        )
+        vs = _mc_delays(session, "vs", spec, vdd, n_samples, 10 + k)
+        golden = _mc_delays(session, "bsim", spec, vdd, n_samples, 20 + k)
         cases.append(
             DelayComparison(
                 label=label,

@@ -15,11 +15,10 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.leakage import supply_leakage
-from repro.cells.factory import MonteCarloDeviceFactory
+from repro.api import default_session, experiment
 from repro.cells.inverter import InverterSpec, build_inverter_fo, inverter_delays
 from repro.circuit.waveforms import DC
-from repro.experiments.common import EXPERIMENT_SEED, format_table, si
-from repro.pipeline import default_technology
+from repro.experiments.common import format_table, si
 
 
 @dataclass(frozen=True)
@@ -50,21 +49,21 @@ class Fig6Result:
     clouds: Dict[str, LeakageFrequencyCloud]
 
 
-def _cloud(tech, model: str, spec: InverterSpec, vdd: float, n_samples: int,
-           seed: int) -> LeakageFrequencyCloud:
+def _cloud(session, model: str, spec: InverterSpec, vdd: float, n_samples: int,
+           seed_offset: int) -> LeakageFrequencyCloud:
     # One factory: the SAME sampled devices provide delay and leakage, so
     # the per-sample correlation between speed and leak is physical.
-    factory = MonteCarloDeviceFactory(tech, n_samples, model=model, seed=seed)
+    factory = session.mc_factory(n_samples, model=model, seed_offset=seed_offset)
     delays = inverter_delays(factory, spec, vdd)
     delay = delays["tphl"].delay
 
-    # Rebuild the same devices for static leakage: re-seed the factory
-    # (identical device-request order => identical samples).  Leakage is
-    # the DUT supply pin's current with the input low — dominated by the
-    # driver's off NMOS, the single-device log-normal behind the paper's
-    # multi-x spread.
-    factory_static = MonteCarloDeviceFactory(tech, n_samples, model=model,
-                                             seed=seed)
+    # Rebuild the same devices for static leakage: the same seed offset
+    # replays the same stream (identical device-request order =>
+    # identical samples).  Leakage is the DUT supply pin's current with
+    # the input low — dominated by the driver's off NMOS, the
+    # single-device log-normal behind the paper's multi-x spread.
+    factory_static = session.mc_factory(n_samples, model=model,
+                                        seed_offset=seed_offset)
     circuit, hints = build_inverter_fo(
         factory_static, spec, vdd, input_waveform=DC(0.0),
         separate_load_supply=True,
@@ -79,16 +78,24 @@ def _cloud(tech, model: str, spec: InverterSpec, vdd: float, n_samples: int,
     )
 
 
+@experiment(
+    "fig6",
+    title="Leakage vs frequency scatter, INV FO3",
+    quick={"n_samples": 300},
+    full={"n_samples": 5000},
+)
 def run(
     n_samples: int = 5000,
     spec: InverterSpec = InverterSpec(wp_nm=300.0, wn_nm=150.0),
+    *,
+    session=None,
 ) -> Fig6Result:
     """Generate both scatter clouds."""
-    tech = default_technology()
-    vdd = tech.vdd
+    session = session or default_session()
+    vdd = session.technology.vdd
     clouds = {
-        "bsim": _cloud(tech, "bsim", spec, vdd, n_samples, EXPERIMENT_SEED + 30),
-        "vs": _cloud(tech, "vs", spec, vdd, n_samples, EXPERIMENT_SEED + 31),
+        "bsim": _cloud(session, "bsim", spec, vdd, n_samples, 30),
+        "vs": _cloud(session, "vs", spec, vdd, n_samples, 31),
     }
     return Fig6Result(vdd=vdd, n_samples=n_samples, clouds=clouds)
 

@@ -14,10 +14,9 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.cells.factory import MonteCarloDeviceFactory
+from repro.api import default_session, experiment
 from repro.cells.nand import Nand2Spec, nand2_delays
-from repro.experiments.common import EXPERIMENT_SEED, format_table, si
-from repro.pipeline import default_technology
+from repro.experiments.common import format_table, si
 from repro.stats.distributions import (
     DistributionSummary,
     centered_ks,
@@ -50,21 +49,27 @@ class Fig7Result:
     cases: Tuple[VddCase, ...]
 
 
-def _mc_delays(tech, model: str, vdd: float, n_samples: int, seed: int):
-    factory = MonteCarloDeviceFactory(tech, n_samples, model=model, seed=seed)
+def _mc_delays(session, model: str, vdd: float, n_samples: int,
+               seed_offset: int):
+    factory = session.mc_factory(n_samples, model=model, seed_offset=seed_offset)
     delays = nand2_delays(factory, Nand2Spec(), vdd)
     tphl = delays["tphl"].delay
     return tphl[np.isfinite(tphl)]
 
 
-def run(n_samples: int = 2500, vdds=DEFAULT_VDDS) -> Fig7Result:
+@experiment(
+    "fig7",
+    title="NAND2 FO3 delay PDFs at three supplies",
+    quick={"n_samples": 150},
+    full={"n_samples": 2500},
+)
+def run(n_samples: int = 2500, vdds=DEFAULT_VDDS, *, session=None) -> Fig7Result:
     """Monte-Carlo the NAND2 delay across supplies and models."""
-    tech = default_technology()
+    session = session or default_session()
     cases = []
     for k, vdd in enumerate(vdds):
-        vs = _mc_delays(tech, "vs", vdd, n_samples, EXPERIMENT_SEED + 40 + k)
-        golden = _mc_delays(tech, "bsim", vdd, n_samples,
-                            EXPERIMENT_SEED + 50 + k)
+        vs = _mc_delays(session, "vs", vdd, n_samples, 40 + k)
+        golden = _mc_delays(session, "bsim", vdd, n_samples, 50 + k)
         cases.append(
             VddCase(
                 vdd=vdd,

@@ -11,10 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from repro.api import default_session, experiment
 from repro.cells.dff import DFFSpec, dff_setup_time
-from repro.cells.factory import MonteCarloDeviceFactory
-from repro.experiments.common import EXPERIMENT_SEED, format_table, si
-from repro.pipeline import default_technology
+from repro.experiments.common import format_table, si
 from repro.stats.distributions import DistributionSummary, ks_between, summarize
 
 
@@ -29,22 +28,27 @@ class Fig8Result:
     ks_distance: float
 
 
-def _mc_setup(tech, model: str, n_samples: int, seed: int,
+def _mc_setup(session, model: str, n_samples: int, seed_offset: int,
               n_iterations: int) -> np.ndarray:
-    factory = MonteCarloDeviceFactory(tech, n_samples, model=model, seed=seed)
-    setup = dff_setup_time(factory, DFFSpec(), tech.vdd,
+    factory = session.mc_factory(n_samples, model=model, seed_offset=seed_offset)
+    setup = dff_setup_time(factory, DFFSpec(), session.technology.vdd,
                            n_iterations=n_iterations)
     return setup[np.isfinite(setup)]
 
 
-def run(n_samples: int = 250, n_iterations: int = 8) -> Fig8Result:
+@experiment(
+    "fig8",
+    title="D flip-flop setup-time distribution",
+    quick={"n_samples": 30, "n_iterations": 6},
+    full={"n_samples": 250},
+)
+def run(n_samples: int = 250, n_iterations: int = 8, *, session=None) -> Fig8Result:
     """Setup-time Monte-Carlo for both statistical models."""
-    tech = default_technology()
-    vs = _mc_setup(tech, "vs", n_samples, EXPERIMENT_SEED + 60, n_iterations)
-    golden = _mc_setup(tech, "bsim", n_samples, EXPERIMENT_SEED + 61,
-                       n_iterations)
+    session = session or default_session()
+    vs = _mc_setup(session, "vs", n_samples, 60, n_iterations)
+    golden = _mc_setup(session, "bsim", n_samples, 61, n_iterations)
     return Fig8Result(
-        vdd=tech.vdd,
+        vdd=session.technology.vdd,
         n_samples=n_samples,
         setup_vs=vs,
         setup_golden=golden,

@@ -13,10 +13,9 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.cells.factory import MonteCarloDeviceFactory, NominalDeviceFactory
+from repro.api import default_session, experiment
 from repro.cells.sram import SRAMSpec, butterfly_curves, sram_snm
-from repro.experiments.common import EXPERIMENT_SEED, format_table, si
-from repro.pipeline import default_technology
+from repro.experiments.common import format_table, si
 from repro.stats.distributions import (
     DistributionSummary,
     ks_between,
@@ -47,12 +46,19 @@ class Fig9Result:
     cases: Tuple[SNMCase, ...]
 
 
-def run(n_samples: int = 2500, spec: SRAMSpec = SRAMSpec()) -> Fig9Result:
+@experiment(
+    "fig9",
+    title="6T SRAM butterfly curves and SNM distributions",
+    quick={"n_samples": 250},
+    full={"n_samples": 2500},
+)
+def run(n_samples: int = 2500, spec: SRAMSpec = SRAMSpec(),
+        *, session=None) -> Fig9Result:
     """Butterflies plus SNM Monte-Carlo for READ and HOLD."""
-    tech = default_technology()
-    vdd = tech.vdd
+    session = session or default_session()
+    vdd = session.technology.vdd
 
-    nominal = NominalDeviceFactory(tech, "vs")
+    nominal = session.nominal_factory("vs")
     butterflies = {
         mode: butterfly_curves(nominal, spec, vdd, mode)
         for mode in ("read", "hold")
@@ -60,11 +66,9 @@ def run(n_samples: int = 2500, spec: SRAMSpec = SRAMSpec()) -> Fig9Result:
 
     cases = []
     for k, mode in enumerate(("read", "hold")):
-        factory_vs = MonteCarloDeviceFactory(
-            tech, n_samples, model="vs", seed=EXPERIMENT_SEED + 70 + k
-        )
-        factory_golden = MonteCarloDeviceFactory(
-            tech, n_samples, model="bsim", seed=EXPERIMENT_SEED + 80 + k
+        factory_vs = session.mc_factory(n_samples, model="vs", seed_offset=70 + k)
+        factory_golden = session.mc_factory(
+            n_samples, model="bsim", seed_offset=80 + k
         )
         vs = sram_snm(factory_vs, spec, vdd, mode)
         golden = sram_snm(factory_golden, spec, vdd, mode)

@@ -16,10 +16,9 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.cells.factory import MonteCarloDeviceFactory
+from repro.api import default_session, experiment
 from repro.cells.nand import Nand2Spec, nand2_delays
-from repro.experiments.common import EXPERIMENT_SEED, format_table, si
-from repro.pipeline import default_technology
+from repro.experiments.common import format_table, si
 from repro.ssta import EmpiricalDelay, TimingGraph, clark_arrival, monte_carlo_arrival
 
 #: Timing-graph shape: reconvergent fanout of parallel NAND chains.
@@ -51,8 +50,9 @@ class SSTAResult:
     cases: Tuple[SSTACase, ...]
 
 
-def _arc_samples(tech, vdd: float, n_samples: int, seed: int) -> np.ndarray:
-    factory = MonteCarloDeviceFactory(tech, n_samples, model="vs", seed=seed)
+def _arc_samples(session, vdd: float, n_samples: int,
+                 seed_offset: int) -> np.ndarray:
+    factory = session.mc_factory(n_samples, model="vs", seed_offset=seed_offset)
     delays = nand2_delays(factory, Nand2Spec(), vdd)
     tphl = delays["tphl"].delay
     return tphl[np.isfinite(tphl)]
@@ -74,20 +74,26 @@ def _build_graph(samples: np.ndarray, gaussian: bool) -> TimingGraph:
     return TimingGraph.parallel_chains(chains)
 
 
+@experiment(
+    "ssta",
+    title="Gaussian SSTA vs Monte-Carlo at low supply",
+    quick={"n_device_mc": 120, "n_graph_mc": 20000},
+)
 def run(
     vdds=(0.9, 0.55),
     n_device_mc: int = 400,
     n_graph_mc: int = 50000,
+    *,
+    session=None,
 ) -> SSTAResult:
     """Arc characterization + both SSTA engines per supply."""
     from scipy import stats as sps
 
-    tech = default_technology()
-    rng = np.random.default_rng(EXPERIMENT_SEED + 400)
+    session = session or default_session()
+    rng = session.rng(400)
     cases = []
     for k, vdd in enumerate(vdds):
-        samples = _arc_samples(tech, vdd, n_device_mc,
-                               EXPERIMENT_SEED + 410 + k)
+        samples = _arc_samples(session, vdd, n_device_mc, 410 + k)
 
         graph_mc = _build_graph(samples, gaussian=False)
         arrivals = monte_carlo_arrival(graph_mc, "src", "snk", n_graph_mc, rng)

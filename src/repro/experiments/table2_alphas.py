@@ -10,9 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.api import default_session, experiment
 from repro.data.cards import paper_alphas_nmos, paper_alphas_pmos
 from repro.experiments.common import format_table
-from repro.pipeline import default_technology
 from repro.stats.pelgrom import PelgromAlphas
 
 #: Row labels and units exactly as in Table II.
@@ -32,9 +32,11 @@ class Table2Result:
     truth: Dict[str, PelgromAlphas]
 
 
-def run() -> Table2Result:
+@experiment("table2", title="Extracted Pelgrom coefficients (BPV)")
+def run(*, session=None) -> Table2Result:
     """Collect extracted, ground-truth and published coefficients."""
-    tech = default_technology()
+    session = session or default_session()
+    tech = session.technology
     extracted = {
         "nmos": tech.nmos.bpv.alphas,
         "pmos": tech.pmos.bpv.alphas,

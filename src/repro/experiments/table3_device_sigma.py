@@ -11,11 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-import numpy as np
-
-from repro.experiments.common import EXPERIMENT_SEED, format_table
-from repro.pipeline import default_technology
-from repro.stats.montecarlo import golden_target_samples, vs_target_samples
+from repro.api import MonteCarlo, default_session, experiment
+from repro.experiments.common import format_table
 
 #: Paper's device classes.
 DEVICE_CLASSES = (("Wide", 1500.0, 40.0), ("Medium", 600.0, 40.0),
@@ -64,21 +61,26 @@ class Table3Result:
         return worst
 
 
-def run(n_samples: int = 4000) -> Table3Result:
+@experiment(
+    "table3",
+    title="Device-level sigma comparison, VS vs golden",
+    quick={"n_samples": 2000},
+    full={"n_samples": 4000},
+)
+def run(n_samples: int = 4000, *, session=None) -> Table3Result:
     """Monte-Carlo both models across the Table III geometry set."""
-    tech = default_technology()
+    session = session or default_session()
     rows = []
     for k, (label, w, l) in enumerate(DEVICE_CLASSES):
         for polarity in ("nmos", "pmos"):
-            char = tech[polarity]
-            g = golden_target_samples(
-                char.golden_mismatch, w, l, tech.vdd, n_samples,
-                np.random.default_rng(EXPERIMENT_SEED + 100 + k),
-            )
-            v = vs_target_samples(
-                char.statistical, w, l, tech.vdd, n_samples,
-                np.random.default_rng(EXPERIMENT_SEED + 110 + k),
-            )
+            g = session.run(
+                MonteCarlo(n_samples=n_samples, polarity=polarity,
+                           model="bsim", w_nm=w, l_nm=l, seed_offset=100 + k)
+            ).payload
+            v = session.run(
+                MonteCarlo(n_samples=n_samples, polarity=polarity,
+                           model="vs", w_nm=w, l_nm=l, seed_offset=110 + k)
+            ).payload
             rows.append(
                 Table3Row(
                     label=label,

@@ -19,12 +19,11 @@ import tracemalloc
 from dataclasses import dataclass
 from typing import Callable, Tuple
 
+from repro.api import default_session, experiment
 from repro.cells.dff import DFFSpec, dff_setup_time
-from repro.cells.factory import MonteCarloDeviceFactory
 from repro.cells.nand import Nand2Spec, nand2_delays
 from repro.cells.sram import SRAMSpec, sram_snm
-from repro.experiments.common import EXPERIMENT_SEED, format_table
-from repro.pipeline import default_technology
+from repro.experiments.common import format_table
 
 #: Paper's Table IV rows: (runtime ratio, memory ratio) BSIM/VS.
 PAPER_RATIOS = {"NAND2": (3.8, 8.5), "DFF": (3.5, 6.8), "SRAM": (5.3, 11.0)}
@@ -70,36 +69,36 @@ def _timed(workload: Callable[[], None]) -> TimedRun:
     return TimedRun(runtime_s=runtime, peak_memory_mb=peak / 1e6)
 
 
+@experiment(
+    "table4",
+    title="Monte-Carlo runtime and memory, VS vs golden",
+    quick={"n_nand": 150, "n_dff": 20, "n_sram": 150},
+    full={"n_nand": 2000, "n_dff": 250, "n_sram": 2000},
+)
 def run(
-    n_nand: int = 2000, n_dff: int = 250, n_sram: int = 2000
+    n_nand: int = 2000, n_dff: int = 250, n_sram: int = 2000, *, session=None
 ) -> Table4Result:
     """Time the three Table IV workloads under both models."""
-    tech = default_technology()
-    vdd = tech.vdd
+    session = session or default_session()
+    vdd = session.technology.vdd
 
     def nand_workload(model: str) -> Callable[[], None]:
         def work():
-            factory = MonteCarloDeviceFactory(
-                tech, n_nand, model=model, seed=EXPERIMENT_SEED + 200
-            )
+            factory = session.mc_factory(n_nand, model=model, seed_offset=200)
             nand2_delays(factory, Nand2Spec(), vdd)
 
         return work
 
     def dff_workload(model: str) -> Callable[[], None]:
         def work():
-            factory = MonteCarloDeviceFactory(
-                tech, n_dff, model=model, seed=EXPERIMENT_SEED + 201
-            )
+            factory = session.mc_factory(n_dff, model=model, seed_offset=201)
             dff_setup_time(factory, DFFSpec(), vdd, n_iterations=3)
 
         return work
 
     def sram_workload(model: str) -> Callable[[], None]:
         def work():
-            factory = MonteCarloDeviceFactory(
-                tech, n_sram, model=model, seed=EXPERIMENT_SEED + 202
-            )
+            factory = session.mc_factory(n_sram, model=model, seed_offset=202)
             sram_snm(factory, SRAMSpec(), vdd, "read")
 
         return work

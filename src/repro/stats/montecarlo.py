@@ -81,6 +81,33 @@ def vs_target_samples(
     )
 
 
+def target_samples(
+    characterization,
+    model: str,
+    w_nm: float,
+    l_nm: float,
+    vdd: float,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> TargetSamples:
+    """Sample targets from one polarity's characterization.
+
+    Dispatches on *model*: ``"vs"`` draws from the extracted statistical
+    VS model, ``"bsim"`` from the golden mismatch kit.  This is the
+    single entry the :class:`repro.api.Session` facade drives; the RNG
+    is always injected by the caller (no seeding happens here).
+    """
+    if model == "vs":
+        return vs_target_samples(
+            characterization.statistical, w_nm, l_nm, vdd, n_samples, rng
+        )
+    if model == "bsim":
+        return golden_target_samples(
+            characterization.golden_mismatch, w_nm, l_nm, vdd, n_samples, rng
+        )
+    raise ValueError(f"model must be 'vs' or 'bsim', got {model!r}")
+
+
 def golden_sigmas_by_geometry(
     mismatch: BSIMMismatch,
     geometries: Sequence[Tuple[float, float]],

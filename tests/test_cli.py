@@ -1,22 +1,22 @@
-"""The python -m repro command-line entry point."""
+"""The python -m repro command-line entry point (registry-driven)."""
+
+import json
 
 import pytest
 
-from repro.__main__ import EXPERIMENTS, main
+from repro.__main__ import main
+from repro.api import load_all, names
 
 
 class TestCLI:
-    def test_list(self, capsys):
+    def test_list_renders_whole_registry(self, capsys):
+        # One line per registry entry, in registration order (the
+        # canonical fourteen-artifact set itself is asserted in
+        # tests/test_api.py; don't duplicate the literal here).
         assert main(["list"]) == 0
-        out = capsys.readouterr().out
-        for name in ("fig1", "fig9", "table4"):
-            assert name in out
-
-    def test_registry_complete(self):
-        # One entry per paper artifact.
-        expected = {f"fig{k}" for k in range(1, 10)}
-        expected |= {"table2", "table3", "table4"}
-        assert expected == set(EXPERIMENTS)
+        lines = capsys.readouterr().out.strip().splitlines()
+        load_all()
+        assert [line.split()[0] for line in lines] == names()
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -32,3 +32,26 @@ class TestCLI:
         assert main(["table2", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "alpha1" in out
+
+    def test_json_envelope(self, capsys):
+        assert main(["fig2", "--quick", "--json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["experiment"] == "fig2"
+        assert decoded["spec"]["kind"] == "ExperimentSpec"
+        assert decoded["backend"] == "auto"
+        assert "payload" in decoded
+
+    def test_json_multi_experiment_is_jsonl(self, capsys):
+        assert main(["fig2", "table2", "--quick", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["experiment"] for line in lines] == [
+            "fig2", "table2"
+        ]
+
+    def test_seed_and_backend_flags(self, capsys):
+        assert main(["fig2", "--quick", "--seed", "7",
+                     "--backend", "generic", "--json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["seed"] == 7
+        assert decoded["backend"] == "generic"
