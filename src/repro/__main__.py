@@ -9,6 +9,8 @@ Usage::
     python -m repro fig5 --json          # machine-readable Result envelope
     python -m repro fig5 --seed 7        # reseed the whole session
     python -m repro fig5 --backend generic   # force per-element MNA
+    python -m repro fig9 --workers 4     # sharded multi-process Monte-Carlo
+    python -m repro fig9 --workers 4 --shard-size 256   # explicit shards
 
 Every experiment is a declarative entry in the :mod:`repro.api`
 registry and executes through one :class:`repro.api.Session`, which
@@ -55,7 +57,24 @@ def main(argv=None) -> int:
         help="force the circuit assembly backend for every analysis "
              "(default: auto — compile when the netlist supports it)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel workers for statistical Monte-Carlo.  Any "
+             "explicit value — including 1 — engages the sharded "
+             "runtime, whose output is bit-identical at every worker "
+             "count; omit the flag entirely for the legacy unsharded "
+             "stream the golden figures pin",
+    )
+    parser.add_argument(
+        "--shard-size", type=int, default=None, dest="shard_size",
+        help="samples per shard when the parallel runtime is engaged "
+             "(default: the runtime's fixed shard size)",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.shard_size is not None and args.shard_size < 1:
+        parser.error("--shard-size must be >= 1")
 
     load_all()
     if args.experiments == ["list"]:
@@ -72,16 +91,21 @@ def main(argv=None) -> int:
     session = Session(
         **({} if args.seed is None else {"seed": args.seed}),
         backend=args.backend or "auto",
+        executor=args.workers,
+        shard_size=args.shard_size,
     )
-    for name in requested:
-        result = session.run_experiment(name, quick=args.quick)
-        if args.as_json:
-            # One compact document per experiment: stdout is valid JSONL
-            # for multi-experiment runs and plain JSON for a single one.
-            print(result.to_json(indent=None))
-        else:
-            print(registry_get_def(name).report(result.payload))
-            print(f"[{name} done in {result.wall_time_s:.1f} s]\n")
+    try:
+        for name in requested:
+            result = session.run_experiment(name, quick=args.quick)
+            if args.as_json:
+                # One compact document per experiment: stdout is valid JSONL
+                # for multi-experiment runs and plain JSON for a single one.
+                print(result.to_json(indent=None))
+            else:
+                print(registry_get_def(name).report(result.payload))
+                print(f"[{name} done in {result.wall_time_s:.1f} s]\n")
+    finally:
+        session.close()
     return 0
 
 

@@ -32,6 +32,7 @@ from repro.api.specs import (
     DCOp,
     DCSweep,
     ExperimentSpec,
+    Execution,
     ImportanceSampling,
     MonteCarlo,
     Transient,
@@ -48,6 +49,7 @@ __all__ = [
     "MonteCarlo",
     "ImportanceSampling",
     "ExperimentSpec",
+    "Execution",
     "BACKENDS",
     "Result",
     "jsonify",

@@ -77,6 +77,11 @@ class Result:
     wall_time_s: float = 0.0
     #: Registry name when the run came through an ``@experiment`` entry.
     experiment: Optional[str] = None
+    #: Shard/worker execution metadata when the run went through the
+    #: parallel runtime (a :class:`repro.runtime.RuntimeInfo`): executor
+    #: kind, worker count, shard partition, shards actually run, early
+    #: stopping, checkpoint resume.  ``None`` for unsharded runs.
+    runtime: Optional[Any] = None
     #: Free-form extras (plan-cache statistics, engine diagnostics...).
     meta: Dict[str, Any] = field(default_factory=dict)
 
@@ -89,6 +94,7 @@ class Result:
             "seed": self.seed,
             "n_samples": self.n_samples,
             "wall_time_s": self.wall_time_s,
+            "runtime": jsonify(self.runtime),
             "meta": jsonify(self.meta),
         }
         if include_payload:

@@ -19,8 +19,9 @@ executed with :meth:`Session.run`; registry experiments run through
 
 from __future__ import annotations
 
+import inspect
 import time
-from typing import Optional, Union
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +36,7 @@ from repro.api.specs import (
     DCOp,
     DCSweep,
     ExperimentSpec,
+    Execution,
     ImportanceSampling,
     MonteCarlo,
     Transient,
@@ -66,6 +68,16 @@ class Session:
         Session-wide backend: ``auto`` (compile when possible),
         ``compiled`` (require the vectorized plan) or ``generic``
         (force per-element assembly).  Specs may override per run.
+    executor:
+        Session-wide parallelism for statistical workloads: ``None``/1
+        for serial, an integer >= 2 for a process pool of that many
+        workers, or a :class:`repro.runtime.Executor` instance.  With
+        workers engaged, statistical specs default to the sharded
+        runtime (output still worker-count invariant — the shard/seed
+        contract); specs may override per run via their ``execution``.
+    shard_size:
+        Session default shard size for runtime-routed runs (``None``
+        defers to the runtime's fixed default).
     """
 
     def __init__(
@@ -74,13 +86,41 @@ class Session:
         seed: int = EXPERIMENT_SEED,
         backend: str = "auto",
         plan_cache: Optional[PlanCache] = None,
+        executor=None,
+        shard_size: Optional[int] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if shard_size is not None and shard_size <= 0:
+            raise ValueError("shard_size must be positive")
         self._technology = technology
         self.seeds = SeedTree(seed)
         self.backend = backend
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._executors: dict = {}
+        #: Worker counts whose executor the caller supplied (borrowed
+        #: instances are never shut down by :meth:`close`).
+        self._borrowed_workers: set = set()
+        self._default_workers = 1
+        #: Whether the caller explicitly chose an executor.  Explicit
+        #: ``executor=1`` engages the sharded runtime exactly like
+        #: ``executor=2`` — the worker count must never pick the stream.
+        self._executor_supplied = executor is not None
+        if executor is not None:
+            from repro.runtime import Executor, resolve_executor
+
+            borrowed = isinstance(executor, Executor)
+            if not borrowed and int(executor) < 1:
+                # Mirror Execution(workers=...) and the CLI: a
+                # miscomputed worker count must fail loudly, not
+                # silently run serial.
+                raise ValueError(f"executor workers must be >= 1, got {executor}")
+            instance = resolve_executor(executor)
+            self._executors[instance.workers] = instance
+            if borrowed:
+                self._borrowed_workers.add(instance.workers)
+            self._default_workers = instance.workers
+        self.shard_size = shard_size
 
     # ------------------------------------------------------------------
     # Owned resources.
@@ -102,6 +142,82 @@ class Session:
     def rng(self, offset: int = 0) -> np.random.Generator:
         """Fresh generator for stream *offset* of the seed tree."""
         return self.seeds.rng(offset)
+
+    # ------------------------------------------------------------------
+    # Parallel runtime plumbing.
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Session-default degree of parallelism (1 = serial)."""
+        return self._default_workers
+
+    def default_execution(self) -> Optional[Execution]:
+        """The execution options statistical runs inherit from the session.
+
+        ``None`` on a plain default session — the legacy unsharded path
+        the golden figures pin.  Sessions constructed with an explicit
+        executor (any worker count: ``--workers 1`` must draw the same
+        stream as ``--workers 2``) or a shard size hand every
+        statistical run a matching :class:`Execution` (still
+        overridable per spec).
+        """
+        if self._executor_supplied or self.shard_size is not None:
+            return Execution(
+                workers=self._default_workers, shard_size=self.shard_size
+            )
+        return None
+
+    def executor_for(self, execution: Optional[Execution]):
+        """The (cached) executor instance an execution spec runs on.
+
+        Pools are created once per worker count and reused across runs;
+        :meth:`close` shuts them down.
+        """
+        from repro.runtime import resolve_executor
+
+        workers = execution.workers if execution is not None else 1
+        if workers not in self._executors:
+            self._executors[workers] = resolve_executor(workers)
+        return self._executors[workers]
+
+    def close(self) -> None:
+        """Shut down the process pools this session spawned.
+
+        Executor instances the caller passed into ``Session(executor=)``
+        are borrowed, not owned — they are released from the cache but
+        left running for their owner to close.
+        """
+        for workers, executor in self._executors.items():
+            if workers not in self._borrowed_workers:
+                executor.close()
+        self._executors.clear()
+        self._borrowed_workers.clear()
+
+    def _effective_execution(
+        self, spec_execution: Optional[Execution]
+    ) -> Optional[Execution]:
+        return spec_execution if spec_execution is not None else self.default_execution()
+
+    def _runtime_args(
+        self, execution: Execution, n_samples: int, seed_offset: int,
+        stop_metric: str,
+    ) -> dict:
+        """The shared plan/executor/stopping kwargs of every runtime run.
+
+        One home for the dispatch plumbing so the Monte-Carlo,
+        importance-sampling and factory-map paths cannot drift apart.
+        """
+        from repro.runtime import plan_for_execution, stop_rule_for_execution
+
+        return {
+            "plan": plan_for_execution(
+                execution, n_samples, self.seeds.seed(seed_offset)
+            ),
+            "executor": self.executor_for(execution),
+            "stop": stop_rule_for_execution(execution, stop_metric),
+            "wave_size": execution.wave_size,
+            "checkpoint_path": execution.checkpoint,
+        }
 
     # ------------------------------------------------------------------
     # Device factories (the way cells obtain transistors).
@@ -266,51 +382,143 @@ class Session:
         from repro.stats.montecarlo import target_samples
 
         char = self.technology[spec.polarity]
+        execution = self._effective_execution(spec.execution)
         start = time.perf_counter()
-        payload = target_samples(
-            char,
-            spec.model,
-            spec.w_nm,
-            spec.l_nm,
-            self.technology.vdd,
-            spec.n_samples,
-            self.rng(spec.seed_offset),
-        )
+        if execution is None:
+            payload = target_samples(
+                char,
+                spec.model,
+                spec.w_nm,
+                spec.l_nm,
+                self.technology.vdd,
+                spec.n_samples,
+                self.rng(spec.seed_offset),
+            )
+            info = None
+            meta = {}
+        else:
+            from repro.runtime import run_target_samples
+
+            args = self._runtime_args(
+                execution, spec.n_samples, spec.seed_offset, "sigma"
+            )
+            payload, accumulator, info = run_target_samples(
+                char,
+                spec.model,
+                spec.w_nm,
+                spec.l_nm,
+                self.technology.vdd,
+                args.pop("plan"),
+                args.pop("executor"),
+                **args,
+            )
+            meta = {"streamed_sigmas": {
+                t: s.std() for t, s in accumulator.stats.items()
+            }}
         elapsed = time.perf_counter() - start
         return Result(
             payload=payload,
             spec=spec,
             backend="device",
             seed=self.seeds.seed(spec.seed_offset),
-            n_samples=spec.n_samples,
+            n_samples=spec.n_samples if info is None else info.n_samples,
             wall_time_s=elapsed,
+            runtime=info,
+            meta=meta,
         )
 
     def _run_importance(self, spec: ImportanceSampling) -> Result:
         from repro.stats.importance import estimate_failure_probability
 
         model = self.technology[spec.polarity].statistical
+        execution = self._effective_execution(spec.execution)
         start = time.perf_counter()
-        payload = estimate_failure_probability(
-            model,
-            spec.metric,
-            spec.threshold,
-            spec.shifts_dict(),
-            spec.n_samples,
-            self.rng(spec.seed_offset),
-            w_nm=spec.w_nm,
-            l_nm=spec.l_nm,
-            fail_below=spec.fail_below,
-        )
+        if execution is None:
+            payload = estimate_failure_probability(
+                model,
+                spec.metric,
+                spec.threshold,
+                spec.shifts_dict(),
+                spec.n_samples,
+                self.rng(spec.seed_offset),
+                w_nm=spec.w_nm,
+                l_nm=spec.l_nm,
+                fail_below=spec.fail_below,
+            )
+            info = None
+        else:
+            from repro.runtime import run_importance
+
+            args = self._runtime_args(
+                execution, spec.n_samples, spec.seed_offset, "probability"
+            )
+            payload, _, info = run_importance(
+                model,
+                spec.metric,
+                spec.threshold,
+                spec.shifts_dict(),
+                args.pop("plan"),
+                args.pop("executor"),
+                w_nm=spec.w_nm,
+                l_nm=spec.l_nm,
+                fail_below=spec.fail_below,
+                **args,
+            )
         elapsed = time.perf_counter() - start
         return Result(
             payload=payload,
             spec=spec,
             backend="device",
             seed=self.seeds.seed(spec.seed_offset),
-            n_samples=spec.n_samples,
+            n_samples=spec.n_samples if info is None else info.n_samples,
             wall_time_s=elapsed,
+            runtime=info,
         )
+
+    # ------------------------------------------------------------------
+    # Circuit-level Monte-Carlo through the runtime.
+    # ------------------------------------------------------------------
+    def map_mc(
+        self,
+        work: Callable,
+        n_samples: int,
+        model: str = "vs",
+        seed_offset: int = 0,
+        execution: Optional[Execution] = None,
+    ) -> Tuple[np.ndarray, Optional[object]]:
+        """Run ``work(factory) -> (n, ...) array`` over Monte-Carlo samples.
+
+        The workhorse of the circuit-level experiments (SRAM SNM, gate
+        delays): *work* receives a Monte-Carlo device factory and returns
+        one metric array with the sample axis first.
+
+        With *execution* (or a session default) engaged, the run is
+        sharded per the shard/seed contract — *work* must then be
+        picklable (a module-level function or frozen dataclass), and each
+        shard gets its own factory seeded from the shard stream.  With
+        ``execution=None`` on a serial session, this is exactly the
+        legacy single-factory draw (bit-identical to pre-runtime code).
+
+        Returns ``(values, RuntimeInfo-or-None)``.
+        """
+        execution = self._effective_execution(execution)
+        if execution is None:
+            factory = self.mc_factory(n_samples, model=model,
+                                      seed_offset=seed_offset)
+            return np.asarray(work(factory)), None
+        from repro.runtime import run_factory_map
+
+        args = self._runtime_args(execution, n_samples, seed_offset, "sigma")
+        values, _, info = run_factory_map(
+            self.technology,
+            work,
+            args.pop("plan"),
+            args.pop("executor"),
+            model=model,
+            backend=None if self.backend == "auto" else self.backend,
+            **args,
+        )
+        return values, info
 
     # ------------------------------------------------------------------
     # Registry experiments.
@@ -335,6 +543,16 @@ class Session:
         )
         kwargs = defn.kwargs(quick=quick)
         kwargs.update(overrides)
+        # Runtime-aware experiments (those accepting an ``execution``
+        # keyword) inherit the session's parallelism unless the caller
+        # pinned their own; a plain serial session injects None, which
+        # is the legacy unsharded path.
+        if "execution" not in kwargs and (
+            "execution" in inspect.signature(defn.func).parameters
+        ):
+            default = self.default_execution()
+            if default is not None:
+                kwargs["execution"] = default
 
         start = time.perf_counter()
         payload = defn.func(session=self, **kwargs)

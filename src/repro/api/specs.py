@@ -28,6 +28,7 @@ __all__ = [
     "MonteCarlo",
     "ImportanceSampling",
     "ExperimentSpec",
+    "Execution",
     "BACKENDS",
 ]
 
@@ -50,6 +51,83 @@ def _check_backend(backend: Optional[str]) -> None:
     if backend is not None and backend not in BACKENDS:
         raise ValueError(
             f"backend must be one of {BACKENDS} or None, got {backend!r}"
+        )
+
+
+@dataclass(frozen=True)
+class Execution:
+    """How a statistical spec runs: sharding, workers, adaptive stopping.
+
+    Attaching an ``Execution`` to a :class:`MonteCarlo` or
+    :class:`ImportanceSampling` spec routes the run through the
+    :mod:`repro.runtime` subsystem.  The output then depends only on the
+    session seed, the spec's ``seed_offset`` and the shard partition —
+    **never** on ``workers`` (ROADMAP "Conventions (PR 3)": the
+    shard/seed contract).  ``execution=None`` keeps the historical
+    single-stream draw the golden figures are pinned to.
+
+    Parameters
+    ----------
+    shard_size:
+        Samples per shard; ``None`` defaults to the runtime's fixed
+        :data:`~repro.runtime.sharding.DEFAULT_SHARD_SIZE` (never
+        derived from ``workers``, so the stream is the same at every
+        parallelism level).
+    workers:
+        Degree of parallelism; 1 runs serially, >= 2 uses the session's
+        process-pool executor.  Scheduling only — results are identical
+        at every value.
+    target_rel_err:
+        Adaptive stopping: stop between shard waves once the relative
+        error (of the sigma estimate for Monte-Carlo — ``1/sqrt(2(n-1))``,
+        identical for every measured target — or of the failure
+        probability for importance sampling) reaches this target.
+    min_samples / max_samples:
+        Floor before the rule may fire / hard cap evaluated at wave
+        boundaries (the spec's ``n_samples`` is always an implicit cap).
+    wave_size:
+        Shards per adaptive wave (``None`` = runtime default of 4); a
+        plan property, so stopping points are worker-count invariant.
+        A wave is also the dispatch unit when stopping/checkpointing is
+        engaged — use a wave size of at least ``workers`` to keep wide
+        pools fully busy (still a constant you choose, so determinism
+        holds).
+    checkpoint:
+        Path *prefix* for accumulator-state checkpointing.  Every
+        statistical run derives its own ``<prefix>.<fingerprint>.ckpt``
+        file (fingerprinted over plan + workload), so multi-stage
+        experiments may share one prefix; an existing matching
+        checkpoint resumes its run mid-plan, and a completed one
+        short-circuits re-execution.
+    """
+
+    shard_size: Optional[int] = None
+    workers: int = 1
+    target_rel_err: Optional[float] = None
+    min_samples: int = 0
+    max_samples: Optional[int] = None
+    wave_size: Optional[int] = None
+    checkpoint: Optional[str] = None
+
+    def __post_init__(self):
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.target_rel_err is not None and self.target_rel_err <= 0.0:
+            raise ValueError("target_rel_err must be positive")
+        if self.min_samples < 0:
+            raise ValueError("min_samples must be >= 0")
+        if self.max_samples is not None and self.max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        if self.wave_size is not None and self.wave_size <= 0:
+            raise ValueError("wave_size must be positive")
+
+
+def _check_execution(execution) -> None:
+    if execution is not None and not isinstance(execution, Execution):
+        raise TypeError(
+            f"execution must be an Execution or None, got {type(execution).__name__}"
         )
 
 
@@ -184,6 +262,9 @@ class MonteCarlo(AnalysisSpec):
     l_nm: float = 40.0
     #: Stream offset in the session's seed tree.
     seed_offset: int = 0
+    #: Sharding/parallelism/stopping options; ``None`` = session default
+    #: (the legacy unsharded single-stream draw on a serial session).
+    execution: Optional[Execution] = field(default=None, kw_only=True)
 
     def __post_init__(self):
         if self.n_samples <= 0:
@@ -194,6 +275,7 @@ class MonteCarlo(AnalysisSpec):
             raise ValueError(f"model must be 'vs' or 'bsim', got {self.model!r}")
         if self.w_nm <= 0.0 or self.l_nm <= 0.0:
             raise ValueError("geometry must be positive")
+        _check_execution(self.execution)
 
 
 @dataclass(frozen=True)
@@ -215,6 +297,8 @@ class ImportanceSampling(AnalysisSpec):
     l_nm: Optional[float] = None
     fail_below: bool = True
     seed_offset: int = 0
+    #: Sharding/parallelism/stopping options; ``None`` = session default.
+    execution: Optional[Execution] = field(default=None, kw_only=True)
 
     def __post_init__(self):
         object.__setattr__(self, "shifts", _freeze_pairs(self.shifts) or ())
@@ -226,6 +310,7 @@ class ImportanceSampling(AnalysisSpec):
             raise ValueError("n_samples must be positive")
         if self.polarity not in ("nmos", "pmos"):
             raise ValueError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+        _check_execution(self.execution)
 
     def shifts_dict(self) -> Dict[str, float]:
         return dict(self.shifts)

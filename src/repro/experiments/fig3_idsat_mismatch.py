@@ -14,7 +14,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.api import default_session, experiment
+from repro.api import MonteCarlo, default_session, experiment
 from repro.experiments.common import format_table
 from repro.stats.montecarlo import vs_target_samples
 from repro.stats.pelgrom import PARAMETER_ORDER, pelgrom_sigmas
@@ -48,9 +48,20 @@ def run(
     n_samples: int = 3000,
     *,
     session=None,
+    execution=None,
 ) -> Fig3Result:
-    """Compute the Fig. 3 decomposition."""
+    """Compute the Fig. 3 decomposition.
+
+    With *execution* options the per-width Monte-Carlo reroutes through
+    the parallel runtime as :class:`MonteCarlo` specs (one seed-tree
+    stream per width); the default keeps the legacy shared-stream draw
+    the goldens pin.
+    """
     session = session or default_session()
+    # A parallel session's default engages the runtime even on direct
+    # calls, matching what run_experiment injects.
+    if execution is None:
+        execution = session.default_execution()
     tech = session.technology
     char = tech[polarity]
     stat = char.statistical
@@ -60,7 +71,7 @@ def run(
     totals_mc: List[float] = []
     totals_lin: List[float] = []
     contribs: Dict[str, List[float]] = {p: [] for p in PARAMETER_ORDER}
-    for w in widths_nm:
+    for k, w in enumerate(widths_nm):
         sens = vs_sensitivities(char.vs_nominal, w, l_nm, char.vdd)
         sigmas = pelgrom_sigmas(stat.alphas, w, l_nm)
         idsat_nominal = sens.nominal_targets["idsat"]
@@ -72,7 +83,15 @@ def run(
             var_total += term**2
         totals_lin.append(np.sqrt(var_total) / idsat_nominal)
 
-        samples = vs_target_samples(stat, w, l_nm, char.vdd, n_samples, rng)
+        if execution is None:
+            samples = vs_target_samples(stat, w, l_nm, char.vdd, n_samples, rng)
+        else:
+            samples = session.run(
+                MonteCarlo(
+                    n_samples=n_samples, polarity=polarity, model="vs",
+                    w_nm=w, l_nm=l_nm, seed_offset=k, execution=execution,
+                )
+            ).payload
         totals_mc.append(samples.sigma("idsat") / samples.mean("idsat"))
 
     return Fig3Result(

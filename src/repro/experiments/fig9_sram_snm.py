@@ -25,6 +25,22 @@ from repro.stats.distributions import (
 
 
 @dataclass(frozen=True)
+class SNMWork:
+    """Picklable SNM Monte-Carlo workload for the parallel runtime.
+
+    ``session.map_mc`` ships this to worker processes; each shard builds
+    its own factory and evaluates the butterfly SNM for its samples.
+    """
+
+    spec: SRAMSpec
+    vdd: float
+    mode: str
+
+    def __call__(self, factory) -> "np.ndarray":
+        return sram_snm(factory, self.spec, self.vdd, self.mode)
+
+
+@dataclass(frozen=True)
 class SNMCase:
     """One mode's SNM statistics under both models."""
 
@@ -53,8 +69,14 @@ class Fig9Result:
     full={"n_samples": 2500},
 )
 def run(n_samples: int = 2500, spec: SRAMSpec = SRAMSpec(),
-        *, session=None) -> Fig9Result:
-    """Butterflies plus SNM Monte-Carlo for READ and HOLD."""
+        *, session=None, execution=None) -> Fig9Result:
+    """Butterflies plus SNM Monte-Carlo for READ and HOLD.
+
+    With *execution* options (or a session constructed with workers) the
+    SNM Monte-Carlo runs sharded through the parallel runtime —
+    ``python -m repro fig9 --workers 4``.  The default serial/unsharded
+    path keeps the golden-pinned sample streams.
+    """
     session = session or default_session()
     vdd = session.technology.vdd
 
@@ -66,12 +88,14 @@ def run(n_samples: int = 2500, spec: SRAMSpec = SRAMSpec(),
 
     cases = []
     for k, mode in enumerate(("read", "hold")):
-        factory_vs = session.mc_factory(n_samples, model="vs", seed_offset=70 + k)
-        factory_golden = session.mc_factory(
-            n_samples, model="bsim", seed_offset=80 + k
+        vs, _ = session.map_mc(
+            SNMWork(spec, vdd, mode), n_samples, model="vs",
+            seed_offset=70 + k, execution=execution,
         )
-        vs = sram_snm(factory_vs, spec, vdd, mode)
-        golden = sram_snm(factory_golden, spec, vdd, mode)
+        golden, _ = session.map_mc(
+            SNMWork(spec, vdd, mode), n_samples, model="bsim",
+            seed_offset=80 + k, execution=execution,
+        )
         cases.append(
             SNMCase(
                 mode=mode,

@@ -50,11 +50,23 @@ class SSTAResult:
     cases: Tuple[SSTACase, ...]
 
 
+@dataclass(frozen=True)
+class ArcDelayWork:
+    """Picklable NAND2 arc-delay workload for ``session.map_mc``."""
+
+    spec: Nand2Spec
+    vdd: float
+
+    def __call__(self, factory) -> np.ndarray:
+        return nand2_delays(factory, self.spec, self.vdd)["tphl"].delay
+
+
 def _arc_samples(session, vdd: float, n_samples: int,
-                 seed_offset: int) -> np.ndarray:
-    factory = session.mc_factory(n_samples, model="vs", seed_offset=seed_offset)
-    delays = nand2_delays(factory, Nand2Spec(), vdd)
-    tphl = delays["tphl"].delay
+                 seed_offset: int, execution=None) -> np.ndarray:
+    tphl, _ = session.map_mc(
+        ArcDelayWork(Nand2Spec(), vdd), n_samples, model="vs",
+        seed_offset=seed_offset, execution=execution,
+    )
     return tphl[np.isfinite(tphl)]
 
 
@@ -85,18 +97,42 @@ def run(
     n_graph_mc: int = 50000,
     *,
     session=None,
+    execution=None,
 ) -> SSTAResult:
-    """Arc characterization + both SSTA engines per supply."""
+    """Arc characterization + both SSTA engines per supply.
+
+    With *execution* options both Monte-Carlo stages — the NAND2 arc
+    characterization and the timing-graph sampling — run sharded through
+    the parallel runtime (``python -m repro ssta --workers 4``); the
+    default keeps the golden-pinned serial streams.
+    """
     from scipy import stats as sps
 
     session = session or default_session()
+    # Resolve the session default once, so the arc and graph stages
+    # always run under the same regime (a parallel session must not
+    # shard one stage and leave the other on the legacy stream).
+    if execution is None:
+        execution = session.default_execution()
     rng = session.rng(400)
     cases = []
     for k, vdd in enumerate(vdds):
-        samples = _arc_samples(session, vdd, n_device_mc, 410 + k)
+        samples = _arc_samples(session, vdd, n_device_mc, 410 + k,
+                               execution=execution)
 
         graph_mc = _build_graph(samples, gaussian=False)
-        arrivals = monte_carlo_arrival(graph_mc, "src", "snk", n_graph_mc, rng)
+        if execution is None:
+            arrivals = monte_carlo_arrival(graph_mc, "src", "snk",
+                                           n_graph_mc, rng)
+        else:
+            # Per-supply stream of the session tree (the shared legacy
+            # stream cannot be split across shards).
+            arrivals = monte_carlo_arrival(
+                graph_mc, "src", "snk", n_graph_mc,
+                execution=execution,
+                base_seed=session.seeds.seed(430 + k),
+                executor=session.executor_for(execution),
+            )
         # The Clark engine consumes the same graph's moments (the
         # Gaussian twin arcs give identical means/sigmas by construction).
         analytic = clark_arrival(graph_mc, "src", "snk")

@@ -21,12 +21,32 @@ from typing import Callable, Tuple
 
 from repro.api import default_session, experiment
 from repro.cells.dff import DFFSpec, dff_setup_time
-from repro.cells.nand import Nand2Spec, nand2_delays
-from repro.cells.sram import SRAMSpec, sram_snm
+from repro.cells.nand import Nand2Spec
+from repro.cells.sram import SRAMSpec
 from repro.experiments.common import format_table
+from repro.experiments.fig9_sram_snm import SNMWork
+from repro.experiments.ssta_low_vdd import ArcDelayWork
 
 #: Paper's Table IV rows: (runtime ratio, memory ratio) BSIM/VS.
 PAPER_RATIOS = {"NAND2": (3.8, 8.5), "DFF": (3.5, 6.8), "SRAM": (5.3, 11.0)}
+
+
+@dataclass(frozen=True)
+class DFFWork:
+    """Picklable DFF setup-time workload.
+
+    The NAND2 and SRAM rows reuse the shared work dataclasses
+    (:class:`~repro.experiments.ssta_low_vdd.ArcDelayWork`,
+    :class:`~repro.experiments.fig9_sram_snm.SNMWork`) so each cell's
+    Monte-Carlo workload has exactly one definition repo-wide; only the
+    DFF bisection is unique to this table.
+    """
+
+    spec: DFFSpec
+    vdd: float
+
+    def __call__(self, factory):
+        return dff_setup_time(factory, self.spec, self.vdd, n_iterations=3)
 
 
 @dataclass(frozen=True)
@@ -76,41 +96,43 @@ def _timed(workload: Callable[[], None]) -> TimedRun:
     full={"n_nand": 2000, "n_dff": 250, "n_sram": 2000},
 )
 def run(
-    n_nand: int = 2000, n_dff: int = 250, n_sram: int = 2000, *, session=None
+    n_nand: int = 2000, n_dff: int = 250, n_sram: int = 2000, *,
+    session=None, execution=None
 ) -> Table4Result:
-    """Time the three Table IV workloads under both models."""
+    """Time the three Table IV workloads under both models.
+
+    Each workload routes through ``session.map_mc``, so *execution*
+    options (``python -m repro table4 --workers 4``) shard and
+    parallelize the timed Monte-Carlo itself — the VS-vs-golden ratio
+    then reflects the multi-worker runtime the way the paper's Spectre
+    numbers reflect its simulator.  The pool is warmed before timing so
+    worker start-up is not charged to the first (VS) run; note that
+    under multi-process execution the tracemalloc column measures the
+    parent process only (dispatch + merge, not worker evaluation).
+    """
     session = session or default_session()
+    if execution is None:
+        execution = session.default_execution()
+    if execution is not None and execution.workers > 1:
+        session.executor_for(execution).warm()
     vdd = session.technology.vdd
 
-    def nand_workload(model: str) -> Callable[[], None]:
-        def work():
-            factory = session.mc_factory(n_nand, model=model, seed_offset=200)
-            nand2_delays(factory, Nand2Spec(), vdd)
+    def make_workload(work, n: int, seed_offset: int,
+                      model: str) -> Callable[[], None]:
+        def timed_work():
+            session.map_mc(work, n, model=model, seed_offset=seed_offset,
+                           execution=execution)
 
-        return work
-
-    def dff_workload(model: str) -> Callable[[], None]:
-        def work():
-            factory = session.mc_factory(n_dff, model=model, seed_offset=201)
-            dff_setup_time(factory, DFFSpec(), vdd, n_iterations=3)
-
-        return work
-
-    def sram_workload(model: str) -> Callable[[], None]:
-        def work():
-            factory = session.mc_factory(n_sram, model=model, seed_offset=202)
-            sram_snm(factory, SRAMSpec(), vdd, "read")
-
-        return work
+        return timed_work
 
     rows = []
-    for cell, analysis, n, maker in (
-        ("NAND2", "Tran", n_nand, nand_workload),
-        ("DFF", "Tran (bisect)", n_dff, dff_workload),
-        ("SRAM", "DC butterfly", n_sram, sram_workload),
+    for cell, analysis, n, work, seed_offset in (
+        ("NAND2", "Tran", n_nand, ArcDelayWork(Nand2Spec(), vdd), 200),
+        ("DFF", "Tran (bisect)", n_dff, DFFWork(DFFSpec(), vdd), 201),
+        ("SRAM", "DC butterfly", n_sram, SNMWork(SRAMSpec(), vdd, "read"), 202),
     ):
-        vs_run = _timed(maker("vs"))
-        golden_run = _timed(maker("bsim"))
+        vs_run = _timed(make_workload(work, n, seed_offset, "vs"))
+        golden_run = _timed(make_workload(work, n, seed_offset, "bsim"))
         rows.append(
             Table4Row(cell=cell, analysis=analysis, n_samples=n,
                       vs=vs_run, golden=golden_run)

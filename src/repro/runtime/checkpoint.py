@@ -1,0 +1,84 @@
+"""Checkpoint/resume of sharded-run state.
+
+A checkpoint freezes a run between waves: the merged accumulator state,
+every completed shard's payload (needed to assemble the final result),
+and the plan fingerprint ``(n_samples, shard_size, base_seed)`` that
+makes the remaining shards reproducible.  Resuming validates the
+fingerprint — a checkpoint written under a different seed or partition
+must never be silently continued — then skips the completed shards and
+runs only the rest; the shard/seed contract guarantees the final merged
+output is bit-identical to an uninterrupted run.
+
+The on-disk format is a pickle (accumulator states are plain dicts but
+shard payloads are engine dataclasses with numpy arrays).  Checkpoints
+are internal working state: load them only from paths you wrote.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RunCheckpoint", "save_checkpoint", "load_checkpoint"]
+
+#: Format marker (bump on incompatible layout changes).
+_MAGIC = "repro-runtime-checkpoint-v1"
+
+
+@dataclass
+class RunCheckpoint:
+    """Everything needed to continue a sharded run between waves."""
+
+    n_samples: int
+    shard_size: int
+    base_seed: int
+    #: Index of the next shard wave boundary (shards [0, shards_done) ran).
+    shards_done: int
+    #: Workload fingerprint (task kind + its discriminating parameters).
+    #: Two runs sharing a plan but computing different things — e.g. the
+    #: VS and BSIM passes of the same cell at the same seed offset —
+    #: must never resume from each other's checkpoints.
+    task: str = ""
+    #: ``accumulator.state()`` snapshot (plain dicts of floats).
+    accumulator_state: Optional[Dict] = None
+    #: Completed shard payloads, in shard-index order.
+    payloads: List = field(default_factory=list)
+
+    def matches(self, n_samples: int, shard_size: int, base_seed: int,
+                task: str = "") -> bool:
+        """Whether this checkpoint belongs to the given plan *and* task."""
+        return (
+            self.n_samples == n_samples
+            and self.shard_size == shard_size
+            and self.base_seed == base_seed
+            and self.task == task
+        )
+
+
+def save_checkpoint(path: str, checkpoint: RunCheckpoint) -> None:
+    """Atomically persist *checkpoint* to *path* (write + rename)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump({"magic": _MAGIC, "checkpoint": checkpoint}, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def load_checkpoint(path: str) -> Optional[RunCheckpoint]:
+    """Load a checkpoint, or None when *path* does not exist."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as handle:
+        blob = pickle.load(handle)
+    if not isinstance(blob, dict) or blob.get("magic") != _MAGIC:
+        raise ValueError(f"{path} is not a runtime checkpoint")
+    return blob["checkpoint"]

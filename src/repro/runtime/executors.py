@@ -1,0 +1,179 @@
+"""Executors: where shards run.
+
+One tiny protocol — ``map_shards(task, shards)`` returns the list of
+``(shard_index, payload)`` pairs — with two implementations:
+
+* :class:`SerialExecutor` runs shards in-process, in order.  It is the
+  ``workers=1`` case and the reference the bit-identity tests compare
+  the parallel paths against.
+* :class:`ParallelExecutor` fans shards out to a
+  ``concurrent.futures.ProcessPoolExecutor``.  Tasks and shard payloads
+  cross the process boundary by pickling, so tasks are plain top-level
+  dataclasses (see :mod:`repro.runtime.tasks`).  If a task turns out
+  unpicklable (e.g. a closure metric), the executor degrades to serial
+  execution for that call and records why — the shard/seed contract
+  guarantees the results are identical either way, so degrading is
+  always safe.
+
+Executors never reorder results: the runner sorts by shard index before
+merging, which is what makes the combined output independent of
+completion order and worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.sharding import Shard
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "resolve_executor"]
+
+
+def _run_shard(task: Callable, shard: Shard) -> Tuple[int, object]:
+    """Top-level worker entry (must be importable in child processes)."""
+    return shard.index, task(shard)
+
+
+def _run_shard_chunk(
+    task: Callable, chunk: Sequence[Shard]
+) -> List[Tuple[int, object]]:
+    """Evaluate several shards in one submission.
+
+    Chunking bounds the number of times the task — which may embed a
+    whole characterized technology or timing graph — crosses the
+    process boundary: once per chunk instead of once per shard.
+    """
+    return [_run_shard(task, shard) for shard in chunk]
+
+
+def _warmup() -> bool:
+    """No-op worker task used by :meth:`ParallelExecutor.warm`."""
+    return True
+
+
+class Executor:
+    """Protocol: something that can run a task over a batch of shards."""
+
+    #: Degree of parallelism (1 for serial).
+    workers: int = 1
+    #: Human-readable kind used in runtime metadata.
+    kind: str = "serial"
+
+    def map_shards(self, task, shards: Sequence[Shard]):
+        raise NotImplementedError
+
+    def warm(self) -> None:
+        """Spin up pooled resources ahead of time (no-op for serial).
+
+        Call before timing-sensitive runs so worker start-up is not
+        charged to the first workload.
+        """
+
+    def close(self) -> None:
+        """Release any pooled resources (no-op for serial)."""
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution — the workers=1 reference."""
+
+    workers = 1
+    kind = "serial"
+
+    def map_shards(self, task, shards: Sequence[Shard]) -> List[Tuple[int, object]]:
+        return [_run_shard(task, shard) for shard in shards]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with graceful serial degradation.
+
+    The pool is created lazily on first use and reused across waves and
+    runs (worker start-up is paid once per session, not per wave).
+    """
+
+    kind = "process-pool"
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError("ParallelExecutor needs >= 2 workers; "
+                             "use SerialExecutor for serial runs")
+        self.workers = int(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Why the last ``map_shards`` call degraded to serial (None if
+        #: it ran on the pool).  The runner copies this into the run's
+        #: :class:`~repro.runtime.runner.RuntimeInfo`.
+        self.degraded: Optional[str] = None
+        #: Picklability probe memo for the task of the current run
+        #: (``(task, degraded_reason)``); a task is fixed across a run's
+        #: waves, so probing — which serializes the whole task — must
+        #: not repeat per wave.
+        self._probed: Optional[Tuple[object, Optional[str]]] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def warm(self) -> None:
+        """Start every worker process now (they otherwise spawn lazily)."""
+        pool = self._ensure_pool()
+        for future in [pool.submit(_warmup) for _ in range(self.workers)]:
+            future.result()
+
+    def map_shards(self, task, shards: Sequence[Shard]) -> List[Tuple[int, object]]:
+        if self._probed is None or self._probed[0] is not task:
+            try:
+                pickle.dumps(task)
+                self._probed = (task, None)
+            except Exception as exc:  # unpicklable -> identical serial run
+                self._probed = (
+                    task,
+                    f"task not picklable ({type(exc).__name__}: {exc})",
+                )
+        self.degraded = self._probed[1]
+        if self.degraded is not None:
+            return SerialExecutor().map_shards(task, shards)
+        pool = self._ensure_pool()
+        # Round-robin chunks, one per worker: shards are homogeneous in
+        # size, so static chunking balances load while pickling the task
+        # once per chunk instead of once per shard.
+        n_chunks = min(self.workers, len(shards))
+        chunks = [list(shards[i::n_chunks]) for i in range(n_chunks)]
+        futures = [
+            pool.submit(_run_shard_chunk, task, chunk) for chunk in chunks
+        ]
+        results: List[Tuple[int, object]] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def resolve_executor(
+    executor: Union[None, int, Executor],
+) -> Executor:
+    """Normalize a user-facing executor selection to an instance.
+
+    ``None`` or ``1`` mean serial; an integer >= 2 builds a process
+    pool of that many workers; an :class:`Executor` instance passes
+    through untouched.
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, Executor):
+        return executor
+    workers = int(executor)
+    if workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)

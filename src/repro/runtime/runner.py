@@ -1,0 +1,318 @@
+"""The wave runner: shards -> executor -> ordered merge -> stop rule.
+
+:func:`run_sharded` is the one orchestration loop every sharded workload
+goes through.  It walks the :class:`~repro.runtime.sharding.ShardPlan`
+in fixed-size waves, hands each wave to the executor, then — always in
+shard-index order — collects payloads and folds them into the streaming
+accumulator.  Between waves it consults the
+:class:`~repro.runtime.stopping.StopRule` and optionally checkpoints the
+accumulated state, so a killed run resumes mid-plan bit-identically.
+
+Determinism argument, in one place: shard streams depend only on
+``(base_seed, shard_index)``; the wave partition depends only on
+``(plan, wave_size)``; payload collection and accumulator merging happen
+in shard-index order.  Nothing observable depends on the worker count or
+on shard completion order — which is exactly what
+``tests/test_runtime.py`` verifies end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.runtime.checkpoint import (
+    RunCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.executors import Executor
+from repro.runtime.sharding import (
+    DEFAULT_SHARD_SIZE,
+    ShardPlan,
+    plan_shards,
+)
+from repro.runtime.stopping import StopDecision, StopRule
+
+__all__ = [
+    "RuntimeInfo",
+    "ShardedRun",
+    "run_sharded",
+    "DEFAULT_WAVE_SIZE",
+    "plan_for_execution",
+    "stop_rule_for_execution",
+]
+
+#: Shards per adaptive wave.  A plan property (never derived from the
+#: worker count), so early stopping halts at the same wave boundary at
+#: every parallelism level.  The flip side: a wave is also the unit of
+#: dispatch, so adaptive/checkpointed runs keep at most this many shards
+#: in flight — set ``Execution(wave_size=...)`` to at least the worker
+#: count (a plan constant, chosen by you, so determinism is preserved)
+#: when running wide pools.
+DEFAULT_WAVE_SIZE = 4
+
+
+@dataclass(frozen=True)
+class RuntimeInfo:
+    """Execution metadata of one sharded run (lands in the Result envelope)."""
+
+    executor: str
+    workers: int
+    shard_size: int
+    n_shards: int
+    shards_run: int
+    n_samples: int              #: samples actually executed/accumulated
+    planned_samples: int
+    base_seed: int
+    stopped_early: bool = False
+    stop_reason: Optional[str] = None
+    #: Shards restored from a checkpoint instead of re-executed.
+    resumed_shards: int = 0
+    #: Reason the parallel executor degraded to serial, if it did.
+    degraded: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ShardedRun:
+    """Raw outcome of :func:`run_sharded` before task-specific assembly."""
+
+    #: Completed shard payloads in shard-index order.
+    payloads: List
+    #: The merged streaming accumulator (None when no accumulate hook).
+    accumulator: object
+    info: RuntimeInfo
+
+
+def run_sharded(
+    task: Callable,
+    plan: ShardPlan,
+    executor: Executor,
+    accumulator=None,
+    accumulate: Optional[Callable] = None,
+    stop: Optional[StopRule] = None,
+    wave_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    task_label: Optional[str] = None,
+) -> ShardedRun:
+    """Run *task* over every shard of *plan*, merging in shard order.
+
+    Parameters
+    ----------
+    task:
+        Picklable callable ``task(shard) -> payload``.
+    accumulator / accumulate:
+        Streaming state plus the fold ``accumulate(accumulator,
+        payload)``; required when *stop* or *checkpoint_path* is given
+        (stopping reads the accumulator, checkpoints snapshot it).
+    stop:
+        Optional :class:`StopRule` evaluated between waves.
+    wave_size:
+        Shards per wave (default :data:`DEFAULT_WAVE_SIZE`); only plan
+        geometry, never the worker count, may inform this value.
+    checkpoint_path:
+        Path *prefix* for checkpointing.  Each run derives its own file
+        — ``<prefix>.<fingerprint>.ckpt``, fingerprinted over the plan
+        and the task label — so multi-stage experiments can hand every
+        stage the same prefix: each stage resumes its own state and a
+        completed stage's checkpoint short-circuits re-execution.  The
+        state is rewritten after every wave (fine at the repo's current
+        run sizes; an append-only payload journal is the upgrade path
+        for million-sample checkpointed runs).
+    task_label:
+        Workload fingerprint stored in checkpoints.  Defaults to a
+        content hash of the pickled task, which discriminates every
+        workload parameter automatically; pass an explicit label only
+        when a stable cross-version identity is needed.
+    """
+    if (stop is not None or checkpoint_path is not None) and (
+        accumulator is None or accumulate is None
+    ):
+        raise ValueError(
+            "adaptive stopping and checkpointing need an accumulator "
+            "and an accumulate hook"
+        )
+    shards = list(plan)
+    if stop is None and checkpoint_path is None:
+        # Nothing to evaluate or persist between waves: dispatch the
+        # whole plan at once so the executor can keep every worker busy
+        # (a wave barrier would cap parallelism at the wave size).
+        waves = len(shards)
+    else:
+        waves = max(1, int(wave_size) if wave_size is not None
+                    else DEFAULT_WAVE_SIZE)
+    label = ""
+    payloads: List = []
+    done = 0
+    resumed = 0
+    degraded: Optional[str] = None
+
+    if checkpoint_path is not None:
+        label = task_label if task_label is not None else _task_fingerprint(task)
+        if label is None:
+            raise ValueError(
+                "checkpointing needs a picklable task (or an explicit "
+                "task_label): the workload fingerprint is what keeps "
+                "same-plan runs from adopting each other's state"
+            )
+        checkpoint_path = _checkpoint_file(checkpoint_path, plan, waves, label)
+        restored = load_checkpoint(checkpoint_path)
+        if restored is not None:
+            if not restored.matches(plan.n_samples, plan.shard_size,
+                                    plan.base_seed, label):
+                raise ValueError(
+                    f"checkpoint {checkpoint_path} was written for a "
+                    f"different run (n_samples/shard_size/base_seed/task "
+                    f"mismatch: {restored.task!r} vs {label!r})"
+                )
+            done = resumed = restored.shards_done
+            payloads = list(restored.payloads)
+            if restored.accumulator_state is not None:
+                accumulator = type(accumulator).from_state(
+                    restored.accumulator_state
+                )
+
+    stopped_early = False
+    stop_reason: Optional[str] = None
+    while done < len(shards):
+        if stop is not None and done > 0:
+            # Bound checks use the *accumulated* count (what the error
+            # estimate actually rests on), not the planned shard index —
+            # the two differ when non-finite samples are dropped.
+            n_acc = getattr(accumulator, "n_samples", None)
+            if n_acc is None:
+                n_acc = accumulator.n
+            decision: StopDecision = stop.evaluate(accumulator, n_acc)
+            if decision.stop:
+                stopped_early = True
+                stop_reason = decision.reason
+                break
+        wave = shards[done:done + waves]
+        results = executor.map_shards(task, wave)
+        if degraded is None:
+            degraded = getattr(executor, "degraded", None)
+        # Shard-index order is the determinism linchpin: completion
+        # order (and therefore worker count) must never leak into the
+        # merge sequence.
+        for _, payload in sorted(results, key=lambda pair: pair[0]):
+            payloads.append(payload)
+            if accumulate is not None and accumulator is not None:
+                accumulate(accumulator, payload)
+        done += len(wave)
+        if checkpoint_path is not None:
+            save_checkpoint(
+                checkpoint_path,
+                RunCheckpoint(
+                    n_samples=plan.n_samples,
+                    shard_size=plan.shard_size,
+                    base_seed=plan.base_seed,
+                    shards_done=done,
+                    task=label,
+                    accumulator_state=(
+                        accumulator.state() if accumulator is not None else None
+                    ),
+                    payloads=payloads,
+                ),
+            )
+
+    n_run = shards[done - 1].stop if done else 0
+    info = _build_info(plan, executor, done, n_run, stopped_early,
+                       stop_reason, resumed, degraded)
+    return ShardedRun(payloads=payloads, accumulator=accumulator, info=info)
+
+
+def _build_info(plan, executor, done, n_run, stopped_early, stop_reason,
+                resumed, degraded) -> RuntimeInfo:
+    return RuntimeInfo(
+        executor=executor.kind,
+        workers=executor.workers,
+        shard_size=plan.shard_size,
+        n_shards=plan.n_shards,
+        shards_run=done,
+        n_samples=n_run,
+        planned_samples=plan.n_samples,
+        base_seed=plan.base_seed,
+        stopped_early=stopped_early,
+        stop_reason=stop_reason,
+        resumed_shards=resumed,
+        degraded=degraded,
+    )
+
+
+def _task_fingerprint(task) -> Optional[str]:
+    """Content fingerprint of a task, for checkpoint workload identity.
+
+    Hashing the pickled task captures *every* discriminating parameter —
+    polarity, geometry, work-callable fields, thresholds — so two
+    workloads sharing a shard plan can never adopt each other's
+    checkpoints.  Returns ``None`` for unpicklable tasks (closure
+    metrics): a type-name fallback would let same-type workloads with
+    different parameters adopt each other's state, so checkpointing
+    refuses such tasks instead.
+    """
+    try:
+        digest = hashlib.sha256(pickle.dumps(task)).hexdigest()[:16]
+    except Exception:
+        return None
+    return f"{type(task).__name__}/{digest}"
+
+
+def _checkpoint_file(prefix: str, plan: ShardPlan, wave_size: int,
+                     label: str) -> str:
+    """Per-run checkpoint filename under a user-facing path prefix.
+
+    The fingerprint covers everything :meth:`RunCheckpoint.matches`
+    validates plus the wave size — adaptive-stopping boundaries depend
+    on it, so a resume under a different wave size must start fresh
+    rather than silently stop at boundaries no uninterrupted run could
+    produce.  Distinct stages of one experiment (different seeds,
+    geometries, models) sharing a prefix land in distinct files instead
+    of refusing each other's state.
+    """
+    fingerprint = hashlib.sha256(
+        f"{plan.n_samples}|{plan.shard_size}|{plan.base_seed}|"
+        f"{wave_size}|{label}".encode()
+    ).hexdigest()[:12]
+    return f"{prefix}.{fingerprint}.ckpt"
+
+
+# ----------------------------------------------------------------------
+# Execution-option interpretation (shared by Session and the engines).
+# ----------------------------------------------------------------------
+def stop_rule_for_execution(execution, metric: str) -> Optional[StopRule]:
+    """Build the :class:`StopRule` an ``Execution`` spec asks for.
+
+    Duck-typed on the spec's ``target_rel_err`` / ``stop_target`` /
+    ``min_samples`` / ``max_samples`` attributes, so the runtime layer
+    never imports :mod:`repro.api.specs`.  Returns ``None`` when the
+    spec requests no adaptive behavior (all planned shards run).
+    """
+    if execution is None:
+        return None
+    target_rel_err = getattr(execution, "target_rel_err", None)
+    max_samples = getattr(execution, "max_samples", None)
+    if target_rel_err is None and max_samples is None:
+        return None
+    return StopRule(
+        target_rel_err=target_rel_err,
+        metric=metric,
+        min_samples=getattr(execution, "min_samples", 0) or 0,
+        max_samples=max_samples,
+    )
+
+
+def plan_for_execution(execution, n_samples: int, base_seed: int) -> ShardPlan:
+    """Shard plan an ``Execution`` spec implies for an *n_samples* run.
+
+    An explicit ``shard_size`` wins; otherwise every engaged execution
+    defaults to :data:`~repro.runtime.sharding.DEFAULT_SHARD_SIZE`.
+    Nothing here may consult the worker count — the partition (and
+    through it the sample stream) must be identical at every
+    parallelism level, including ``workers=1``.
+    """
+    shard_size = getattr(execution, "shard_size", None)
+    if shard_size is None and execution is not None:
+        shard_size = DEFAULT_SHARD_SIZE
+    return plan_shards(n_samples, shard_size, base_seed)

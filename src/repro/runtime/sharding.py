@@ -1,0 +1,134 @@
+"""Deterministic shard planning: the seed contract of the parallel runtime.
+
+A statistical run of ``n_samples`` is split into contiguous **shards** of
+at most ``shard_size`` samples.  Each shard owns an independent random
+stream derived *only* from the run's base seed and the shard index::
+
+    SeedSequence(base_seed, spawn_key=(shard_index,))
+
+so the sample stream of shard *i* never depends on which worker executes
+it, in what order shards complete, or how many workers exist.  Merging
+shard outputs in shard-index order therefore yields **bit-identical**
+results at every worker count — the invariant
+``tests/test_runtime.py`` pins for both Monte-Carlo and importance
+sampling.
+
+The one thing the stream *does* depend on is the shard size: changing
+``shard_size`` re-partitions the draw and produces a different (equally
+valid) sample set.  ``Execution(shard_size=None)`` therefore means "one
+shard spanning the whole run", and the legacy unsharded entry points
+(``execution=None`` end to end) keep their historical single-stream
+draws so the golden figures stay pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "Shard",
+    "ShardPlan",
+    "plan_shards",
+    "shard_sequence",
+    "shard_rng",
+]
+
+#: Shard size used when execution options engage the runtime without an
+#: explicit ``shard_size``.  A fixed constant — never derived from the
+#: worker count — so the default-sharded stream is still worker-count
+#: invariant.
+DEFAULT_SHARD_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a sharded statistical run."""
+
+    #: Position in the plan; also the spawn key of the shard's stream.
+    index: int
+    #: First sample index covered (inclusive).
+    start: int
+    #: Last sample index covered (exclusive).
+    stop: int
+    #: Base seed of the run the shard belongs to.
+    base_seed: int
+
+    @property
+    def n_samples(self) -> int:
+        return self.stop - self.start
+
+    def sequence(self) -> np.random.SeedSequence:
+        """The shard's `SeedSequence` (depends on base seed + index only)."""
+        return shard_sequence(self.base_seed, self.index)
+
+    def rng(self) -> np.random.Generator:
+        """Fresh generator for the shard's stream."""
+        return np.random.Generator(np.random.PCG64(self.sequence()))
+
+
+def shard_sequence(base_seed: int, index: int) -> np.random.SeedSequence:
+    """`SeedSequence` of shard *index* under *base_seed* (the contract)."""
+    return np.random.SeedSequence(int(base_seed), spawn_key=(int(index),))
+
+
+def shard_rng(base_seed: int, index: int) -> np.random.Generator:
+    """Fresh generator for shard *index* under *base_seed*."""
+    return np.random.Generator(np.random.PCG64(shard_sequence(base_seed, index)))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full, deterministic decomposition of one statistical run."""
+
+    n_samples: int
+    shard_size: int
+    base_seed: int
+    shards: tuple
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+
+def plan_shards(
+    n_samples: int,
+    shard_size: Optional[int],
+    base_seed: int,
+) -> ShardPlan:
+    """Split *n_samples* into contiguous shards of at most *shard_size*.
+
+    ``shard_size=None`` plans a single shard covering the whole run (the
+    smallest step up from the unsharded path: one stream, one worker).
+    Every shard except possibly the last has exactly *shard_size*
+    samples, so the partition — and through it the sample stream — is a
+    pure function of ``(n_samples, shard_size, base_seed)``.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    size = n_samples if shard_size is None else int(shard_size)
+    if size <= 0:
+        raise ValueError("shard_size must be positive")
+    size = min(size, n_samples)
+
+    shards: List[Shard] = []
+    start = 0
+    while start < n_samples:
+        stop = min(start + size, n_samples)
+        shards.append(
+            Shard(index=len(shards), start=start, stop=stop,
+                  base_seed=int(base_seed))
+        )
+        start = stop
+    return ShardPlan(
+        n_samples=n_samples,
+        shard_size=size,
+        base_seed=int(base_seed),
+        shards=tuple(shards),
+    )

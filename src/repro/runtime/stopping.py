@@ -1,0 +1,115 @@
+"""Adaptive stopping: relative-error stop rules evaluated between waves.
+
+The runner dispatches shards in fixed-size *waves* and consults the
+:class:`StopRule` after each wave, on the streaming accumulator state —
+never on raw samples.  Because the wave size is a property of the plan
+(not of the worker count), the set of shards actually executed, and
+therefore the output, stays bit-identical at every worker count even
+when a run stops early.
+
+Two relative-error criteria cover the repo's statistical workloads:
+
+* ``sigma`` — stop once the relative standard error of the sigma
+  estimate, ``1/sqrt(2(n-1))``, is at or below ``target_rel_err``
+  (device/cell Monte-Carlo; a pure function of the accumulated count,
+  so it is the same for every measured target);
+* ``probability`` — stop once the importance-sampled failure
+  probability's ``std_error / probability`` is at or below the target
+  (rare-event estimation: keeps sampling while zero failures have been
+  observed, since the relative error is then infinite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StopRule", "StopDecision"]
+
+#: Criteria a stop rule can drive to tolerance.
+STOP_METRICS = ("sigma", "probability")
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """Outcome of one between-wave stop-rule evaluation."""
+
+    stop: bool
+    reason: Optional[str] = None
+    relative_error: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StopRule:
+    """Declarative between-wave stopping criterion.
+
+    Parameters
+    ----------
+    target_rel_err:
+        Stop once the driven relative error is at or below this value.
+        ``None`` disables adaptive stopping (all planned shards run).
+    metric:
+        ``"sigma"`` or ``"probability"`` — which relative error drives
+        the rule (chosen automatically by the session from the spec).
+    min_samples:
+        Never stop before this many samples have been accumulated.
+    max_samples:
+        Hard cap; the run stops once this many samples are in even if
+        the error target was not reached (the planned ``n_samples`` is
+        always an implicit cap).
+    """
+
+    target_rel_err: Optional[float] = None
+    metric: str = "sigma"
+    min_samples: int = 0
+    max_samples: Optional[int] = None
+
+    def __post_init__(self):
+        if self.metric not in STOP_METRICS:
+            raise ValueError(
+                f"metric must be one of {STOP_METRICS}, got {self.metric!r}"
+            )
+        if self.target_rel_err is not None and self.target_rel_err <= 0.0:
+            raise ValueError("target_rel_err must be positive")
+        if self.min_samples < 0:
+            raise ValueError("min_samples must be >= 0")
+        if self.max_samples is not None and self.max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+
+    # ------------------------------------------------------------------
+    def relative_error_of(self, accumulator) -> float:
+        """The driven relative error, read off the accumulator state."""
+        if self.metric == "probability":
+            return float(accumulator.relative_error())
+        return float(accumulator.sigma_relative_error())
+
+    def evaluate(self, accumulator, n_done: int) -> StopDecision:
+        """Decide whether to launch the next wave.
+
+        *accumulator* is the merged streaming state
+        (:class:`~repro.runtime.accumulators.TargetAccumulator` for
+        sigma rules, :class:`~repro.runtime.accumulators.
+        FailureAccumulator` for probability rules); *n_done* the samples
+        accumulated so far.
+        """
+        if self.max_samples is not None and n_done >= self.max_samples:
+            return StopDecision(
+                stop=True, reason=f"sample cap {self.max_samples} reached"
+            )
+        if self.target_rel_err is None:
+            return StopDecision(stop=False)
+        if n_done < self.min_samples:
+            return StopDecision(stop=False)
+        rel = self.relative_error_of(accumulator)
+        if np.isfinite(rel) and rel <= self.target_rel_err:
+            return StopDecision(
+                stop=True,
+                reason=(
+                    f"{self.metric} relative error {rel:.3g} <= "
+                    f"target {self.target_rel_err:.3g}"
+                ),
+                relative_error=rel,
+            )
+        return StopDecision(stop=False, relative_error=rel)

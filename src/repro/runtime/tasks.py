@@ -1,0 +1,328 @@
+"""Picklable shard tasks + the orchestration entry points the API uses.
+
+Each task is a plain top-level dataclass holding only picklable state
+(characterized models, geometry, thresholds), with ``__call__(shard)``
+evaluating one shard on the shard's own stream.  The ``run_*`` functions
+pair a task with the wave runner and assemble the task-specific final
+payload from the ordered shard outputs:
+
+* :func:`run_target_samples` — device-level Monte-Carlo; shard payloads
+  are :class:`~repro.stats.montecarlo.TargetSamples` concatenated in
+  shard order, streamed into a
+  :class:`~repro.runtime.accumulators.TargetAccumulator`.
+* :func:`run_importance` — mean-shift importance sampling; shard
+  payloads are :class:`~repro.runtime.accumulators.FailureAccumulator`
+  sufficient statistics merged in shard order (no sample arrays cross
+  process boundaries).
+* :func:`run_factory_map` — circuit-level Monte-Carlo: any
+  ``work(factory) -> (n,) array`` over a per-shard
+  :class:`~repro.cells.factory.MonteCarloDeviceFactory`.
+* :func:`run_array_task` — generic fan-out for tasks that already
+  return per-shard sample arrays (the SSTA graph engine uses this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.accumulators import (
+    FailureAccumulator,
+    StreamStats,
+    TargetAccumulator,
+)
+from repro.runtime.executors import Executor
+from repro.runtime.runner import RuntimeInfo, run_sharded
+from repro.runtime.sharding import Shard, ShardPlan
+from repro.runtime.stopping import StopRule
+
+__all__ = [
+    "TargetSamplesTask",
+    "ImportanceTask",
+    "FactoryMapTask",
+    "ArrayAccumulator",
+    "run_target_samples",
+    "run_importance",
+    "run_factory_map",
+    "run_array_task",
+]
+
+
+# ----------------------------------------------------------------------
+# Device-level Monte-Carlo (MonteCarlo specs).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TargetSamplesTask:
+    """One shard of a device-level target Monte-Carlo."""
+
+    characterization: object        #: PolarityCharacterization
+    model: str
+    w_nm: float
+    l_nm: float
+    vdd: float
+
+    def __call__(self, shard: Shard):
+        from repro.stats.montecarlo import target_samples
+
+        return target_samples(
+            self.characterization, self.model, self.w_nm, self.l_nm,
+            self.vdd, shard.n_samples, shard.rng(),
+        )
+
+
+def run_target_samples(
+    characterization,
+    model: str,
+    w_nm: float,
+    l_nm: float,
+    vdd: float,
+    plan: ShardPlan,
+    executor: Executor,
+    stop: Optional[StopRule] = None,
+    wave_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+):
+    """Sharded :func:`repro.stats.montecarlo.target_samples`.
+
+    Returns ``(TargetSamples, TargetAccumulator, RuntimeInfo)``; the
+    concatenated samples cover the shards actually run (fewer than
+    planned when the stop rule fires).
+    """
+    from repro.stats.montecarlo import concat_target_samples
+
+    task = TargetSamplesTask(
+        characterization=characterization, model=model,
+        w_nm=float(w_nm), l_nm=float(l_nm), vdd=float(vdd),
+    )
+    run = run_sharded(
+        task, plan, executor,
+        accumulator=TargetAccumulator(),
+        accumulate=lambda acc, payload: acc.update(payload.samples),
+        stop=stop, wave_size=wave_size, checkpoint_path=checkpoint_path,
+    )
+    return concat_target_samples(run.payloads), run.accumulator, run.info
+
+
+# ----------------------------------------------------------------------
+# Importance sampling (ImportanceSampling specs).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ImportanceTask:
+    """One shard of a mean-shift importance-sampling estimate.
+
+    The payload is a shard-local :class:`FailureAccumulator` — sufficient
+    statistics only, so arbitrarily large shards stream back in O(1).
+    """
+
+    model: object                   #: StatisticalVSModel
+    metric: Callable
+    threshold: float
+    shifts: Tuple[Tuple[str, float], ...]
+    w_nm: Optional[float]
+    l_nm: Optional[float]
+    fail_below: bool
+
+    def __call__(self, shard: Shard) -> FailureAccumulator:
+        from repro.stats.importance import importance_trial
+
+        weights, fails = importance_trial(
+            self.model, self.metric, self.threshold, dict(self.shifts),
+            shard.n_samples, shard.rng(),
+            w_nm=self.w_nm, l_nm=self.l_nm, fail_below=self.fail_below,
+        )
+        return FailureAccumulator().update(fails, weights)
+
+
+def run_importance(
+    model,
+    metric: Callable,
+    threshold: float,
+    shifts: Dict[str, float],
+    plan: ShardPlan,
+    executor: Executor,
+    w_nm: Optional[float] = None,
+    l_nm: Optional[float] = None,
+    fail_below: bool = True,
+    stop: Optional[StopRule] = None,
+    wave_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+):
+    """Sharded mean-shift importance sampling.
+
+    Returns ``(FailureEstimate, FailureAccumulator, RuntimeInfo)``.  The
+    estimate is assembled from the shard accumulators merged in shard
+    order, so it is worker-count invariant.
+    """
+    from repro.stats.importance import FailureEstimate
+
+    task = ImportanceTask(
+        model=model, metric=metric, threshold=float(threshold),
+        shifts=tuple(sorted(shifts.items())),
+        w_nm=w_nm, l_nm=l_nm, fail_below=bool(fail_below),
+    )
+    run = run_sharded(
+        task, plan, executor,
+        accumulator=FailureAccumulator(),
+        accumulate=lambda acc, payload: acc.merge(payload),
+        stop=stop, wave_size=wave_size, checkpoint_path=checkpoint_path,
+    )
+    acc: FailureAccumulator = run.accumulator
+    estimate = FailureEstimate(
+        probability=float(acc.probability),
+        std_error=float(acc.std_error),
+        n_samples=int(acc.n_samples),
+        effective_samples=float(acc.effective_samples),
+    )
+    return estimate, acc, run.info
+
+
+# ----------------------------------------------------------------------
+# Circuit-level Monte-Carlo through device factories.
+# ----------------------------------------------------------------------
+_PROCESS_PLAN_CACHE = None
+
+
+def _process_plan_cache():
+    """One compiled-plan cache per process (parent or pool worker).
+
+    Shard factories cannot share the parent session's cache across
+    process boundaries, but within a process every shard of every wave
+    hits the same netlist shapes — compiling once per process instead of
+    once per shard is what keeps the sharded path's overhead flat.
+    """
+    global _PROCESS_PLAN_CACHE
+    if _PROCESS_PLAN_CACHE is None:
+        from repro.api.plans import PlanCache
+
+        _PROCESS_PLAN_CACHE = PlanCache()
+    return _PROCESS_PLAN_CACHE
+
+
+@dataclass(frozen=True)
+class FactoryMapTask:
+    """One shard of ``work(factory) -> (n,) array`` circuit Monte-Carlo.
+
+    Builds a shard-local :class:`MonteCarloDeviceFactory` seeded by the
+    shard stream, applies the session's backend policy, and runs *work*
+    (a picklable callable: module-level function or frozen dataclass).
+    Worker processes keep their own compiled-plan caches — plans are
+    per-process state, and each long-lived pool worker compiles once.
+    """
+
+    technology: object              #: Technology
+    work: Callable
+    model: str = "vs"
+    backend: Optional[str] = None
+
+    def __call__(self, shard: Shard) -> np.ndarray:
+        from repro.cells.factory import MonteCarloDeviceFactory
+
+        factory = MonteCarloDeviceFactory(
+            self.technology, shard.n_samples, rng=shard.rng(),
+            model=self.model,
+        )
+        factory.plan_cache = _process_plan_cache()
+        if self.backend is not None:
+            factory.backend = self.backend
+        values = np.asarray(self.work(factory))
+        if values.ndim < 1 or values.shape[0] != shard.n_samples:
+            raise TypeError(
+                "factory-map work must return an array with the "
+                f"Monte-Carlo axis first; got shape {values.shape} for a "
+                f"{shard.n_samples}-sample shard"
+            )
+        return values
+
+
+def run_factory_map(
+    technology,
+    work: Callable,
+    plan: ShardPlan,
+    executor: Executor,
+    model: str = "vs",
+    backend: Optional[str] = None,
+    stop: Optional[StopRule] = None,
+    wave_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+):
+    """Sharded circuit-level Monte-Carlo over device factories.
+
+    Returns ``(values, StreamStats, RuntimeInfo)`` with *values* the
+    shard outputs concatenated along the sample axis in shard order.
+    """
+    task = FactoryMapTask(
+        technology=technology, work=work, model=model, backend=backend,
+    )
+    return run_array_task(
+        task, plan, executor, stop=stop, wave_size=wave_size,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+class ArrayAccumulator:
+    """Streaming stats for ``(n, ...)`` sample arrays.
+
+    Elementwise moments ride in a :class:`StreamStats`; the **row**
+    count is tracked separately so stop-rule accounting (``n_samples``,
+    ``sigma_relative_error``) is in Monte-Carlo samples — a ``(n, k)``
+    work output must not look like ``n * k`` samples to
+    ``min_samples``/``max_samples``/``target_rel_err``.  Non-finite rows
+    (non-converged circuit samples; callers filter them downstream too)
+    are skipped entirely so they neither poison the moments nor count
+    toward the error estimate.
+    """
+
+    def __init__(self):
+        self.values = StreamStats()
+        self.rows = 0
+
+    def update(self, payload) -> "ArrayAccumulator":
+        values = np.asarray(payload, dtype=float)
+        flat = values.reshape(values.shape[0], -1)
+        finite = values[np.isfinite(flat).all(axis=1)]
+        self.values.update(finite)
+        self.rows += int(finite.shape[0])
+        return self
+
+    @property
+    def n_samples(self) -> int:
+        return self.rows
+
+    def sigma_relative_error(self) -> float:
+        """Stop-rule protocol: sigma error from the *row* count."""
+        if self.rows < 2:
+            return float("inf")
+        return 1.0 / np.sqrt(2.0 * (self.rows - 1))
+
+    def state(self) -> dict:
+        return {"values": self.values.state(), "rows": self.rows}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ArrayAccumulator":
+        out = cls()
+        out.values = StreamStats.from_state(state["values"])
+        out.rows = int(state["rows"])
+        return out
+
+
+def run_array_task(
+    task: Callable,
+    plan: ShardPlan,
+    executor: Executor,
+    stop: Optional[StopRule] = None,
+    wave_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    task_label: Optional[str] = None,
+):
+    """Generic fan-out for tasks returning per-shard sample arrays."""
+    run = run_sharded(
+        task, plan, executor,
+        accumulator=ArrayAccumulator(),
+        accumulate=lambda acc, payload: acc.update(payload),
+        stop=stop, wave_size=wave_size, checkpoint_path=checkpoint_path,
+        task_label=task_label,
+    )
+    values = np.concatenate(run.payloads, axis=0)
+    return values, run.accumulator, run.info

@@ -14,7 +14,7 @@ Vdd, where the true arc distributions grow tails.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy import stats as sps
@@ -22,21 +22,83 @@ from scipy import stats as sps
 from repro.ssta.graph import TimingGraph
 
 
+@dataclass(frozen=True)
+class _ArrivalTask:
+    """Picklable shard task: one chunk of graph Monte-Carlo arrivals."""
+
+    graph: TimingGraph
+    source: str
+    sink: str
+
+    def __call__(self, shard) -> np.ndarray:
+        return monte_carlo_arrival(
+            self.graph, self.source, self.sink, shard.n_samples, shard.rng()
+        )
+
+
 def monte_carlo_arrival(
     graph: TimingGraph,
     source: str,
     sink: str,
     n_samples: int,
-    rng: np.random.Generator,
-) -> np.ndarray:
+    rng: Optional[np.random.Generator] = None,
+    *,
+    execution=None,
+    base_seed: Optional[int] = None,
+    executor=None,
+    return_info: bool = False,
+):
     """Sink latest-arrival samples, shape ``(n_samples,)``.
 
     Arc draws are independent across arcs (within-die mismatch); every
     sample index is one "die".
+
+    With *execution* options (an :class:`repro.api.Execution` or any
+    object with its attributes) the run goes through the parallel
+    runtime: samples are drawn shard by shard from streams derived from
+    *base_seed* per the shard/seed contract, optionally fanned out over
+    *executor* (built from ``execution.workers`` when omitted) and
+    stopped adaptively.  ``execution=None`` keeps the historical
+    single-stream draw from *rng*.  ``return_info=True`` additionally
+    returns the :class:`repro.runtime.RuntimeInfo` (``None`` for the
+    unsharded path).
     """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
     graph.validate_endpoints(source, sink)
+
+    if execution is not None:
+        from repro.runtime import (
+            plan_for_execution,
+            resolve_executor,
+            run_array_task,
+            stop_rule_for_execution,
+        )
+
+        if base_seed is None:
+            raise ValueError("sharded graph Monte-Carlo needs a base_seed")
+        plan = plan_for_execution(execution, n_samples, base_seed)
+        own_executor = executor is None
+        executor = (
+            resolve_executor(getattr(execution, "workers", 1))
+            if own_executor else executor
+        )
+        try:
+            values, _, info = run_array_task(
+                _ArrivalTask(graph=graph, source=source, sink=sink),
+                plan,
+                executor,
+                stop=stop_rule_for_execution(execution, "sigma"),
+                wave_size=getattr(execution, "wave_size", None),
+                checkpoint_path=getattr(execution, "checkpoint", None),
+            )
+        finally:
+            if own_executor:
+                executor.close()
+        return (values, info) if return_info else values
+
+    if rng is None:
+        raise ValueError("the unsharded path needs an rng")
 
     arrivals: Dict[str, np.ndarray] = {source: np.zeros(n_samples)}
     for node in graph.topological_order():
@@ -49,7 +111,7 @@ def monte_carlo_arrival(
             arrivals[node] = np.maximum.reduce(candidates)
     if sink not in arrivals:
         raise ValueError(f"sink {sink!r} unreachable from {source!r}")
-    return arrivals[sink]
+    return (arrivals[sink], None) if return_info else arrivals[sink]
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ are independent Gaussians by construction (Sec. II-B).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +37,17 @@ class FailureEstimate:
 
     @property
     def relative_error(self) -> float:
-        if self.probability <= 0.0:
+        """``std_error / probability``, or ``inf`` when undefined.
+
+        With zero observed failures the probability estimate is 0 and no
+        relative accuracy can be claimed; degenerate single-sample runs
+        leave ``std_error`` NaN.  Both cases answer ``inf`` — never NaN,
+        never a ZeroDivisionError — so adaptive stop rules can compare
+        the value against a tolerance unconditionally.
+        """
+        if not np.isfinite(self.probability) or self.probability <= 0.0:
+            return np.inf
+        if not np.isfinite(self.std_error):
             return np.inf
         return self.std_error / self.probability
 
@@ -56,6 +66,47 @@ def importance_weights(
         x = deviations[name]
         log_w = log_w + (m**2 - 2.0 * m * x) / (2.0 * sigmas[name] ** 2)
     return np.exp(log_w)
+
+
+def importance_trial(
+    model: StatisticalVSModel,
+    metric: Callable[[VSParams], np.ndarray],
+    threshold: float,
+    shifts: Dict[str, float],
+    n_samples: int,
+    rng: np.random.Generator,
+    w_nm: Optional[float] = None,
+    l_nm: Optional[float] = None,
+    fail_below: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One chunk of mean-shifted trials: ``(weights, fails)`` arrays.
+
+    The pure sampling core of :func:`estimate_failure_probability`,
+    shared with the parallel runtime's shard tasks: a shard evaluates
+    its own chunk with its own stream and the combined estimate follows
+    from the streamed sufficient statistics.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    unknown = set(shifts) - set(PARAMETER_ORDER)
+    if unknown:
+        raise KeyError(f"unknown statistical parameters {sorted(unknown)}")
+
+    w = float(model.nominal.w_nm if w_nm is None else w_nm)
+    l = float(model.nominal.l_nm if l_nm is None else l_nm)
+    sigmas = model.sigmas(w, l)
+
+    offsets = {
+        name: np.full(n_samples, shift * sigmas[name])
+        for name, shift in shifts.items()
+    }
+    sample = model.sample(n_samples, rng, w_nm=w, l_nm=l,
+                          extra_deviations=offsets)
+    weights = importance_weights(sample.deviations, shifts, sigmas)
+
+    values = np.asarray(metric(sample.params))
+    fails = values < threshold if fail_below else values > threshold
+    return weights, fails
 
 
 def estimate_failure_probability(
@@ -81,26 +132,10 @@ def estimate_failure_probability(
         Per-parameter shift in sigma units, e.g. ``{"vt0": +4.0}`` to
         push threshold voltage upward.
     """
-    if n_samples <= 0:
-        raise ValueError("n_samples must be positive")
-    unknown = set(shifts) - set(PARAMETER_ORDER)
-    if unknown:
-        raise KeyError(f"unknown statistical parameters {sorted(unknown)}")
-
-    w = float(model.nominal.w_nm if w_nm is None else w_nm)
-    l = float(model.nominal.l_nm if l_nm is None else l_nm)
-    sigmas = model.sigmas(w, l)
-
-    offsets = {
-        name: np.full(n_samples, shift * sigmas[name])
-        for name, shift in shifts.items()
-    }
-    sample = model.sample(n_samples, rng, w_nm=w, l_nm=l,
-                          extra_deviations=offsets)
-    weights = importance_weights(sample.deviations, shifts, sigmas)
-
-    values = np.asarray(metric(sample.params))
-    fails = values < threshold if fail_below else values > threshold
+    weights, fails = importance_trial(
+        model, metric, threshold, shifts, n_samples, rng,
+        w_nm=w_nm, l_nm=l_nm, fail_below=fail_below,
+    )
     contrib = weights * fails
 
     probability = float(np.mean(contrib))

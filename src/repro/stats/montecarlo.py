@@ -19,24 +19,74 @@ from repro.fitting.targets import TARGET_ORDER, measure_targets
 
 @dataclass(frozen=True)
 class TargetSamples:
-    """Monte-Carlo samples of the electrical targets at one geometry."""
+    """Monte-Carlo samples of the electrical targets at one geometry.
+
+    Sample arrays are treated as immutable once the dataclass is built;
+    ``sigma``/``mean`` memoize their reductions on first use, so hot
+    loops that re-read the same statistic (sigma-normalized scatter,
+    per-width ratio tables) do not recompute ``np.std`` per call.
+    """
 
     w_nm: float
     l_nm: float
     vdd: float
     samples: Dict[str, np.ndarray]    #: target name -> (n,) array
 
+    def __post_init__(self):
+        object.__setattr__(self, "_stat_cache", {})
+
+    @property
+    def n_samples(self) -> int:
+        return int(next(iter(self.samples.values())).shape[0])
+
     def sigma(self, target: str) -> float:
-        """Sample standard deviation of one target (ddof=1)."""
-        return float(np.std(self.samples[target], ddof=1))
+        """Sample standard deviation of one target (ddof=1, memoized)."""
+        key = ("sigma", target)
+        cache = self._stat_cache
+        if key not in cache:
+            cache[key] = float(np.std(self.samples[target], ddof=1))
+        return cache[key]
 
     def mean(self, target: str) -> float:
-        """Sample mean of one target."""
-        return float(np.mean(self.samples[target]))
+        """Sample mean of one target (memoized)."""
+        key = ("mean", target)
+        cache = self._stat_cache
+        if key not in cache:
+            cache[key] = float(np.mean(self.samples[target]))
+        return cache[key]
 
     def sigmas(self) -> Dict[str, float]:
         """All target sigmas."""
         return {t: self.sigma(t) for t in self.samples}
+
+
+def concat_target_samples(parts: Sequence[TargetSamples]) -> TargetSamples:
+    """Concatenate shard-local target samples in the given order.
+
+    The parallel runtime merges shard outputs with this: because the
+    parts arrive in shard-index order, the concatenated arrays are
+    bit-identical at every worker count.
+    """
+    if not parts:
+        raise ValueError("need at least one TargetSamples to concatenate")
+    first = parts[0]
+    for part in parts[1:]:
+        if (part.w_nm, part.l_nm, part.vdd) != (first.w_nm, first.l_nm,
+                                                first.vdd):
+            raise ValueError("cannot concatenate samples across geometries")
+        if set(part.samples) != set(first.samples):
+            raise ValueError("cannot concatenate samples across target sets")
+    if len(parts) == 1:
+        return first
+    return TargetSamples(
+        w_nm=first.w_nm,
+        l_nm=first.l_nm,
+        vdd=first.vdd,
+        samples={
+            t: np.concatenate([p.samples[t] for p in parts])
+            for t in first.samples
+        },
+    )
 
 
 def golden_target_samples(

@@ -36,6 +36,41 @@ class TestWeights:
         np.testing.assert_allclose(w, expected, rtol=1e-9)
 
 
+class TestRelativeError:
+    def test_zero_failures_returns_inf(self, model, rng):
+        # Unreachable threshold: zero failures observed.  The estimate
+        # must report relative_error == inf (not NaN, not raise) so
+        # adaptive stop rules can compare it against a tolerance.
+        threshold = float(np.asarray(model.nominal.vt0)) - 1.0
+        estimate = estimate_failure_probability(
+            model,
+            metric=lambda params: np.asarray(params.vt0),
+            threshold=threshold,
+            shifts={"vt0": 2.0},
+            n_samples=500,
+            rng=rng,
+            w_nm=600.0,
+            l_nm=40.0,
+            fail_below=True,
+        )
+        assert estimate.probability == 0.0
+        assert estimate.relative_error == np.inf
+
+    def test_degenerate_estimates_never_return_nan(self):
+        from repro.stats.importance import FailureEstimate
+
+        zero = FailureEstimate(probability=0.0, std_error=0.0,
+                               n_samples=100, effective_samples=0.0)
+        assert zero.relative_error == np.inf
+        # A single sample leaves std (ddof=1) NaN; still inf, not NaN.
+        single = FailureEstimate(probability=0.5, std_error=np.nan,
+                                 n_samples=1, effective_samples=1.0)
+        assert single.relative_error == np.inf
+        nan_prob = FailureEstimate(probability=np.nan, std_error=0.1,
+                                   n_samples=10, effective_samples=10.0)
+        assert nan_prob.relative_error == np.inf
+
+
 class TestAnalyticRecovery:
     def test_gaussian_tail_probability(self, model, rng):
         # Failure = sampled VT0 deviation beyond +4 sigma.  Analytic

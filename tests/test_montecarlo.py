@@ -48,6 +48,54 @@ class TestTargetSamples:
         manual = float(np.std(s.samples["idsat"], ddof=1))
         assert s.sigma("idsat") == pytest.approx(manual)
 
+    def test_sigma_and_mean_are_memoized(self, stat_model, rng, monkeypatch):
+        # Hot loops re-read the same statistic; np.std/np.mean must run
+        # once per (stat, target), not once per call.
+        import repro.stats.montecarlo as mc_module
+
+        s = vs_target_samples(stat_model, 600.0, 40.0, VDD, 300, rng)
+        calls = {"std": 0, "mean": 0}
+        real_std, real_mean = np.std, np.mean
+
+        def counting_std(*args, **kwargs):
+            calls["std"] += 1
+            return real_std(*args, **kwargs)
+
+        def counting_mean(*args, **kwargs):
+            calls["mean"] += 1
+            return real_mean(*args, **kwargs)
+
+        monkeypatch.setattr(mc_module.np, "std", counting_std)
+        monkeypatch.setattr(mc_module.np, "mean", counting_mean)
+        first_sigma = s.sigma("idsat")
+        first_mean = s.mean("idsat")
+        for _ in range(5):
+            assert s.sigma("idsat") == first_sigma
+            assert s.mean("idsat") == first_mean
+        assert calls == {"std": 1, "mean": 1}
+        # Distinct targets still compute their own statistic.
+        s.sigma("cgg")
+        assert calls["std"] == 2
+
+    def test_concat_matches_single_draw(self, stat_model, rng):
+        from repro.stats.montecarlo import concat_target_samples
+
+        parts = [
+            vs_target_samples(stat_model, 600.0, 40.0, VDD, n, rng)
+            for n in (100, 50, 25)
+        ]
+        merged = concat_target_samples(parts)
+        assert merged.n_samples == 175
+        np.testing.assert_array_equal(
+            merged.samples["idsat"],
+            np.concatenate([p.samples["idsat"] for p in parts]),
+        )
+        with pytest.raises(ValueError, match="geometries"):
+            concat_target_samples(
+                [parts[0],
+                 vs_target_samples(stat_model, 120.0, 40.0, VDD, 10, rng)]
+            )
+
     def test_vs_samples_same_interface(self, stat_model, rng):
         s = vs_target_samples(stat_model, 600.0, 40.0, VDD, 400, rng)
         assert s.w_nm == 600.0
