@@ -11,6 +11,7 @@ Usage::
     python -m repro fig5 --backend generic   # force per-element MNA
     python -m repro fig9 --workers 4     # sharded multi-process Monte-Carlo
     python -m repro fig9 --workers 4 --shard-size 256   # explicit shards
+    python -m repro charlib --workers 4  # parallel library characterization
 
 Every experiment is a declarative entry in the :mod:`repro.api`
 registry and executes through one :class:`repro.api.Session`, which
@@ -36,7 +37,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments", nargs="+",
         help="experiment names (fig1..fig9, table2..table4, baseline, "
-             "ssta), 'all', or 'list'",
+             "ssta, charlib), 'all', or 'list'",
     )
     parser.add_argument(
         "--quick", action="store_true",

@@ -29,6 +29,8 @@ from repro.api.specs import (
     AC,
     BACKENDS,
     AnalysisSpec,
+    Characterize,
+    CharacterizeLibrary,
     DCOp,
     DCSweep,
     ExperimentSpec,
@@ -48,6 +50,8 @@ __all__ = [
     "DCSweep",
     "MonteCarlo",
     "ImportanceSampling",
+    "Characterize",
+    "CharacterizeLibrary",
     "ExperimentSpec",
     "Execution",
     "BACKENDS",

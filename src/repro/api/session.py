@@ -33,6 +33,8 @@ from repro.api.specs import (
     AC,
     BACKENDS,
     AnalysisSpec,
+    Characterize,
+    CharacterizeLibrary,
     DCOp,
     DCSweep,
     ExperimentSpec,
@@ -311,6 +313,8 @@ class Session:
             return self._run_montecarlo(spec)
         if isinstance(spec, ImportanceSampling):
             return self._run_importance(spec)
+        if isinstance(spec, (Characterize, CharacterizeLibrary)):
+            return self._run_characterize(spec)
         raise TypeError(f"unknown spec type {type(spec).__name__}")
 
     def _run_circuit(self, spec, circuit) -> Result:
@@ -473,6 +477,67 @@ class Session:
             n_samples=spec.n_samples if info is None else info.n_samples,
             wall_time_s=elapsed,
             runtime=info,
+        )
+
+    def _run_characterize(self, spec) -> Result:
+        """Library characterization: the (cell x slew x load) grid workload.
+
+        Serial (``execution=None``) walks the grid in index order; with
+        execution options grid points fan out as shard tasks.  Both
+        paths draw point *k*'s Monte-Carlo stream from
+        ``SeedSequence(base_seed, spawn_key=(k,))`` — the grid-point
+        seed contract — so the tables are identical at every worker
+        count and bit-identical to the serial run.
+        """
+        from repro.charlib.arcs import get_adapter
+        from repro.charlib.characterize import DEFAULT_LOADS, DEFAULT_SLEWS
+        from repro.charlib.workload import (
+            CharGridTask,
+            assemble_library,
+            run_characterization,
+        )
+
+        if isinstance(spec, CharacterizeLibrary):
+            cell_specs, library_name = spec.cells, spec.name
+        else:
+            cell_specs, library_name = (spec.cell,), "repro_vs_40nm"
+        adapters = tuple(get_adapter(cell) for cell in cell_specs)
+        base_seed = self.seeds.seed(spec.seed_offset)
+        backend = spec.backend or (None if self.backend == "auto" else self.backend)
+        task = CharGridTask(
+            technology=self.technology,
+            adapters=adapters,
+            vdd=spec.vdd,
+            slews=spec.slews or DEFAULT_SLEWS,
+            loads=spec.loads or DEFAULT_LOADS,
+            n_mc=spec.n_mc,
+            model=spec.model,
+            base_seed=base_seed,
+            backend=backend,
+        )
+        execution = self._effective_execution(spec.execution)
+        executor = self.executor_for(execution) if execution is not None else None
+
+        start = time.perf_counter()
+        points, info = run_characterization(
+            task, execution=execution, executor=executor
+        )
+        library, diagnostics = assemble_library(task, points, name=library_name)
+        elapsed = time.perf_counter() - start
+
+        payload = library if isinstance(spec, CharacterizeLibrary) else library.cells[0]
+        return Result(
+            payload=payload,
+            spec=spec,
+            backend=self.backend,
+            seed=base_seed if spec.n_mc else None,
+            n_samples=spec.n_mc or None,
+            wall_time_s=elapsed,
+            runtime=info,
+            meta={
+                "grid_points": task.n_points,
+                "diagnostics": diagnostics,
+            },
         )
 
     # ------------------------------------------------------------------

@@ -27,6 +27,8 @@ __all__ = [
     "DCSweep",
     "MonteCarlo",
     "ImportanceSampling",
+    "Characterize",
+    "CharacterizeLibrary",
     "ExperimentSpec",
     "Execution",
     "BACKENDS",
@@ -314,6 +316,108 @@ class ImportanceSampling(AnalysisSpec):
 
     def shifts_dict(self) -> Dict[str, float]:
         return dict(self.shifts)
+
+
+def _freeze_grid_axis(values, label: str):
+    """Normalize an optional characterization grid axis to a float tuple."""
+    if values is None:
+        return None
+    values = tuple(float(v) for v in values)
+    if not values:
+        raise ValueError(f"{label} must be non-empty")
+    if any(v <= 0.0 for v in values):
+        raise ValueError(f"{label} must be positive")
+    if any(b <= a for a, b in zip(values, values[1:])):
+        raise ValueError(f"{label} must be strictly increasing")
+    return values
+
+
+@dataclass(frozen=True)
+class _CharacterizeBase(AnalysisSpec):
+    """Shared grid fields of the characterization specs (keyword-only).
+
+    ``slews``/``loads`` default to the charlib grid
+    (:data:`repro.charlib.characterize.DEFAULT_SLEWS` / ``DEFAULT_LOADS``)
+    when ``None``.  ``n_mc == 0`` characterizes nominally; a positive
+    count runs per-grid-point Monte-Carlo whose mean/sigma tables follow
+    the grid-point seed contract (ROADMAP "Conventions (PR 4)").
+    """
+
+    vdd: float = field(default=0.9, kw_only=True)
+    slews: Optional[Tuple[float, ...]] = field(default=None, kw_only=True)
+    loads: Optional[Tuple[float, ...]] = field(default=None, kw_only=True)
+    n_mc: int = field(default=0, kw_only=True)
+    model: str = field(default="vs", kw_only=True)
+    seed_offset: int = field(default=0, kw_only=True)
+    backend: Optional[str] = field(default=None, kw_only=True)
+    #: Sharding/parallelism options; stopping/checkpointing do not apply
+    #: to a fixed grid and are ignored.
+    execution: Optional[Execution] = field(default=None, kw_only=True)
+
+    def __post_init__(self):
+        object.__setattr__(self, "slews", _freeze_grid_axis(self.slews, "slews"))
+        object.__setattr__(self, "loads", _freeze_grid_axis(self.loads, "loads"))
+        if self.vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        if self.n_mc < 0:
+            raise ValueError("n_mc must be >= 0")
+        if self.model not in ("vs", "bsim"):
+            raise ValueError(f"model must be 'vs' or 'bsim', got {self.model!r}")
+        _check_backend(self.backend)
+        _check_execution(self.execution)
+
+    @staticmethod
+    def _check_cell(cell) -> None:
+        # Resolve eagerly so a typo fails at spec construction, not
+        # mid-run on a pool worker (lazy import keeps specs light).
+        from repro.charlib.arcs import get_adapter
+
+        get_adapter(cell)
+
+
+@dataclass(frozen=True)
+class Characterize(_CharacterizeBase):
+    """NLDM characterization of one cell over a (slew, load) grid.
+
+    *cell* is a registered adapter name (``"inv"``, ``"nand2"``,
+    ``"dff"``) or an :class:`repro.charlib.arcs.ArcAdapter` instance.
+    The payload is a :class:`repro.charlib.CellTiming`; with
+    ``n_mc > 0`` its per-arc sigma tables are filled from streamed
+    Monte-Carlo statistics.
+    """
+
+    cell: Any = "inv"
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._check_cell(self.cell)
+
+
+@dataclass(frozen=True)
+class CharacterizeLibrary(_CharacterizeBase):
+    """Multi-cell library characterization (one grid, many cells).
+
+    The full (cell x slew x load) grid fans out as shard tasks through
+    the parallel runtime when execution options are engaged; the payload
+    is a :class:`repro.charlib.LibraryTiming` whose ``liberty()``
+    renders the Liberty file.
+    """
+
+    cells: Tuple[Any, ...] = ("inv", "nand2", "dff")
+    name: str = "repro_vs_40nm"
+
+    def __post_init__(self):
+        super().__post_init__()
+        cells = self.cells
+        if isinstance(cells, str):
+            cells = (cells,)
+        object.__setattr__(self, "cells", tuple(cells))
+        if not self.cells:
+            raise ValueError("need at least one cell")
+        for cell in self.cells:
+            self._check_cell(cell)
+        if not self.name:
+            raise ValueError("library name must be non-empty")
 
 
 @dataclass(frozen=True)

@@ -5,14 +5,23 @@ switching input with a controlled-slew ramp, load the output with a pure
 capacitance, and measure 50 %-to-50 % delay plus 20-80 % output
 transition, for every (input slew, output load) grid point and both
 edges.  Statistical characterization repeats the measurement under a
-Monte-Carlo factory and records the delay samples per arc — the raw
-material for SSTA (:mod:`repro.ssta`).
+Monte-Carlo factory and streams the samples through the runtime's
+:class:`~repro.runtime.accumulators.StreamStats` — the raw material for
+SSTA (:mod:`repro.ssta`).
+
+Which arcs a cell has, and how one grid point is measured, is the
+business of a per-cell **arc adapter** (:mod:`repro.charlib.arcs`); this
+module holds the measurement primitives, the :class:`CellTiming` table
+container, and the serial nominal path (`characterize_arcs` /
+`characterize_cell`).  The parallel grid workload lives in
+:mod:`repro.charlib.workload` and runs through ``Session.run``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,10 +33,23 @@ from repro.circuit.dcop import initial_guess
 from repro.circuit.netlist import Circuit, GROUND
 from repro.circuit.transient import transient
 from repro.circuit.waveforms import Pulse
+from repro.runtime.accumulators import StreamStats
 
 #: Default characterization grids (40-nm scale).
 DEFAULT_SLEWS = (4e-12, 12e-12, 30e-12)
 DEFAULT_LOADS = (0.5e-15, 2e-15, 6e-15)
+
+
+class CharacterizationError(RuntimeError):
+    """A characterization point produced no valid measurement.
+
+    Raised by the nominal paths when a threshold crossing is never
+    found (the cell did not switch inside the observation window) —
+    silently tabulating NaN or negative slews is exactly the failure
+    mode this guards against.  Statistical runs instead drop invalid
+    samples and record the counts as diagnostics in the
+    :class:`~repro.api.result.Result` envelope.
+    """
 
 
 def build_loaded_inverter(
@@ -49,7 +71,14 @@ def build_loaded_inverter(
 
 def output_slew(result, node: str, vdd: float, direction: str,
                 t_min: float = 0.0):
-    """20-80 % output transition time (batched)."""
+    """20-80 % output transition time (batched).
+
+    Samples whose thresholds are never crossed — or crossed in an order
+    that would yield a non-positive transition (a stale crossing from an
+    earlier edge) — come back NaN instead of a silently nonsensical
+    value; callers either raise (:class:`CharacterizationError`, nominal
+    paths) or drop-and-record (statistical paths).
+    """
     lo, hi = 0.2 * vdd, 0.8 * vdd
     if direction == "rise":
         t_a = crossing_time(result.times, result[node], lo, "rise", t_min)
@@ -57,19 +86,39 @@ def output_slew(result, node: str, vdd: float, direction: str,
     else:
         t_a = crossing_time(result.times, result[node], hi, "fall", t_min)
         t_b = crossing_time(result.times, result[node], lo, "fall", t_min)
-    return t_b - t_a
+    width = t_b - t_a
+    return np.where(np.isfinite(width) & (width > 0.0), width, np.nan)
 
 
 @dataclass(frozen=True)
 class CellTiming:
-    """Nominal NLDM-style tables for one cell."""
+    """NLDM-style tables for one cell.
+
+    The mean tables (``delay``/``transition``) are keyed by arc name
+    (``tphl``/``tplh`` for the combinational cells, ``tpcq_*`` for the
+    flop).  Statistical characterization additionally fills the
+    per-arc ``*_sigma`` tables.  ``arcs`` / ``liberty`` carry the
+    adapter's Liberty metadata (group names, pins, function); both are
+    optional so hand-built inverter-style timings keep working.
+    """
 
     name: str
     vdd: float
-    #: edge ("tphl"/"tplh") -> delay table.
+    #: arc name -> mean delay table.
     delay: Dict[str, LookupTable2D]
-    #: edge -> output transition table.
+    #: arc name -> mean output transition table.
     transition: Dict[str, LookupTable2D]
+    #: arc name -> Monte-Carlo delay sigma table (None for nominal).
+    delay_sigma: Optional[Dict[str, LookupTable2D]] = None
+    #: arc name -> Monte-Carlo transition sigma table (None for nominal).
+    transition_sigma: Optional[Dict[str, LookupTable2D]] = None
+    #: Arc descriptors (``repro.charlib.arcs.Arc``) in table order;
+    #: None -> the legacy inverter tphl/tplh mapping.
+    arcs: Optional[tuple] = None
+    #: Liberty cell metadata (``repro.charlib.arcs.LibertyCell``).
+    liberty: Optional[object] = None
+    #: Monte-Carlo samples behind the statistical tables (0 = nominal).
+    n_mc: int = 0
 
 
 def _measure_point(
@@ -80,7 +129,7 @@ def _measure_point(
     c_load: float,
     dt_factor: float = 25.0,
 ):
-    """One grid point: both edges' delay and output slew (batched)."""
+    """One inverter grid point: both edges' delay and output slew (batched)."""
     t_delay = 3.0 * slew_in + 10e-12
     width = max(12.0 * slew_in, 120e-12)
     pulse = Pulse(0.0, vdd, delay=t_delay, t_rise=slew_in, t_fall=slew_in,
@@ -103,6 +152,62 @@ def _measure_point(
     }
 
 
+def characterize_arcs(
+    factory: DeviceFactory,
+    adapter,
+    vdd: float = 0.9,
+    slews: Sequence[float] = DEFAULT_SLEWS,
+    loads: Sequence[float] = DEFAULT_LOADS,
+) -> CellTiming:
+    """Nominal characterization of *adapter*'s arcs over the grid (serial).
+
+    *adapter* is any :class:`repro.charlib.arcs.ArcAdapter`; the factory
+    must be nominal (statistical grids run through the
+    ``Characterize`` / ``CharacterizeLibrary`` specs and the parallel
+    workload instead).  A grid point whose measurement is non-finite
+    raises :class:`CharacterizationError` naming the arc and point.
+    """
+    if factory.batch_shape:
+        raise ValueError(
+            "characterize_arcs is the nominal path; run Monte-Carlo "
+            "characterization through the Characterize spec"
+        )
+    slews = np.asarray(slews, dtype=float)
+    loads = np.asarray(loads, dtype=float)
+    arc_names = [arc.name for arc in adapter.arcs]
+    delay_tables = {a: np.zeros((slews.size, loads.size)) for a in arc_names}
+    tran_tables = {a: np.zeros((slews.size, loads.size)) for a in arc_names}
+
+    for i, slew in enumerate(slews):
+        for j, load in enumerate(loads):
+            point = adapter.measure_point(factory, vdd, slew, load)
+            for arc in arc_names:
+                d, s = point[arc]
+                d = float(np.asarray(d).squeeze())
+                s = float(np.asarray(s).squeeze())
+                if not (np.isfinite(d) and np.isfinite(s)):
+                    raise CharacterizationError(
+                        f"{adapter.name} arc {arc!r} never crossed its "
+                        f"thresholds at slew={slew:.3g} s, load={load:.3g} F "
+                        f"(delay={d}, transition={s})"
+                    )
+                delay_tables[arc][i, j] = d
+                tran_tables[arc][i, j] = s
+
+    return CellTiming(
+        name=adapter.name,
+        vdd=vdd,
+        delay={
+            a: LookupTable2D(slews, loads, delay_tables[a]) for a in arc_names
+        },
+        transition={
+            a: LookupTable2D(slews, loads, tran_tables[a]) for a in arc_names
+        },
+        arcs=tuple(adapter.arcs),
+        liberty=adapter.liberty,
+    )
+
+
 def characterize_cell(
     factory: DeviceFactory,
     spec: InverterSpec = InverterSpec(600.0, 300.0),
@@ -111,55 +216,94 @@ def characterize_cell(
     loads: Sequence[float] = DEFAULT_LOADS,
     name: str = "INV",
 ) -> CellTiming:
-    """Nominal characterization over the (slew, load) grid."""
-    slews = np.asarray(slews, dtype=float)
-    loads = np.asarray(loads, dtype=float)
-    delay_tables = {e: np.zeros((slews.size, loads.size)) for e in ("tphl", "tplh")}
-    tran_tables = {e: np.zeros((slews.size, loads.size)) for e in ("tphl", "tplh")}
+    """Nominal inverter characterization over the (slew, load) grid.
 
-    for i, slew in enumerate(slews):
-        for j, load in enumerate(loads):
-            point = _measure_point(factory, spec, vdd, slew, load)
-            for edge in ("tphl", "tplh"):
-                d, s = point[edge]
-                delay_tables[edge][i, j] = float(np.asarray(d).squeeze())
-                tran_tables[edge][i, j] = float(np.asarray(s).squeeze())
+    Thin wrapper over :func:`characterize_arcs` with the inverter arc
+    adapter — same measurement code as every other path, so the serial
+    result is bit-identical to the sharded grid workload.
+    """
+    from repro.charlib.arcs import InverterArcs
 
-    return CellTiming(
-        name=name,
-        vdd=vdd,
-        delay={
-            e: LookupTable2D(slews, loads, delay_tables[e])
-            for e in ("tphl", "tplh")
-        },
-        transition={
-            e: LookupTable2D(slews, loads, tran_tables[e])
-            for e in ("tphl", "tplh")
-        },
+    return characterize_arcs(
+        factory, InverterArcs(spec=spec, name=name), vdd=vdd,
+        slews=slews, loads=loads,
     )
 
 
+# ----------------------------------------------------------------------
+# Statistical arc samples (streamed moments).
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class ArcStatistics:
-    """Monte-Carlo delay samples of one timing arc at one operating point."""
+class ArcSamples:
+    """Monte-Carlo delay samples of one timing arc at one operating point.
+
+    Moments are streamed through the runtime's
+    :class:`~repro.runtime.accumulators.StreamStats` at construction —
+    the same accumulator the sharded grid workload folds shard payloads
+    into — so serial and parallel statistics share one formula.
+    """
 
     cell: str
-    edge: str
+    arc: str
     slew_in: float
     c_load: float
-    samples: np.ndarray       #: (n,) delay samples [s]
+    samples: np.ndarray       #: (n,) finite delay samples [s]
+
+    def __post_init__(self):
+        samples = np.asarray(self.samples, dtype=float).ravel()
+        samples = samples[np.isfinite(samples)]
+        object.__setattr__(self, "samples", samples)
+        object.__setattr__(self, "_stats", StreamStats().update(samples))
+
+    @property
+    def edge(self) -> str:
+        """Legacy alias of :attr:`arc`."""
+        return self.arc
+
+    @property
+    def stats(self) -> StreamStats:
+        """The streamed accumulator behind :attr:`mean`/:attr:`sigma`."""
+        return self._stats
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self.samples))
+        return float(self._stats.mean) if self._stats.n else float("nan")
 
     @property
     def sigma(self) -> float:
-        return float(np.std(self.samples, ddof=1))
+        return self._stats.std()
 
     def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Bootstrap-resample arc delays (preserves non-Gaussian shape)."""
         return rng.choice(self.samples, size=n, replace=True)
+
+
+class ArcStatistics(ArcSamples):
+    """Deprecated alias of :class:`ArcSamples` (one release grace period).
+
+    Accepts the legacy ``edge=`` keyword; statistics are now streamed
+    through :class:`~repro.runtime.accumulators.StreamStats` instead of
+    hand-rolled ``np.mean``/``np.std`` calls.
+    """
+
+    def __init__(self, cell: str, edge: Optional[str] = None,
+                 slew_in: float = 0.0, c_load: float = 0.0,
+                 samples=None, arc: Optional[str] = None):
+        warnings.warn(
+            "ArcStatistics is deprecated; use repro.charlib.ArcSamples "
+            "(field 'arc' replaces 'edge')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if samples is None:
+            raise TypeError("ArcStatistics requires samples")
+        super().__init__(
+            cell=cell,
+            arc=arc if arc is not None else edge,
+            slew_in=slew_in,
+            c_load=c_load,
+            samples=samples,
+        )
 
 
 def characterize_cell_statistics(
@@ -169,22 +313,22 @@ def characterize_cell_statistics(
     slew_in: float = DEFAULT_SLEWS[1],
     c_load: float = DEFAULT_LOADS[1],
     name: str = "INV",
-) -> Dict[str, ArcStatistics]:
-    """Monte-Carlo characterization of both arcs at one operating point.
+) -> Dict[str, ArcSamples]:
+    """Monte-Carlo characterization of both inverter arcs at one point.
 
     *factory_builder* must return a fresh Monte-Carlo factory (its batch
     size sets the sample count); a builder rather than a factory so each
-    arc gets independent device draws.
+    arc gets independent device draws.  Grid-shaped statistical
+    characterization — any cell, sharded — runs through the
+    ``Characterize`` spec instead.
     """
     factory = factory_builder()
     point = _measure_point(factory, spec, vdd, slew_in, c_load)
     result = {}
     for edge in ("tphl", "tplh"):
         delays, _ = point[edge]
-        delays = np.asarray(delays)
-        delays = delays[np.isfinite(delays)]
-        result[edge] = ArcStatistics(
-            cell=name, edge=edge, slew_in=slew_in, c_load=c_load,
-            samples=delays,
+        result[edge] = ArcSamples(
+            cell=name, arc=edge, slew_in=slew_in, c_load=c_load,
+            samples=np.asarray(delays),
         )
     return result

@@ -1,14 +1,22 @@
-"""Liberty (.lib) writer for characterized cells.
+"""Liberty (.lib) writer + minimal reader for characterized cells.
 
 Emits the minimal NLDM structure downstream tools parse: per-arc
 ``cell_fall``/``cell_rise`` delay tables and ``fall_transition``/
 ``rise_transition`` tables over the characterized (slew, load) grid.
 Units follow common 40-nm libraries: ns and pF.
+
+Multi-cell libraries use each :class:`CellTiming`'s adapter metadata
+(``arcs`` for the group mapping, ``liberty`` for pins/function/
+``timing_sense``/``timing_type``/``ff``); timings without metadata fall
+back to the historical single-input inverting-cell rendering.
+:func:`parse_liberty` reads the tables back (SI units restored) for
+round-trip tests and table-driven consumers.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import re
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -18,7 +26,8 @@ from repro.charlib.tables import LookupTable2D
 _NS = 1e-9
 _PF = 1e-12
 
-#: Liberty group names per internal edge label (output falls on tphl).
+#: Legacy Liberty group names per internal edge label (output falls on
+#: tphl) — used for timings carrying no adapter arc metadata.
 _EDGE_GROUPS = {
     "tphl": ("cell_fall", "fall_transition"),
     "tplh": ("cell_rise", "rise_transition"),
@@ -40,15 +49,68 @@ def _format_table(table: LookupTable2D, indent: str) -> str:
     return "\n".join(lines)
 
 
+def _cell_groups(cell: CellTiming) -> List[Tuple[str, str, str]]:
+    """(arc name, delay group, transition group) rows in emission order."""
+    if cell.arcs:
+        return [(a.name, a.delay_group, a.transition_group) for a in cell.arcs]
+    return [(edge, groups[0], groups[1])
+            for edge, groups in _EDGE_GROUPS.items() if edge in cell.delay]
+
+
+def _emit_cell(out: List[str], cell: CellTiming) -> None:
+    info = cell.liberty
+    out.append(f"  cell ({cell.name}) {{")
+    if info is None:
+        # Historical single-input inverting-cell rendering.
+        input_pins, output_pin = ("A",), "Y"
+        function, related_pin = "(!A)", "A"
+        timing_sense, timing_type, ff = "negative_unate", None, None
+    else:
+        input_pins, output_pin = info.input_pins, info.output_pin
+        function, related_pin = info.function, info.related_pin
+        timing_sense, timing_type, ff = (
+            info.timing_sense, info.timing_type, info.ff
+        )
+    if ff is not None:
+        next_state, clocked_on = ff
+        out.append("    ff (IQ, IQN) {")
+        out.append(f'      next_state : "{next_state}";')
+        out.append(f'      clocked_on : "{clocked_on}";')
+        out.append("    }")
+    for pin in input_pins:
+        out.append(f"    pin ({pin}) {{ direction : input; }}")
+    out.append(f"    pin ({output_pin}) {{")
+    out.append("      direction : output;")
+    if function is not None:
+        out.append(f'      function : "{function}";')
+    out.append("      timing () {")
+    out.append(f'        related_pin : "{related_pin}";')
+    if timing_sense is not None:
+        out.append(f"        timing_sense : {timing_sense};")
+    if timing_type is not None:
+        out.append(f"        timing_type : {timing_type};")
+    for arc, delay_group, tran_group in _cell_groups(cell):
+        out.append(f"        {delay_group} (delay_template) {{")
+        out.append(_format_table(cell.delay[arc], "          "))
+        out.append("        }")
+        out.append(f"        {tran_group} (delay_template) {{")
+        out.append(_format_table(cell.transition[arc], "          "))
+        out.append("        }")
+    out.append("      }")
+    out.append("    }")
+    out.append("  }")
+
+
 def write_liberty(
     cells: Sequence[CellTiming],
     library_name: str = "repro_vs_40nm",
 ) -> str:
     """Render a Liberty library string for *cells*.
 
-    Each cell is emitted as a single-input inverting cell (the cells of
-    this reproduction are INV-class drive characterizations); extending
-    to multi-input cells only multiplies the pin groups.
+    Each cell's pin groups, output function and timing arcs follow its
+    adapter metadata; a bare :class:`CellTiming` (no ``arcs`` /
+    ``liberty``) is emitted as the historical single-input inverting
+    cell.
     """
     if not cells:
         raise ValueError("need at least one characterized cell")
@@ -60,23 +122,71 @@ def write_liberty(
         f"  nom_voltage : {cells[0].vdd};",
     ]
     for cell in cells:
-        out.append(f"  cell ({cell.name}) {{")
-        out.append("    pin (A) { direction : input; }")
-        out.append("    pin (Y) {")
-        out.append("      direction : output;")
-        out.append('      function : "(!A)";')
-        out.append("      timing () {")
-        out.append("        related_pin : \"A\";")
-        out.append("        timing_sense : negative_unate;")
-        for edge, (delay_group, tran_group) in _EDGE_GROUPS.items():
-            out.append(f"        {delay_group} (delay_template) {{")
-            out.append(_format_table(cell.delay[edge], "          "))
-            out.append("        }")
-            out.append(f"        {tran_group} (delay_template) {{")
-            out.append(_format_table(cell.transition[edge], "          "))
-            out.append("        }")
-        out.append("      }")
-        out.append("    }")
-        out.append("  }")
+        _emit_cell(out, cell)
     out.append("}")
     return "\n".join(out) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Minimal reader (round-trip tests, table-driven consumers).
+# ----------------------------------------------------------------------
+_CELL_RE = re.compile(r"^cell \((\w+)\) \{")
+_GROUP_RE = re.compile(r"^(\w+) \(delay_template\) \{")
+_AXIS_RE = re.compile(r'^index_(1|2)\("([^"]*)"\);')
+_ROW_RE = re.compile(r'"([^"]*)"')
+
+
+def _floats(text: str) -> np.ndarray:
+    return np.array([float(v) for v in text.split(",")], dtype=float)
+
+
+def parse_liberty(text: str) -> Dict[str, Dict[str, LookupTable2D]]:
+    """Parse tables written by :func:`write_liberty` back to SI units.
+
+    Returns ``{cell_name: {group_name: LookupTable2D}}`` with slews and
+    values converted from ns to seconds and loads from pF to farads.
+    Only the table groups are interpreted; pin and attribute lines are
+    skipped, so this is a reader for the writer above, not a general
+    Liberty front end.
+    """
+    cells: Dict[str, Dict[str, LookupTable2D]] = {}
+    cell = None
+    group = None
+    axes: Dict[str, np.ndarray] = {}
+    rows: List[np.ndarray] = []
+    in_values = False
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        m = _CELL_RE.match(line)
+        if m:
+            cell = m.group(1)
+            cells[cell] = {}
+            continue
+        if cell is None:
+            continue
+        m = _GROUP_RE.match(line)
+        if m:
+            group = m.group(1)
+            axes, rows, in_values = {}, [], False
+            continue
+        if group is None:
+            continue
+        m = _AXIS_RE.match(line)
+        if m:
+            scale = _NS if m.group(1) == "1" else _PF
+            axes[m.group(1)] = _floats(m.group(2)) * scale
+            continue
+        if line.startswith("values("):
+            in_values = True
+            line = line[len("values("):]
+        if in_values:
+            m = _ROW_RE.search(line)
+            if m:
+                rows.append(_floats(m.group(1)) * _NS)
+            if line.rstrip("\\").rstrip().endswith(");"):
+                cells[cell][group] = LookupTable2D(
+                    axes["1"], axes["2"], np.vstack(rows)
+                )
+                group, in_values = None, False
+    return cells

@@ -12,6 +12,23 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def _axis_segment(axis: np.ndarray, query: np.ndarray):
+    """Lower segment index + interpolation fraction along one axis.
+
+    A single-point axis is constant along that dimension: every query
+    maps to index 0 with fraction 0 (no division by the zero-length
+    segment).
+    """
+    query = np.asarray(query, dtype=float)
+    if axis.size == 1:
+        zeros = np.zeros(query.shape, dtype=int)
+        return zeros, np.zeros(query.shape)
+    i = np.clip(np.searchsorted(axis, query) - 1, 0, axis.size - 2)
+    x0, x1 = axis[i], axis[i + 1]
+    frac = np.clip((query - x0) / (x1 - x0), 0.0, 1.0)
+    return i, frac
+
+
 @dataclass(frozen=True)
 class LookupTable2D:
     """Bilinear-interpolated table over (input slew, output load)."""
@@ -26,6 +43,8 @@ class LookupTable2D:
         values = np.asarray(self.values, dtype=float)
         if slews.ndim != 1 or loads.ndim != 1:
             raise ValueError("axes must be 1-D")
+        if slews.size == 0 or loads.size == 0:
+            raise ValueError("axes must hold at least one point")
         if values.shape != (slews.size, loads.size):
             raise ValueError(
                 f"values shape {values.shape} does not match axes "
@@ -38,23 +57,21 @@ class LookupTable2D:
         object.__setattr__(self, "values", values)
 
     def __call__(self, slew, load):
-        """Bilinear interpolation (clamped at the table edges)."""
-        slew = np.asarray(slew, dtype=float)
-        load = np.asarray(load, dtype=float)
+        """Bilinear interpolation (clamped at the table edges).
 
-        i = np.clip(np.searchsorted(self.slews, slew) - 1, 0,
-                    self.slews.size - 2)
-        j = np.clip(np.searchsorted(self.loads, load) - 1, 0,
-                    self.loads.size - 2)
-        s0, s1 = self.slews[i], self.slews[i + 1]
-        l0, l1 = self.loads[j], self.loads[j + 1]
-        fs = np.clip((slew - s0) / (s1 - s0), 0.0, 1.0)
-        fl = np.clip((load - l0) / (l1 - l0), 0.0, 1.0)
+        Single-point axes are handled as constants along that axis, so
+        1 x L, S x 1 and 1 x 1 tables interpolate (or simply clamp)
+        without dividing by a degenerate segment.
+        """
+        i, fs = _axis_segment(self.slews, slew)
+        j, fl = _axis_segment(self.loads, load)
+        i1 = np.minimum(i + 1, self.slews.size - 1)
+        j1 = np.minimum(j + 1, self.loads.size - 1)
 
         v00 = self.values[i, j]
-        v01 = self.values[i, j + 1]
-        v10 = self.values[i + 1, j]
-        v11 = self.values[i + 1, j + 1]
+        v01 = self.values[i, j1]
+        v10 = self.values[i1, j]
+        v11 = self.values[i1, j1]
         return (
             v00 * (1 - fs) * (1 - fl)
             + v01 * (1 - fs) * fl

@@ -34,6 +34,7 @@ ALL_MODULES = (
     "repro.experiments.table4_runtime",
     "repro.experiments.baseline_alphapower",
     "repro.experiments.ssta_low_vdd",
+    "repro.experiments.charlib_library",
 )
 
 __all__ = ["common", "ALL_MODULES"]

@@ -48,6 +48,9 @@ class SSTAResult:
     n_device_mc: int
     n_graph_mc: int
     cases: Tuple[SSTACase, ...]
+    #: Where the arc delays came from: raw Monte-Carlo ``samples``
+    #: (bootstrap arcs) or characterized NLDM ``table`` arcs.
+    arc_source: str = "samples"
 
 
 @dataclass(frozen=True)
@@ -86,6 +89,37 @@ def _build_graph(samples: np.ndarray, gaussian: bool) -> TimingGraph:
     return TimingGraph.parallel_chains(chains)
 
 
+def _table_arc(session, vdd: float, n_device_mc: int, seed_offset: int,
+               execution=None):
+    """One NAND2 arc as a characterized :class:`TableDelay`.
+
+    Runs a small statistical NAND2 characterization grid through
+    ``Session.run(Characterize(...))`` — windows stretched for low
+    supply like the direct measurement path — and reads the worst-case
+    ``tphl`` arc at the grid's center operating point.
+    """
+    from repro.api import Characterize
+    from repro.ssta import TableDelay
+
+    stretch = (0.9 / vdd) ** 2
+    slews = (8e-12 * stretch, 24e-12 * stretch)
+    loads = (1e-15, 4e-15)
+    result = session.run(Characterize(
+        cell="nand2", vdd=vdd, slews=slews, loads=loads,
+        n_mc=n_device_mc, seed_offset=seed_offset, execution=execution,
+    ))
+    return TableDelay.from_timing(
+        result.payload, "tphl",
+        slew=0.5 * (slews[0] + slews[1]), load=0.5 * (loads[0] + loads[1]),
+    )
+
+
+def _table_graph(arc) -> TimingGraph:
+    return TimingGraph.parallel_chains(
+        [[arc] * CHAIN_DEPTH for _ in range(N_CHAINS)]
+    )
+
+
 @experiment(
     "ssta",
     title="Gaussian SSTA vs Monte-Carlo at low supply",
@@ -95,6 +129,7 @@ def run(
     vdds=(0.9, 0.55),
     n_device_mc: int = 400,
     n_graph_mc: int = 50000,
+    arc_source: str = "samples",
     *,
     session=None,
     execution=None,
@@ -105,9 +140,19 @@ def run(
     characterization and the timing-graph sampling — run sharded through
     the parallel runtime (``python -m repro ssta --workers 4``); the
     default keeps the golden-pinned serial streams.
+
+    ``arc_source="table"`` replaces the raw bootstrap arcs with
+    slew/load-aware :class:`repro.ssta.TableDelay` arcs read from a
+    statistical NAND2 characterization run through
+    ``Session.run(Characterize(...))`` — the full table-driven SSTA
+    loop (characterize -> NLDM tables -> timing graph).
     """
     from scipy import stats as sps
 
+    if arc_source not in ("samples", "table"):
+        raise ValueError(
+            f"arc_source must be 'samples' or 'table', got {arc_source!r}"
+        )
     session = session or default_session()
     # Resolve the session default once, so the arc and graph stages
     # always run under the same regime (a parallel session must not
@@ -117,10 +162,15 @@ def run(
     rng = session.rng(400)
     cases = []
     for k, vdd in enumerate(vdds):
-        samples = _arc_samples(session, vdd, n_device_mc, 410 + k,
-                               execution=execution)
-
-        graph_mc = _build_graph(samples, gaussian=False)
+        if arc_source == "table":
+            arc = _table_arc(session, vdd, n_device_mc, 410 + k,
+                             execution=execution)
+            graph_mc = _table_graph(arc)
+            samples = arc.draw(max(n_device_mc, 64), session.rng(420 + k))
+        else:
+            samples = _arc_samples(session, vdd, n_device_mc, 410 + k,
+                                   execution=execution)
+            graph_mc = _build_graph(samples, gaussian=False)
         if execution is None:
             arrivals = monte_carlo_arrival(graph_mc, "src", "snk",
                                            n_graph_mc, rng)
@@ -148,7 +198,8 @@ def run(
             )
         )
     return SSTAResult(
-        n_device_mc=n_device_mc, n_graph_mc=n_graph_mc, cases=tuple(cases)
+        n_device_mc=n_device_mc, n_graph_mc=n_graph_mc, cases=tuple(cases),
+        arc_source=arc_source,
     )
 
 
@@ -171,9 +222,11 @@ def report(result: SSTAResult) -> str:
          "sign-off err"),
         rows,
     )
+    source = ("characterized TableDelay arcs" if result.arc_source == "table"
+              else "bootstrap Monte-Carlo")
     return "\n".join(
         [
-            f"SSTA extension -- Gaussian (Clark) vs bootstrap Monte-Carlo "
+            f"SSTA extension -- Gaussian (Clark) vs {source} "
             f"({N_CHAINS} chains x {CHAIN_DEPTH} NAND2 arcs, "
             f"{result.n_graph_mc} graph MC)",
             table,

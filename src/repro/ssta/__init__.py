@@ -9,7 +9,12 @@ fed by bootstrap draws from the statistical VS model's delay samples —
 so the Gaussian approximation's low-Vdd breakdown can be measured.
 """
 
-from repro.ssta.delays import EmpiricalDelay, FixedDelay, GaussianDelay
+from repro.ssta.delays import (
+    EmpiricalDelay,
+    FixedDelay,
+    GaussianDelay,
+    TableDelay,
+)
 from repro.ssta.graph import TimingGraph
 from repro.ssta.engines import clark_arrival, monte_carlo_arrival
 
@@ -18,6 +23,7 @@ __all__ = [
     "FixedDelay",
     "GaussianDelay",
     "EmpiricalDelay",
+    "TableDelay",
     "monte_carlo_arrival",
     "clark_arrival",
 ]

@@ -3,12 +3,15 @@
 Every model exposes ``mean``, ``variance`` (for the analytic engine) and
 ``draw(n, rng)`` (for the Monte-Carlo engine).  The empirical model
 bootstraps stored Monte-Carlo samples, preserving skew and tails — the
-non-Gaussian content that Gaussian SSTA discards.
+non-Gaussian content that Gaussian SSTA discards.  :class:`TableDelay`
+closes the loop with library characterization: it reads mean/sigma from
+a characterized cell's NLDM tables at a (slew, load) operating point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -72,6 +75,58 @@ class GaussianDelay(DelayModel):
 
     def draw(self, n, rng):
         return self.mu + self.sigma * rng.standard_normal(n)
+
+
+@dataclass(frozen=True)
+class TableDelay(DelayModel):
+    """Arc delay drawn from characterized NLDM tables at (slew, load).
+
+    The mean comes from the cell's delay table, the spread from its
+    Monte-Carlo sigma table (both bilinearly interpolated at the arc's
+    operating point), making SSTA consumable directly from
+    ``Session.run(Characterize(...))`` output.  A missing sigma table
+    (nominal characterization) degrades to a deterministic arc.
+    """
+
+    mean_table: object          #: LookupTable2D of mean delays
+    sigma_table: Optional[object]   #: LookupTable2D of delay sigmas, or None
+    slew: float                 #: input transition at the arc's input [s]
+    load: float                 #: capacitive load at the arc's output [F]
+
+    def __post_init__(self):
+        if self.slew <= 0.0 or self.load <= 0.0:
+            raise ValueError("operating point (slew, load) must be positive")
+
+    @classmethod
+    def from_timing(cls, timing, arc: str, slew: float, load: float
+                    ) -> "TableDelay":
+        """Build from a :class:`repro.charlib.CellTiming` arc's tables."""
+        if arc not in timing.delay:
+            known = ", ".join(sorted(timing.delay))
+            raise KeyError(
+                f"cell {timing.name!r} has no arc {arc!r} (arcs: {known})"
+            )
+        sigma = (timing.delay_sigma or {}).get(arc)
+        return cls(mean_table=timing.delay[arc], sigma_table=sigma,
+                   slew=float(slew), load=float(load))
+
+    @property
+    def mean(self) -> float:
+        return float(self.mean_table(self.slew, self.load))
+
+    @property
+    def sigma(self) -> float:
+        if self.sigma_table is None:
+            return 0.0
+        value = float(self.sigma_table(self.slew, self.load))
+        return value if np.isfinite(value) else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self.sigma**2
+
+    def draw(self, n, rng):
+        return self.mean + self.sigma * rng.standard_normal(n)
 
 
 class EmpiricalDelay(DelayModel):

@@ -1,13 +1,27 @@
-"""Cell characterization: lookup tables and measured timing trends."""
+"""Cell characterization: lookup tables, arc adapters, measured trends."""
 
 import numpy as np
 import pytest
 
-from repro.cells import InverterSpec, MonteCarloDeviceFactory, NominalDeviceFactory
+from repro.cells import (
+    DFFSpec,
+    InverterSpec,
+    MonteCarloDeviceFactory,
+    Nand2Spec,
+    NominalDeviceFactory,
+)
 from repro.charlib import (
+    ArcSamples,
+    ArcStatistics,
+    CharacterizationError,
+    DFFArcs,
+    InverterArcs,
     LookupTable2D,
+    Nand2Arcs,
+    characterize_arcs,
     characterize_cell,
     characterize_cell_statistics,
+    get_adapter,
 )
 
 
@@ -40,6 +54,62 @@ class TestLookupTable:
             LookupTable2D([2.0, 1.0], [10.0, 20.0], np.zeros((2, 2)))
         with pytest.raises(ValueError):
             LookupTable2D([1.0, 2.0], [10.0, 20.0], np.zeros((3, 2)))
+
+    def test_single_point_slew_axis(self):
+        # Constant along the degenerate axis, interpolated along the other.
+        table = LookupTable2D([1.0], [10.0, 20.0], [[1.0, 3.0]])
+        assert table(0.5, 15.0) == pytest.approx(2.0)
+        assert table(99.0, 10.0) == pytest.approx(1.0)
+
+    def test_single_point_load_axis(self):
+        table = LookupTable2D([1.0, 2.0], [10.0], [[1.0], [3.0]])
+        assert table(1.5, 99.0) == pytest.approx(2.0)
+        assert table(1.0, 0.0) == pytest.approx(1.0)
+
+    def test_one_by_one_table_is_constant(self):
+        table = LookupTable2D([1.0], [10.0], [[7.0]])
+        assert table(0.0, 0.0) == pytest.approx(7.0)
+        np.testing.assert_allclose(
+            table(np.array([0.5, 5.0]), np.array([3.0, 30.0])), [7.0, 7.0]
+        )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            LookupTable2D([], [10.0], np.zeros((0, 1)))
+
+
+class _FlatResult:
+    """Synthetic transient result: one node, a constant waveform."""
+
+    def __init__(self, times, wave):
+        self.times = np.asarray(times)
+        self._wave = np.asarray(wave)
+
+    def __getitem__(self, node):
+        return self._wave
+
+
+class TestOutputSlew:
+    def test_nan_when_threshold_never_crossed(self):
+        from repro.charlib import characterize
+
+        # A flat waveform never crosses 20 %/80 % — must be NaN, never a
+        # silently nonsensical number.
+        result = _FlatResult(np.linspace(0, 1e-9, 11), np.zeros(11))
+        slew = characterize.output_slew(result, "out", 0.9, "rise")
+        assert np.isnan(slew)
+
+    def test_nan_for_non_positive_transition(self):
+        from repro.charlib import characterize
+
+        # 80 % crossed before 20 % after t_min (stale earlier edge):
+        # a negative "transition" must come back NaN.
+        times = np.linspace(0.0, 10.0, 11)
+        wave = np.array([0.9, 0.8, 0.6, 0.4, 0.2, 0.05,
+                         0.05, 0.05, 0.05, 0.05, 0.05])
+        result = _FlatResult(times, wave)
+        slew = characterize.output_slew(result, "out", 0.9, "rise")
+        assert np.isnan(slew)
 
 
 class TestCharacterization:
@@ -74,6 +144,82 @@ class TestCharacterization:
         assert np.all(timing.delay["tphl"].values > 0.2e-12)
         assert np.all(timing.delay["tphl"].values < 100e-12)
 
+    def test_carries_adapter_metadata(self, timing):
+        assert [arc.name for arc in timing.arcs] == ["tphl", "tplh"]
+        assert timing.liberty.function == "(!A)"
+
+    def test_rejects_monte_carlo_factory(self, technology):
+        factory = MonteCarloDeviceFactory(technology, 4, seed=3)
+        with pytest.raises(ValueError, match="nominal path"):
+            characterize_arcs(factory, InverterArcs())
+
+
+from dataclasses import dataclass
+
+from repro.charlib.arcs import Arc, ArcAdapter, LibertyCell
+
+
+@dataclass(frozen=True)
+class _NeverSwitches(ArcAdapter):
+    """Adapter whose cell never crosses a threshold (all-NaN point)."""
+
+    name: str = "DEAD"
+
+    @property
+    def arcs(self):
+        return (Arc("tphl", "cell_fall", "fall_transition"),)
+
+    @property
+    def liberty(self):
+        return LibertyCell(("A",), "Y", "(!A)", "A")
+
+    def measure_point(self, factory, vdd, slew_in, c_load):
+        shape = factory.batch_shape or ()
+        nan = np.full(shape, np.nan) if shape else np.nan
+        return {"tphl": (nan, nan)}
+
+
+class TestArcAdapters:
+    def test_adapter_registry(self):
+        assert isinstance(get_adapter("inv"), InverterArcs)
+        assert isinstance(get_adapter("nand2"), Nand2Arcs)
+        assert isinstance(get_adapter("dff"), DFFArcs)
+        custom = Nand2Arcs(spec=Nand2Spec(wp_nm=900.0))
+        assert get_adapter(custom) is custom
+        with pytest.raises(ValueError, match="unknown cell"):
+            get_adapter("nor3")
+
+    def test_nand2_characterizes_and_loads_matter(self, technology):
+        factory = NominalDeviceFactory(technology, "vs")
+        timing = characterize_arcs(
+            factory, Nand2Arcs(), vdd=0.9,
+            slews=(8e-12,), loads=(1e-15, 4e-15),
+        )
+        assert set(timing.delay) == {"tphl", "tplh"}
+        for arc in ("tphl", "tplh"):
+            values = timing.delay[arc].values
+            assert np.all(values > 0.2e-12) and np.all(values < 100e-12)
+            assert values[0, 1] > values[0, 0]  # heavier load, slower
+
+    def test_dff_clk_to_q_arcs(self, technology):
+        factory = NominalDeviceFactory(technology, "vs")
+        timing = characterize_arcs(
+            factory, DFFArcs(DFFSpec()), vdd=0.9,
+            slews=(6e-12,), loads=(1e-15, 4e-15),
+        )
+        assert set(timing.delay) == {"tpcq_lh", "tpcq_hl"}
+        assert timing.liberty.timing_type == "falling_edge"
+        for arc in ("tpcq_lh", "tpcq_hl"):
+            values = timing.delay[arc].values
+            assert np.all(values > 0.2e-12) and np.all(values < 200e-12)
+            assert values[0, 1] > values[0, 0]
+
+    def test_nominal_dead_point_fails_loudly(self, technology):
+        factory = NominalDeviceFactory(technology, "vs")
+        with pytest.raises(CharacterizationError, match="DEAD arc 'tphl'"):
+            characterize_arcs(factory, _NeverSwitches(),
+                              slews=(5e-12,), loads=(1e-15,))
+
 
 class TestStatisticalCharacterization:
     def test_arc_statistics(self, technology):
@@ -96,3 +242,27 @@ class TestStatisticalCharacterization:
         draw = stats["tplh"].draw(500, rng)
         assert draw.shape == (500,)
         assert set(np.unique(draw)).issubset(set(stats["tplh"].samples))
+
+    def test_arc_samples_streamed_moments(self, rng):
+        samples = rng.normal(10e-12, 1e-12, size=200)
+        samples[7] = np.nan  # dropped, not propagated
+        arc = ArcSamples(cell="INV", arc="tphl", slew_in=1e-12,
+                         c_load=1e-15, samples=samples)
+        finite = samples[np.isfinite(samples)]
+        assert arc.samples.size == finite.size
+        assert arc.mean == pytest.approx(float(np.mean(finite)), rel=1e-12)
+        assert arc.sigma == pytest.approx(float(np.std(finite, ddof=1)),
+                                          rel=1e-9)
+        assert arc.stats.n == finite.size
+        assert arc.edge == "tphl"  # legacy alias
+
+    def test_arc_statistics_shim_deprecated(self, rng):
+        samples = rng.normal(10e-12, 1e-12, size=64)
+        with pytest.deprecated_call():
+            arc = ArcStatistics(cell="INV", edge="tphl", slew_in=1e-12,
+                                c_load=1e-15, samples=samples)
+        assert isinstance(arc, ArcSamples)
+        assert arc.arc == "tphl" and arc.edge == "tphl"
+        assert arc.mean == pytest.approx(float(np.mean(samples)), rel=1e-12)
+        assert arc.sigma == pytest.approx(float(np.std(samples, ddof=1)),
+                                          rel=1e-9)

@@ -11,7 +11,7 @@ from repro.api import load_all, names
 class TestCLI:
     def test_list_renders_whole_registry(self, capsys):
         # One line per registry entry, in registration order (the
-        # canonical fourteen-artifact set itself is asserted in
+        # canonical fifteen-artifact set itself is asserted in
         # tests/test_api.py; don't duplicate the literal here).
         assert main(["list"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()

@@ -1,24 +1,68 @@
-"""Liberty writer: structure and value round-trip."""
+"""Liberty writer: structure, multi-cell emission, value round-trip."""
 
 import numpy as np
 import pytest
 
+from repro.charlib.arcs import Arc, LibertyCell
 from repro.charlib.characterize import CellTiming
-from repro.charlib.liberty import write_liberty
+from repro.charlib.liberty import parse_liberty, write_liberty
 from repro.charlib.tables import LookupTable2D
+
+
+def _table(values):
+    return LookupTable2D(
+        np.array([5e-12, 20e-12]), np.array([1e-15, 4e-15]), values
+    )
 
 
 @pytest.fixture()
 def timing() -> CellTiming:
-    slews = np.array([5e-12, 20e-12])
-    loads = np.array([1e-15, 4e-15])
-    delay = LookupTable2D(slews, loads, [[5e-12, 8e-12], [7e-12, 11e-12]])
-    tran = LookupTable2D(slews, loads, [[4e-12, 9e-12], [6e-12, 12e-12]])
+    delay = _table([[5e-12, 8e-12], [7e-12, 11e-12]])
+    tran = _table([[4e-12, 9e-12], [6e-12, 12e-12]])
     return CellTiming(
         name="INV_X2",
         vdd=0.9,
         delay={"tphl": delay, "tplh": delay},
         transition={"tphl": tran, "tplh": tran},
+    )
+
+
+@pytest.fixture()
+def nand_timing() -> CellTiming:
+    delay = _table([[6e-12, 9e-12], [8e-12, 12e-12]])
+    tran = _table([[5e-12, 10e-12], [7e-12, 13e-12]])
+    arcs = (Arc("tphl", "cell_fall", "fall_transition"),
+            Arc("tplh", "cell_rise", "rise_transition"))
+    return CellTiming(
+        name="NAND2_X1",
+        vdd=0.9,
+        delay={"tphl": delay, "tplh": delay},
+        transition={"tphl": tran, "tplh": tran},
+        arcs=arcs,
+        liberty=LibertyCell(
+            input_pins=("A", "B"), output_pin="Y", function="(!(A&B))",
+            related_pin="A", timing_sense="negative_unate",
+        ),
+    )
+
+
+@pytest.fixture()
+def dff_timing() -> CellTiming:
+    delay = _table([[9e-12, 13e-12], [11e-12, 16e-12]])
+    tran = _table([[6e-12, 11e-12], [8e-12, 14e-12]])
+    arcs = (Arc("tpcq_lh", "cell_rise", "rise_transition"),
+            Arc("tpcq_hl", "cell_fall", "fall_transition"))
+    return CellTiming(
+        name="DFF_X1",
+        vdd=0.9,
+        delay={"tpcq_lh": delay, "tpcq_hl": delay},
+        transition={"tpcq_lh": tran, "tpcq_hl": tran},
+        arcs=arcs,
+        liberty=LibertyCell(
+            input_pins=("D", "CK"), output_pin="Q", function=None,
+            related_pin="CK", timing_sense=None, timing_type="falling_edge",
+            ff=("D", "(!CK)"),
+        ),
     )
 
 
@@ -50,3 +94,60 @@ class TestLibertyWriter:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             write_liberty([])
+
+
+class TestMultiCellLibrary:
+    def test_golden_snippet(self, timing, nand_timing, dff_timing):
+        text = write_liberty([timing, nand_timing, dff_timing],
+                             library_name="multilib")
+        # Header.
+        assert text.startswith("library (multilib) {")
+        assert '  delay_model : "table_lookup";' in text
+        assert '  time_unit : "1ns";' in text
+        assert "  capacitive_load_unit (1, pf);" in text
+        assert "  nom_voltage : 0.9;" in text
+        # All three cells, braces balanced.
+        for cell in ("INV_X2", "NAND2_X1", "DFF_X1"):
+            assert f"  cell ({cell}) {{" in text
+        assert text.count("{") == text.count("}")
+        # NAND2 pins + function from the adapter metadata.
+        assert "pin (A) { direction : input; }" in text
+        assert "pin (B) { direction : input; }" in text
+        assert 'function : "(!(A&B))";' in text
+        # DFF: sequential metadata, no timing_sense, falling-edge CK arc.
+        assert "ff (IQ, IQN) {" in text
+        assert 'next_state : "D";' in text
+        assert 'clocked_on : "(!CK)";' in text
+        assert 'related_pin : "CK";' in text
+        assert "timing_type : falling_edge;" in text
+        # Every cell carries both delay groups.
+        assert text.count("cell_rise (delay_template)") == 3
+        assert text.count("cell_fall (delay_template)") == 3
+
+    def test_parse_back_round_trip(self, timing, nand_timing, dff_timing):
+        cells = [timing, nand_timing, dff_timing]
+        parsed = parse_liberty(write_liberty(cells))
+        assert set(parsed) == {"INV_X2", "NAND2_X1", "DFF_X1"}
+        groups = {
+            "INV_X2": {"tphl": "cell_fall", "tplh": "cell_rise"},
+            "NAND2_X1": {"tphl": "cell_fall", "tplh": "cell_rise"},
+            "DFF_X1": {"tpcq_hl": "cell_fall", "tpcq_lh": "cell_rise"},
+        }
+        for cell in cells:
+            for arc, group in groups[cell.name].items():
+                table = parsed[cell.name][group]
+                np.testing.assert_allclose(
+                    table.values, cell.delay[arc].values, rtol=1e-5
+                )
+                np.testing.assert_allclose(table.slews, cell.delay[arc].slews,
+                                           rtol=1e-5)
+                np.testing.assert_allclose(table.loads, cell.delay[arc].loads,
+                                           rtol=1e-5)
+            transition_groups = {
+                "cell_fall": "fall_transition", "cell_rise": "rise_transition"
+            }
+            for arc, group in groups[cell.name].items():
+                table = parsed[cell.name][transition_groups[group]]
+                np.testing.assert_allclose(
+                    table.values, cell.transition[arc].values, rtol=1e-5
+                )

@@ -7,6 +7,7 @@ from repro.ssta import (
     EmpiricalDelay,
     FixedDelay,
     GaussianDelay,
+    TableDelay,
     TimingGraph,
     clark_arrival,
     monte_carlo_arrival,
@@ -47,6 +48,73 @@ class TestDelayModels:
     def test_empirical_needs_samples(self):
         with pytest.raises(ValueError):
             EmpiricalDelay([1.0, 2.0])
+
+
+class TestTableDelay:
+    @staticmethod
+    def _tables():
+        from repro.charlib import LookupTable2D
+
+        slews = np.array([1e-12, 3e-12])
+        loads = np.array([1e-15, 3e-15])
+        mean = LookupTable2D(slews, loads, [[4e-12, 6e-12], [8e-12, 10e-12]])
+        sigma = LookupTable2D(slews, loads, [[1e-13, 2e-13], [3e-13, 4e-13]])
+        return mean, sigma
+
+    def test_interpolates_operating_point(self, rng):
+        mean, sigma = self._tables()
+        d = TableDelay(mean, sigma, slew=2e-12, load=2e-15)
+        assert d.mean == pytest.approx(7e-12)
+        assert d.variance == pytest.approx(2.5e-13**2)
+        draws = d.draw(40000, rng)
+        assert np.mean(draws) == pytest.approx(7e-12, rel=0.01)
+        assert np.std(draws, ddof=1) == pytest.approx(2.5e-13, rel=0.02)
+
+    def test_missing_sigma_is_deterministic(self, rng):
+        mean, _ = self._tables()
+        d = TableDelay(mean, None, slew=1e-12, load=1e-15)
+        assert d.variance == 0.0
+        np.testing.assert_allclose(d.draw(8, rng), np.full(8, 4e-12))
+
+    def test_from_timing(self, rng):
+        from repro.charlib import CellTiming
+
+        mean, sigma = self._tables()
+        timing = CellTiming(
+            name="INV", vdd=0.9,
+            delay={"tphl": mean}, transition={"tphl": mean},
+            delay_sigma={"tphl": sigma}, transition_sigma={"tphl": sigma},
+            n_mc=100,
+        )
+        d = TableDelay.from_timing(timing, "tphl", slew=1e-12, load=1e-15)
+        assert d.mean == pytest.approx(4e-12)
+        assert d.sigma == pytest.approx(1e-13)
+        with pytest.raises(KeyError, match="no arc 'tplh'"):
+            TableDelay.from_timing(timing, "tplh", slew=1e-12, load=1e-15)
+
+    def test_nominal_timing_gives_zero_sigma(self):
+        from repro.charlib import CellTiming
+
+        mean, _ = self._tables()
+        timing = CellTiming(name="INV", vdd=0.9,
+                            delay={"tphl": mean}, transition={"tphl": mean})
+        d = TableDelay.from_timing(timing, "tphl", slew=2e-12, load=2e-15)
+        assert d.sigma == 0.0
+
+    def test_invalid_operating_point(self):
+        mean, sigma = self._tables()
+        with pytest.raises(ValueError):
+            TableDelay(mean, sigma, slew=0.0, load=1e-15)
+
+    def test_drives_both_engines(self, rng):
+        mean, sigma = self._tables()
+        arc = TableDelay(mean, sigma, slew=2e-12, load=2e-15)
+        g = TimingGraph.chain([arc, arc])
+        analytic = clark_arrival(g, "n0", "n2")
+        assert analytic.mean == pytest.approx(2 * arc.mean)
+        assert analytic.variance == pytest.approx(2 * arc.variance)
+        mc = monte_carlo_arrival(g, "n0", "n2", 30000, rng)
+        assert np.mean(mc) == pytest.approx(analytic.mean, rel=0.01)
 
 
 class TestTimingGraph:
