@@ -7,17 +7,25 @@ Monte-Carlos a NAND2's delay and leakage, and reports how the mean, the
 spread, and the *shape* (Gaussianity) of the delay distribution evolve —
 the dynamic-voltage-scaling design question of Fig. 7.
 
-Factories come from one `repro.api.Session`; re-requesting the same
-seed offset replays the identical sampled devices, which is how the
-leakage measurement reuses the delay run's dice.
+The supply loop is a declarative `Sweep` over a picklable `FactoryMap`
+workload, submitted as a non-blocking future: `session.submit` returns a
+`RunHandle` whose `progress()` reports completed sweep points while the
+grid fans out over the session's workers (try `Session(seed=17,
+executor=2)` — the nested sweep/seed contract keeps every number
+identical at any worker count).  Within one work call,
+`factory.replay()` re-draws the delay run's exact sampled devices for
+the leakage measurement.
 
 Run:  python examples/voltage_scaling.py
 """
 
+import time
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.analysis.leakage import supply_leakage
-from repro.api import Session
+from repro.api import FactoryMap, Session, Sweep
 from repro.cells import Nand2Spec, nand2_delays
 from repro.cells.nand import build_nand2_fo
 from repro.circuit.waveforms import DC
@@ -27,32 +35,53 @@ N_SAMPLES = 300
 SUPPLIES = (0.9, 0.7, 0.55)
 
 
+@dataclass(frozen=True)
+class DelayLeakageWork:
+    """Delay + static leakage of the same sampled NAND2, one work call."""
+
+    spec: Nand2Spec
+    vdd: float
+
+    def __call__(self, factory) -> np.ndarray:
+        # Static leakage at input A=0, B=1 reuses the delay run's dice:
+        # replay() rewinds to the factory's construction-time stream.
+        factory_static = factory.replay()
+        delays = nand2_delays(factory, self.spec, self.vdd)
+        circuit, hints = build_nand2_fo(factory_static, self.spec, self.vdd,
+                                        input_waveform=DC(0.0))
+        leak = supply_leakage(circuit, "VDD", hints)
+        return np.stack([delays["tphl"].delay, leak], axis=1)
+
+
 def main() -> None:
     session = Session(seed=17)
-    spec = Nand2Spec()
-    print(f"NAND2 FO3 voltage-scaling study ({N_SAMPLES} MC samples)\n")
+    sweep = Sweep(
+        FactoryMap(work=DelayLeakageWork(Nand2Spec(), SUPPLIES[0]),
+                   n_samples=N_SAMPLES),
+        over={"work.vdd": SUPPLIES},
+    )
+
+    handle = session.submit(sweep)
+    while not handle.done():
+        p = handle.progress()
+        if p.total:
+            print(f"  ... {p.completed}/{p.total} {p.unit} done")
+        time.sleep(0.5)
+    result = handle.result()
+
+    print(f"\nNAND2 FO3 voltage-scaling study ({N_SAMPLES} MC samples, "
+          f"{result.wall_time_s:.1f} s)\n")
     print(f"{'Vdd (V)':>8}  {'delay (ps)':>11}  {'sigma/mean':>10}  "
           f"{'QQ curvature':>12}  {'leakage (nA)':>13}")
 
-    for vdd in SUPPLIES:
-        offset = int(vdd * 100)
-        factory = session.mc_factory(N_SAMPLES, model="vs", seed_offset=offset)
-        delays = nand2_delays(factory, spec, vdd)
-        tphl = delays["tphl"].delay
+    for point in result.points:
+        vdd = point.spec.work.vdd
+        tphl, leak = np.asarray(point.payload).T
         tphl = tphl[np.isfinite(tphl)]
         stats = summarize(tphl)
-        curvature = qq_tail_nonlinearity(tphl)
-
-        # Static leakage of the same cell at input A=0, B=1: the same
-        # seed offset replays the identical sampled devices.
-        factory_static = session.mc_factory(N_SAMPLES, model="vs",
-                                            seed_offset=offset)
-        circuit, hints = build_nand2_fo(factory_static, spec, vdd,
-                                        input_waveform=DC(0.0))
-        leak = supply_leakage(circuit, "VDD", hints)
-
         print(f"{vdd:>8.2f}  {stats.mean * 1e12:>11.2f}  "
-              f"{stats.sigma_over_mu:>10.3f}  {curvature:>12.3f}  "
+              f"{stats.sigma_over_mu:>10.3f}  "
+              f"{qq_tail_nonlinearity(tphl):>12.3f}  "
               f"{np.mean(leak) * 1e9:>13.3f}")
 
     print("\nAs Vdd drops: delay and its relative spread grow, and the "

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro list                 # available experiments
+    python -m repro list --json          # machine-readable registry dump
     python -m repro fig3 table2 ...     # run selected, print reports
     python -m repro all                  # everything (long: full circuit MC)
     python -m repro fig5 --quick         # reduced sample counts
@@ -23,6 +24,7 @@ plan cache.  Default output is the experiment's human-readable report;
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.api import Session, load_all, names
@@ -79,9 +81,25 @@ def main(argv=None) -> int:
 
     load_all()
     if args.experiments == ["list"]:
-        for name in names():
-            defn = registry_get_def(name)
-            print(f"{name:8s} {defn.module:42s} {defn.title}")
+        if args.as_json:
+            # One document: the whole registry with its quick/full
+            # presets, so drivers can discover runnable artifacts and
+            # their knobs without parsing the human listing.
+            entries = []
+            for name in names():
+                defn = registry_get_def(name)
+                entries.append({
+                    "name": name,
+                    "title": defn.title,
+                    "module": defn.module,
+                    "quick": dict(defn.quick),
+                    "full": dict(defn.full),
+                })
+            print(json.dumps(entries, indent=2))
+        else:
+            for name in names():
+                defn = registry_get_def(name)
+                print(f"{name:8s} {defn.module:42s} {defn.title}")
         return 0
 
     requested = names() if args.experiments == ["all"] else args.experiments

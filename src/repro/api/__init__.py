@@ -13,6 +13,7 @@ the spec vocabulary, and :mod:`repro.api.registry` for the
 ``@experiment`` registration the CLI iterates.
 """
 
+from repro.api.futures import Progress, RunCancelled, RunHandle
 from repro.api.plans import PlanCache
 from repro.api.registry import (
     REGISTRY,
@@ -22,12 +23,13 @@ from repro.api.registry import (
     load_all,
     names,
 )
-from repro.api.result import Result, jsonify
-from repro.api.seeding import EXPERIMENT_SEED, SeedTree, derived_rng
+from repro.api.result import Result, SweepResult, jsonify
+from repro.api.seeding import EXPERIMENT_SEED, SeedScope, SeedTree, derived_rng
 from repro.api.session import Session, default_session
 from repro.api.specs import (
     AC,
     BACKENDS,
+    SEED_MODES,
     AnalysisSpec,
     Characterize,
     CharacterizeLibrary,
@@ -35,9 +37,12 @@ from repro.api.specs import (
     DCSweep,
     ExperimentSpec,
     Execution,
+    FactoryMap,
     ImportanceSampling,
     MonteCarlo,
+    Sweep,
     Transient,
+    sweep_point_offset,
 )
 
 __all__ = [
@@ -50,15 +55,24 @@ __all__ = [
     "DCSweep",
     "MonteCarlo",
     "ImportanceSampling",
+    "FactoryMap",
     "Characterize",
     "CharacterizeLibrary",
+    "Sweep",
+    "sweep_point_offset",
+    "SEED_MODES",
     "ExperimentSpec",
     "Execution",
     "BACKENDS",
     "Result",
+    "SweepResult",
     "jsonify",
+    "Progress",
+    "RunHandle",
+    "RunCancelled",
     "PlanCache",
     "SeedTree",
+    "SeedScope",
     "derived_rng",
     "EXPERIMENT_SEED",
     "experiment",

@@ -19,6 +19,7 @@ per-circuit cache while keeping central accounting.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Optional
@@ -46,6 +47,11 @@ class PlanCache:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        # Concurrent Session.submit() handles share one session cache
+        # from their driver threads; the LRU bookkeeping (get ->
+        # move_to_end -> insert -> evict) must not interleave.  The
+        # weakref eviction callback can fire on any thread, hence RLock.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -63,29 +69,42 @@ class PlanCache:
 
         objects, shapes = circuit._param_fingerprint()
         key = id(circuit)
-        entry = self._entries.get(key)
-        if (
-            entry is not None
-            and entry.circuit_ref() is circuit
-            and fingerprint_matches(entry.objects, entry.shapes, objects, shapes)
-        ):
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry.plan
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and entry.circuit_ref() is circuit
+                and fingerprint_matches(entry.objects, entry.shapes,
+                                        objects, shapes)
+            ):
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry.plan
+            self.misses += 1
 
         from repro.circuit.compiled import compile_circuit
 
-        self.misses += 1
+        # Compile outside the lock (it can be the expensive part); two
+        # threads racing the same circuit just compile twice, last one
+        # wins — correctness is untouched, plans are pure.
         plan = compile_circuit(circuit)
-        # The weakref callback evicts the entry (plan + pinned parameter
-        # arrays) as soon as the circuit itself is garbage-collected.
-        entries = self._entries
-        circuit_ref = weakref.ref(circuit, lambda _, k=key: entries.pop(k, None))
-        entries[key] = _Entry(plan, objects, shapes, circuit_ref)
-        entries.move_to_end(key)
-        while len(entries) > self.maxsize:
-            entries.popitem(last=False)
+        with self._lock:
+            # The weakref callback evicts the entry (plan + pinned
+            # parameter arrays) as soon as the circuit itself is
+            # garbage-collected.
+            entries = self._entries
+            circuit_ref = weakref.ref(
+                circuit, lambda _, k=key: self._evict(k)
+            )
+            entries[key] = _Entry(plan, objects, shapes, circuit_ref)
+            entries.move_to_end(key)
+            while len(entries) > self.maxsize:
+                entries.popitem(last=False)
         return plan
+
+    def _evict(self, key: int) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
 
     def stats(self) -> dict:
         """Hit/miss counters and current size (for result metadata)."""

@@ -15,13 +15,13 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.api.specs import AnalysisSpec
 
-__all__ = ["Result", "jsonify"]
+__all__ = ["Result", "SweepResult", "jsonify"]
 
 
 def jsonify(obj: Any) -> Any:
@@ -109,3 +109,110 @@ class Result:
             indent=indent,
             sort_keys=True,
         )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Envelope of one :class:`~repro.api.specs.Sweep` run.
+
+    Carries the per-point :class:`Result` envelopes in flat row-major
+    grid order together with the sweep's axes, seed basis and execution
+    metadata.  Unlike :meth:`Result.to_json` (a lossy log rendering),
+    :meth:`to_json`/:meth:`from_json` round-trip through the tagged
+    :mod:`repro.api.serialize` codec: numpy payloads come back as
+    bit-equal arrays and the spec as a live, validated ``Sweep``.
+    """
+
+    #: The sweep spec that produced the points (axes live on it).
+    spec: Any
+    #: Per-point result envelopes, flat row-major; shorter than the grid
+    #: when the run was point-capped or cancelled (see ``runtime``).
+    points: Tuple[Result, ...]
+    #: Base seed of the sweep's point streams (session root + the
+    #: wrapped spec's ``seed_offset``).
+    seed: Optional[int] = None
+    #: Wall-clock duration of the whole sweep [s].
+    wall_time_s: float = 0.0
+    #: Sweep-level runtime metadata when points fanned out as shard
+    #: tasks (a :class:`repro.runtime.RuntimeInfo` counting *points*).
+    runtime: Optional[Any] = None
+    #: Free-form extras.
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "points", tuple(self.points))
+
+    # ------------------------------------------------------------------
+    # Grid geometry (delegates to the spec).
+    # ------------------------------------------------------------------
+    @property
+    def axes(self):
+        """``((field paths, values), ...)`` — the swept grid axes."""
+        return self.spec.axes
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.spec.shape
+
+    @property
+    def n_points(self) -> int:
+        """Planned grid size (``len(points)`` when ``complete``)."""
+        return self.spec.n_points
+
+    @property
+    def complete(self) -> bool:
+        """Whether every planned grid point was run."""
+        return len(self.points) == self.n_points
+
+    def coords(self, index: int) -> Dict[str, Any]:
+        """``{field path: value}`` of flat point *index*."""
+        return self.spec.point_values(index)
+
+    def point(self, **coords) -> Result:
+        """The point whose axis assignments equal *coords* (all axes)."""
+        for index in range(len(self.points)):
+            if self.coords(index) == coords:
+                return self.points[index]
+        raise KeyError(f"no completed sweep point at {coords!r}")
+
+    def payloads(self) -> Tuple[Any, ...]:
+        """Per-point payloads, flat row-major."""
+        return tuple(point.payload for point in self.points)
+
+    def grid(self, extract) -> np.ndarray:
+        """``extract(Result)`` evaluated over the grid, shaped ``shape``.
+
+        Missing points (capped/cancelled runs) are NaN.
+        """
+        out = np.full(self.shape, np.nan)
+        flat = out.reshape(-1)
+        for index, point in enumerate(self.points):
+            flat[index] = float(extract(point))
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the whole envelope reversibly (tagged JSON)."""
+        from repro.api.serialize import dumps
+
+        return dumps(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Rebuild a :class:`SweepResult` written by :meth:`to_json`.
+
+        Decoding imports the spec/payload dataclass types by name —
+        load only documents you wrote (same trust model as the runtime's
+        pickle checkpoints).
+        """
+        from repro.api.serialize import loads
+
+        out = loads(text)
+        if not isinstance(out, cls):
+            raise ValueError(
+                f"document does not hold a {cls.__name__} "
+                f"(got {type(out).__name__})"
+            )
+        return out

@@ -17,11 +17,12 @@ independent child sequences the proper `SeedSequence` way.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["EXPERIMENT_SEED", "SeedTree", "derived_rng"]
+__all__ = ["EXPERIMENT_SEED", "SeedScope", "SeedTree", "derived_rng"]
 
 #: Seed base for experiment Monte-Carlo runs (distinct from the
 #: characterization seed so "measurement" and "validation" draws differ).
@@ -34,6 +35,41 @@ def derived_rng(root: int, offset: int = 0) -> np.random.Generator:
     Equal to the legacy ``np.random.default_rng(root + offset)`` stream.
     """
     return np.random.Generator(np.random.PCG64(np.random.SeedSequence(root + offset)))
+
+
+@dataclass(frozen=True)
+class SeedScope:
+    """One sweep point's stream scope under the nested sweep/seed contract.
+
+    A spawn-mode :class:`~repro.api.specs.Sweep` runs point *j* of a
+    spec whose base seed is *base_seed* (session root + spec
+    ``seed_offset``) on the streams::
+
+        serial draw   SeedSequence(base_seed, spawn_key=(j,))
+        shard i       SeedSequence(base_seed, spawn_key=(j, i))
+
+    The scope replaces the spec's own integer ``seed_offset`` resolution
+    entirely — the offset is already folded into ``base_seed`` — so the
+    stream is a pure function of ``(base_seed, spawn_key)`` and never of
+    worker count, shard completion order, or sweep scheduling.
+    """
+
+    base_seed: int
+    spawn_key: Tuple[int, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "base_seed", int(self.base_seed))
+        object.__setattr__(
+            self, "spawn_key", tuple(int(k) for k in self.spawn_key)
+        )
+
+    def sequence(self) -> np.random.SeedSequence:
+        """The scope's `SeedSequence` (for unsharded single-stream draws)."""
+        return np.random.SeedSequence(self.base_seed, spawn_key=self.spawn_key)
+
+    def rng(self) -> np.random.Generator:
+        """Fresh generator for the scope's single-stream draw."""
+        return np.random.Generator(np.random.PCG64(self.sequence()))
 
 
 class SeedTree:

@@ -1,0 +1,139 @@
+"""Reversible JSON encoding for result envelopes.
+
+:func:`repro.api.result.jsonify` renders *anything* into plain JSON
+types for logging, but it is lossy by design (tuples become lists,
+dataclasses become untyped dicts, callables become reprs).  Sweep
+results need the opposite: ``SweepResult.to_json`` must round-trip back
+into live objects — numpy payload arrays bit-equal, frozen specs
+reconstructed — so checkpoint-style artifacts survive a process
+boundary as *data*, not pickles.
+
+:func:`encode` therefore tags the handful of types JSON cannot express:
+
+====================  ==============================================
+python                JSON
+====================  ==============================================
+tuple                 ``{"__tuple__": [...]}``
+complex               ``{"__complex__": [re, im]}``
+np.ndarray            ``{"__ndarray__": nested list, "dtype": ...}``
+np scalar             its ``.item()`` (tagged again if complex)
+dataclass instance    ``{"__dataclass__": "module:qualname",
+                      "fields": {...}}``
+function              ``{"__callable__": "module:qualname"}``
+non-str-keyed dict    ``{"__map__": [[k, v], ...]}``
+====================  ==============================================
+
+:func:`decode` inverts every tag.  Dataclasses are rebuilt through
+their constructors (``__post_init__`` re-validates) and callables are
+resolved by import, so decoding — like unpickling — should only be
+applied to documents you produced yourself.  Non-finite floats ride on
+``json``'s default NaN/Infinity literals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["encode", "decode", "dumps", "loads"]
+
+_TAGS = ("__tuple__", "__complex__", "__ndarray__", "__dataclass__",
+         "__callable__", "__map__")
+
+
+def _qualify(obj) -> str:
+    return f"{obj.__module__}:{obj.__qualname__}"
+
+
+def _resolve(spec: str):
+    module_name, _, qualname = spec.partition(":")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def encode(obj: Any) -> Any:
+    """Recursively convert *obj* into tagged, JSON-serializable types."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, complex):
+        return {"__complex__": [obj.real, obj.imag]}
+    if isinstance(obj, np.generic):
+        return encode(obj.item())
+    if isinstance(obj, np.ndarray):
+        data = (
+            {"real": obj.real.tolist(), "imag": obj.imag.tolist()}
+            if np.iscomplexobj(obj)
+            else obj.tolist()
+        )
+        return {"__ndarray__": data, "dtype": str(obj.dtype)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": _qualify(type(obj)),
+            "fields": {
+                f.name: encode(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+                if f.init
+            },
+        }
+    if isinstance(obj, tuple):
+        return {"__tuple__": [encode(v) for v in obj]}
+    if isinstance(obj, list):
+        return [encode(v) for v in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and not (set(obj) & set(_TAGS)):
+            return {k: encode(v) for k, v in obj.items()}
+        return {"__map__": [[encode(k), encode(v)] for k, v in obj.items()]}
+    if callable(obj):
+        # Module-level functions/classes round-trip by import; anything
+        # else (bound methods, closures) has no stable address.
+        if getattr(obj, "__qualname__", "") and "." not in obj.__qualname__:
+            return {"__callable__": _qualify(obj)}
+        raise TypeError(f"cannot encode non-importable callable {obj!r}")
+    raise TypeError(f"cannot encode {type(obj).__name__} reversibly")
+
+
+def decode(obj: Any) -> Any:
+    """Invert :func:`encode` (imports dataclass types and callables)."""
+    if isinstance(obj, list):
+        return [decode(v) for v in obj]
+    if not isinstance(obj, dict):
+        return obj
+    if "__tuple__" in obj:
+        return tuple(decode(v) for v in obj["__tuple__"])
+    if "__complex__" in obj:
+        re_part, im_part = obj["__complex__"]
+        return complex(re_part, im_part)
+    if "__ndarray__" in obj:
+        dtype = np.dtype(obj["dtype"])
+        data = obj["__ndarray__"]
+        if isinstance(data, dict):
+            values = np.asarray(data["real"], dtype=float) + 1j * np.asarray(
+                data["imag"], dtype=float
+            )
+            return values.astype(dtype)
+        return np.asarray(data, dtype=dtype)
+    if "__dataclass__" in obj:
+        cls = _resolve(obj["__dataclass__"])
+        fields = {k: decode(v) for k, v in obj["fields"].items()}
+        return cls(**fields)
+    if "__callable__" in obj:
+        return _resolve(obj["__callable__"])
+    if "__map__" in obj:
+        return {decode(k): decode(v) for k, v in obj["__map__"]}
+    return {k: decode(v) for k, v in obj.items()}
+
+
+def dumps(obj: Any, indent=2) -> str:
+    """Encode *obj* and serialize it to JSON text."""
+    return json.dumps(encode(obj), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Any:
+    """Parse JSON text and decode every tag back into live objects."""
+    return decode(json.loads(text))

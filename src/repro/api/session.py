@@ -12,14 +12,18 @@ analysis and experiment used to re-implement by hand:
   circuit built through the session's device factories.
 
 Analyses are described by frozen :mod:`repro.api.specs` dataclasses and
-executed with :meth:`Session.run`; registry experiments run through
-:meth:`Session.run_experiment`.  Everything returns a
-:class:`~repro.api.result.Result` envelope.
+executed with :meth:`Session.run` (blocking) or :meth:`Session.submit`
+(non-blocking, returning a :class:`~repro.api.futures.RunHandle`);
+registry experiments run through :meth:`Session.run_experiment`.
+Everything returns a :class:`~repro.api.result.Result` envelope —
+except :class:`~repro.api.specs.Sweep` runs, whose envelope is the
+per-point :class:`~repro.api.result.SweepResult`.
 """
 
 from __future__ import annotations
 
 import inspect
+import threading
 import time
 from typing import Callable, Optional, Tuple, Union
 
@@ -28,7 +32,7 @@ import numpy as np
 from repro.api.plans import PlanCache
 from repro.api.registry import ExperimentDef, get as registry_get
 from repro.api.result import Result
-from repro.api.seeding import EXPERIMENT_SEED, SeedTree
+from repro.api.seeding import EXPERIMENT_SEED, SeedScope, SeedTree
 from repro.api.specs import (
     AC,
     BACKENDS,
@@ -39,8 +43,10 @@ from repro.api.specs import (
     DCSweep,
     ExperimentSpec,
     Execution,
+    FactoryMap,
     ImportanceSampling,
     MonteCarlo,
+    Sweep,
     Transient,
 )
 
@@ -99,6 +105,9 @@ class Session:
         self.seeds = SeedTree(seed)
         self.backend = backend
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        #: Guards the executor cache — submit() handles run analyses on
+        #: background threads that share this session's pools.
+        self._lock = threading.RLock()
         self._executors: dict = {}
         #: Worker counts whose executor the caller supplied (borrowed
         #: instances are never shut down by :meth:`close`).
@@ -133,7 +142,11 @@ class Session:
         if self._technology is None:
             from repro.pipeline import default_technology
 
-            self._technology = default_technology()
+            # Under the lock: concurrent submit() handles must not race
+            # the check-then-set into two expensive characterizations.
+            with self._lock:
+                if self._technology is None:
+                    self._technology = default_technology()
         return self._technology
 
     @property
@@ -178,9 +191,10 @@ class Session:
         from repro.runtime import resolve_executor
 
         workers = execution.workers if execution is not None else 1
-        if workers not in self._executors:
-            self._executors[workers] = resolve_executor(workers)
-        return self._executors[workers]
+        with self._lock:
+            if workers not in self._executors:
+                self._executors[workers] = resolve_executor(workers)
+            return self._executors[workers]
 
     def close(self) -> None:
         """Shut down the process pools this session spawned.
@@ -189,20 +203,56 @@ class Session:
         are borrowed, not owned — they are released from the cache but
         left running for their owner to close.
         """
-        for workers, executor in self._executors.items():
-            if workers not in self._borrowed_workers:
-                executor.close()
-        self._executors.clear()
-        self._borrowed_workers.clear()
+        with self._lock:
+            for workers, executor in self._executors.items():
+                if workers not in self._borrowed_workers:
+                    executor.close()
+            self._executors.clear()
+            self._borrowed_workers.clear()
 
     def _effective_execution(
         self, spec_execution: Optional[Execution]
     ) -> Optional[Execution]:
         return spec_execution if spec_execution is not None else self.default_execution()
 
+    def _spec_execution(
+        self, spec, inherit_execution: bool
+    ) -> Optional[Execution]:
+        """A spec's execution, with or without the session default.
+
+        Sweep points pin ``inherit_execution=False``: the sweep already
+        absorbed the session's parallelism at the point fan-out level,
+        and injecting it again into every point would silently re-shard
+        the inner streams (breaking the sweep's scheduling invariance).
+        """
+        if inherit_execution:
+            return self._effective_execution(spec.execution)
+        return spec.execution
+
+    def _seed_basis(
+        self, seed_offset: int, scope: Optional[SeedScope]
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """``(base_seed, spawn_prefix)`` of a statistical run.
+
+        An enclosing sweep point's :class:`SeedScope` replaces the
+        spec's own offset resolution (the offset is folded into the
+        scope's base seed); otherwise streams come from the session seed
+        tree with an empty prefix — the pre-sweep contract, unchanged.
+        """
+        if scope is not None:
+            return scope.base_seed, scope.spawn_key
+        return self.seeds.seed(seed_offset), ()
+
+    def _serial_rng(
+        self, seed_offset: int, scope: Optional[SeedScope]
+    ) -> np.random.Generator:
+        """The unsharded single-stream generator of a statistical run."""
+        return scope.rng() if scope is not None else self.rng(seed_offset)
+
     def _runtime_args(
         self, execution: Execution, n_samples: int, seed_offset: int,
-        stop_metric: str,
+        stop_metric: str, scope: Optional[SeedScope] = None,
+        observer=None,
     ) -> dict:
         """The shared plan/executor/stopping kwargs of every runtime run.
 
@@ -211,14 +261,16 @@ class Session:
         """
         from repro.runtime import plan_for_execution, stop_rule_for_execution
 
+        base_seed, spawn_prefix = self._seed_basis(seed_offset, scope)
         return {
             "plan": plan_for_execution(
-                execution, n_samples, self.seeds.seed(seed_offset)
+                execution, n_samples, base_seed, spawn_prefix=spawn_prefix
             ),
             "executor": self.executor_for(execution),
             "stop": stop_rule_for_execution(execution, stop_metric),
             "wave_size": execution.wave_size,
             "checkpoint_path": execution.checkpoint,
+            "observer": observer,
         }
 
     # ------------------------------------------------------------------
@@ -295,13 +347,53 @@ class Session:
     # ------------------------------------------------------------------
     # Analysis execution.
     # ------------------------------------------------------------------
-    def run(self, spec: AnalysisSpec, circuit=None) -> Result:
+    def run(self, spec: AnalysisSpec, circuit=None):
         """Execute *spec* and wrap the output in a :class:`Result`.
 
-        Circuit-level specs require *circuit*; device-level statistical
-        specs (:class:`MonteCarlo`, :class:`ImportanceSampling`) run
-        against the session technology and must not pass one.
+        Literally ``submit(spec, circuit).result()`` — blocking and
+        non-blocking runs share one execution path.  Circuit-level specs
+        require *circuit*; device-level statistical specs
+        (:class:`MonteCarlo`, :class:`ImportanceSampling`,
+        :class:`FactoryMap`) run against the session technology and must
+        not pass one.  :class:`Sweep` runs return a
+        :class:`~repro.api.result.SweepResult` instead of a `Result`.
         """
+        return self.submit(spec, circuit).result()
+
+    def submit(self, spec: AnalysisSpec, circuit=None):
+        """Start *spec* without blocking; returns a ``RunHandle`` future.
+
+        The handle reports ``progress()`` (completed/total shards or
+        sweep points), snapshots streamed accumulator state via
+        ``partial()``, and supports ``cancel()`` at wave boundaries;
+        ``result()`` blocks for the envelope.
+        """
+        from repro.api.futures import RunHandle
+
+        return RunHandle(self, spec, circuit)
+
+    def _execute(
+        self,
+        spec: AnalysisSpec,
+        circuit=None,
+        scope: Optional[SeedScope] = None,
+        observer=None,
+        inherit_execution: bool = True,
+    ):
+        """Synchronous spec dispatch (the worker side of every future).
+
+        *scope* carries an enclosing sweep point's seed context;
+        *observer* receives wave-boundary progress/cancel callbacks;
+        *inherit_execution* gates session-default parallelism injection
+        (pinned off inside sweep points).
+        """
+        if isinstance(spec, Sweep):
+            if circuit is not None:
+                raise ValueError(f"{spec.kind} does not take a circuit")
+            from repro.api.sweep import run_sweep
+
+            return run_sweep(self, spec, observer=observer,
+                             inherit_execution=inherit_execution)
         circuit_specs = (DCOp, Transient, AC, DCSweep)
         if isinstance(spec, circuit_specs):
             if circuit is None:
@@ -310,11 +402,17 @@ class Session:
         if circuit is not None:
             raise ValueError(f"{spec.kind} does not take a circuit")
         if isinstance(spec, MonteCarlo):
-            return self._run_montecarlo(spec)
+            return self._run_montecarlo(spec, scope, observer,
+                                        inherit_execution)
         if isinstance(spec, ImportanceSampling):
-            return self._run_importance(spec)
+            return self._run_importance(spec, scope, observer,
+                                        inherit_execution)
+        if isinstance(spec, FactoryMap):
+            return self._run_factory_map(spec, scope, observer,
+                                         inherit_execution)
         if isinstance(spec, (Characterize, CharacterizeLibrary)):
-            return self._run_characterize(spec)
+            return self._run_characterize(spec, scope, observer,
+                                          inherit_execution)
         raise TypeError(f"unknown spec type {type(spec).__name__}")
 
     def _run_circuit(self, spec, circuit) -> Result:
@@ -382,11 +480,19 @@ class Session:
             meta=meta,
         )
 
-    def _run_montecarlo(self, spec: MonteCarlo) -> Result:
+    def _scope_meta(self, scope: Optional[SeedScope]) -> dict:
+        """Result metadata recording an enclosing sweep point's streams."""
+        if scope is None:
+            return {}
+        return {"spawn_key": scope.spawn_key}
+
+    def _run_montecarlo(self, spec: MonteCarlo, scope=None, observer=None,
+                        inherit_execution: bool = True) -> Result:
         from repro.stats.montecarlo import target_samples
 
         char = self.technology[spec.polarity]
-        execution = self._effective_execution(spec.execution)
+        execution = self._spec_execution(spec, inherit_execution)
+        base_seed, _ = self._seed_basis(spec.seed_offset, scope)
         start = time.perf_counter()
         if execution is None:
             payload = target_samples(
@@ -396,7 +502,7 @@ class Session:
                 spec.l_nm,
                 self.technology.vdd,
                 spec.n_samples,
-                self.rng(spec.seed_offset),
+                self._serial_rng(spec.seed_offset, scope),
             )
             info = None
             meta = {}
@@ -404,7 +510,8 @@ class Session:
             from repro.runtime import run_target_samples
 
             args = self._runtime_args(
-                execution, spec.n_samples, spec.seed_offset, "sigma"
+                execution, spec.n_samples, spec.seed_offset, "sigma",
+                scope=scope, observer=observer,
             )
             payload, accumulator, info = run_target_samples(
                 char,
@@ -424,18 +531,21 @@ class Session:
             payload=payload,
             spec=spec,
             backend="device",
-            seed=self.seeds.seed(spec.seed_offset),
+            seed=base_seed,
             n_samples=spec.n_samples if info is None else info.n_samples,
             wall_time_s=elapsed,
             runtime=info,
-            meta=meta,
+            meta={**meta, **self._scope_meta(scope)},
         )
 
-    def _run_importance(self, spec: ImportanceSampling) -> Result:
+    def _run_importance(self, spec: ImportanceSampling, scope=None,
+                        observer=None,
+                        inherit_execution: bool = True) -> Result:
         from repro.stats.importance import estimate_failure_probability
 
         model = self.technology[spec.polarity].statistical
-        execution = self._effective_execution(spec.execution)
+        execution = self._spec_execution(spec, inherit_execution)
+        base_seed, _ = self._seed_basis(spec.seed_offset, scope)
         start = time.perf_counter()
         if execution is None:
             payload = estimate_failure_probability(
@@ -444,7 +554,7 @@ class Session:
                 spec.threshold,
                 spec.shifts_dict(),
                 spec.n_samples,
-                self.rng(spec.seed_offset),
+                self._serial_rng(spec.seed_offset, scope),
                 w_nm=spec.w_nm,
                 l_nm=spec.l_nm,
                 fail_below=spec.fail_below,
@@ -454,7 +564,8 @@ class Session:
             from repro.runtime import run_importance
 
             args = self._runtime_args(
-                execution, spec.n_samples, spec.seed_offset, "probability"
+                execution, spec.n_samples, spec.seed_offset, "probability",
+                scope=scope, observer=observer,
             )
             payload, _, info = run_importance(
                 model,
@@ -473,13 +584,72 @@ class Session:
             payload=payload,
             spec=spec,
             backend="device",
-            seed=self.seeds.seed(spec.seed_offset),
+            seed=base_seed,
             n_samples=spec.n_samples if info is None else info.n_samples,
             wall_time_s=elapsed,
             runtime=info,
+            meta=self._scope_meta(scope),
         )
 
-    def _run_characterize(self, spec) -> Result:
+    def _run_factory_map(self, spec: FactoryMap, scope=None, observer=None,
+                         inherit_execution: bool = True) -> Result:
+        """Circuit-level ``work(factory)`` Monte-Carlo as a spec run.
+
+        The payload is the raw ``(n, ...)`` metric array; the serial
+        path is the exact legacy single-factory draw the hand-rolled
+        experiment loops used (``Session.map_mc`` delegates here).
+        """
+        execution = self._spec_execution(spec, inherit_execution)
+        base_seed, _ = self._seed_basis(spec.seed_offset, scope)
+        start = time.perf_counter()
+        meta = {}
+        if execution is None:
+            from repro.cells.factory import MonteCarloDeviceFactory
+
+            factory = self._equip(MonteCarloDeviceFactory(
+                self.technology, spec.n_samples,
+                rng=self._serial_rng(spec.seed_offset, scope),
+                model=spec.model,
+            ))
+            payload = np.asarray(spec.work(factory))
+            if payload.ndim < 1 or payload.shape[0] != spec.n_samples:
+                raise TypeError(
+                    "factory-map work must return an array with the "
+                    f"Monte-Carlo axis first; got shape {payload.shape} "
+                    f"for a {spec.n_samples}-sample run"
+                )
+            info = None
+        else:
+            from repro.runtime import run_factory_map
+
+            args = self._runtime_args(
+                execution, spec.n_samples, spec.seed_offset, "sigma",
+                scope=scope, observer=observer,
+            )
+            payload, accumulator, info = run_factory_map(
+                self.technology,
+                spec.work,
+                args.pop("plan"),
+                args.pop("executor"),
+                model=spec.model,
+                backend=None if self.backend == "auto" else self.backend,
+                **args,
+            )
+            meta = {"finite_rows": accumulator.rows}
+        elapsed = time.perf_counter() - start
+        return Result(
+            payload=payload,
+            spec=spec,
+            backend=self.backend,
+            seed=base_seed,
+            n_samples=spec.n_samples if info is None else info.n_samples,
+            wall_time_s=elapsed,
+            runtime=info,
+            meta={**meta, **self._scope_meta(scope)},
+        )
+
+    def _run_characterize(self, spec, scope=None, observer=None,
+                          inherit_execution: bool = True) -> Result:
         """Library characterization: the (cell x slew x load) grid workload.
 
         Serial (``execution=None``) walks the grid in index order; with
@@ -487,7 +657,8 @@ class Session:
         paths draw point *k*'s Monte-Carlo stream from
         ``SeedSequence(base_seed, spawn_key=(k,))`` — the grid-point
         seed contract — so the tables are identical at every worker
-        count and bit-identical to the serial run.
+        count and bit-identical to the serial run.  Under sweep point
+        *j* the grid nests one level deeper: ``spawn_key=(j, k)``.
         """
         from repro.charlib.arcs import get_adapter
         from repro.charlib.characterize import DEFAULT_LOADS, DEFAULT_SLEWS
@@ -502,7 +673,7 @@ class Session:
         else:
             cell_specs, library_name = (spec.cell,), "repro_vs_40nm"
         adapters = tuple(get_adapter(cell) for cell in cell_specs)
-        base_seed = self.seeds.seed(spec.seed_offset)
+        base_seed, spawn_prefix = self._seed_basis(spec.seed_offset, scope)
         backend = spec.backend or (None if self.backend == "auto" else self.backend)
         task = CharGridTask(
             technology=self.technology,
@@ -514,13 +685,14 @@ class Session:
             model=spec.model,
             base_seed=base_seed,
             backend=backend,
+            spawn_prefix=spawn_prefix,
         )
-        execution = self._effective_execution(spec.execution)
+        execution = self._spec_execution(spec, inherit_execution)
         executor = self.executor_for(execution) if execution is not None else None
 
         start = time.perf_counter()
         points, info = run_characterization(
-            task, execution=execution, executor=executor
+            task, execution=execution, executor=executor, observer=observer
         )
         library, diagnostics = assemble_library(task, points, name=library_name)
         elapsed = time.perf_counter() - start
@@ -537,6 +709,7 @@ class Session:
             meta={
                 "grid_points": task.n_points,
                 "diagnostics": diagnostics,
+                **self._scope_meta(scope),
             },
         )
 
@@ -564,26 +737,16 @@ class Session:
         ``execution=None`` on a serial session, this is exactly the
         legacy single-factory draw (bit-identical to pre-runtime code).
 
+        The declarative twin is ``session.run(FactoryMap(...))`` — this
+        method delegates to the same engine and unwraps the envelope.
+
         Returns ``(values, RuntimeInfo-or-None)``.
         """
-        execution = self._effective_execution(execution)
-        if execution is None:
-            factory = self.mc_factory(n_samples, model=model,
-                                      seed_offset=seed_offset)
-            return np.asarray(work(factory)), None
-        from repro.runtime import run_factory_map
-
-        args = self._runtime_args(execution, n_samples, seed_offset, "sigma")
-        values, _, info = run_factory_map(
-            self.technology,
-            work,
-            args.pop("plan"),
-            args.pop("executor"),
-            model=model,
-            backend=None if self.backend == "auto" else self.backend,
-            **args,
-        )
-        return values, info
+        result = self._run_factory_map(FactoryMap(
+            work=work, n_samples=n_samples, model=model,
+            seed_offset=seed_offset, execution=execution,
+        ))
+        return np.asarray(result.payload), result.runtime
 
     # ------------------------------------------------------------------
     # Registry experiments.

@@ -16,6 +16,7 @@ session's characterized technology directly.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -27,11 +28,14 @@ __all__ = [
     "DCSweep",
     "MonteCarlo",
     "ImportanceSampling",
+    "FactoryMap",
     "Characterize",
     "CharacterizeLibrary",
+    "Sweep",
     "ExperimentSpec",
     "Execution",
     "BACKENDS",
+    "SEED_MODES",
 ]
 
 #: Valid backend selections.  ``auto`` compiles when the netlist supports
@@ -318,6 +322,39 @@ class ImportanceSampling(AnalysisSpec):
         return dict(self.shifts)
 
 
+@dataclass(frozen=True)
+class FactoryMap(AnalysisSpec):
+    """Circuit-level Monte-Carlo: ``work(factory) -> (n, ...) array``.
+
+    The declarative form of :meth:`repro.api.session.Session.map_mc` —
+    *work* receives a Monte-Carlo device factory drawing from the spec's
+    stream and returns one metric array with the sample axis first.
+    *work* must be picklable (a module-level function or frozen
+    dataclass) for sharded or swept execution; unpicklable closures
+    degrade to an identical serial run like every runtime task.
+
+    The experiment modules express their hand-rolled cell Monte-Carlo
+    loops as ``Sweep(FactoryMap(...), over=...)`` — the work callable
+    carries the circuit recipe, the sweep varies its fields.
+    """
+
+    work: Callable
+    n_samples: int = 1000
+    model: str = "vs"
+    seed_offset: int = 0
+    #: Sharding/parallelism/stopping options; ``None`` = session default.
+    execution: Optional[Execution] = field(default=None, kw_only=True)
+
+    def __post_init__(self):
+        if self.work is None or not callable(self.work):
+            raise ValueError("work must be a callable")
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if self.model not in ("vs", "bsim"):
+            raise ValueError(f"model must be 'vs' or 'bsim', got {self.model!r}")
+        _check_execution(self.execution)
+
+
 def _freeze_grid_axis(values, label: str):
     """Normalize an optional characterization grid axis to a float tuple."""
     if values is None:
@@ -418,6 +455,263 @@ class CharacterizeLibrary(_CharacterizeBase):
             self._check_cell(cell)
         if not self.name:
             raise ValueError("library name must be non-empty")
+
+
+#: Sweep point-seed contracts.  ``spawn`` is the nested SeedSequence
+#: contract (point *j* -> ``spawn_key=(j,)``, inner shard *i* ->
+#: ``(j, i)``); ``legacy`` reproduces the historical per-point offset
+#: arithmetic (point *j* runs at ``seed_offset + j``) the golden
+#: figures are pinned to.
+SEED_MODES = ("spawn", "legacy")
+
+#: Spec types a :class:`Sweep` may wrap: everything that runs against
+#: the session technology without a caller-supplied circuit.
+_SWEEPABLE = (
+    MonteCarlo,
+    ImportanceSampling,
+    FactoryMap,
+    Characterize,
+    CharacterizeLibrary,
+)
+
+
+def sweep_point_offset(base_offset: int, index: int) -> int:
+    """The legacy sweep seed arithmetic: point *index* under *base_offset*.
+
+    One owner for the ``base + k`` per-point stream numbering that the
+    experiment modules used to hand-roll (``seed_offset = 40 + k``...).
+    ``Sweep(seed_mode="legacy")`` applies it internally; experiments
+    that still need a sibling per-point stream *outside* a sweep (e.g.
+    the SSTA graph stage) must derive it through this function rather
+    than re-inventing the arithmetic.
+    """
+    return int(base_offset) + int(index)
+
+
+def _replace_field_path(spec, path: str, value):
+    """``dataclasses.replace`` through a dotted frozen-dataclass path.
+
+    ``"work.vdd"`` rebuilds ``spec.work`` with ``vdd=value`` and then
+    ``spec`` with the new ``work`` — every level re-runs its
+    ``__post_init__`` validation, so a bad axis value fails exactly like
+    a bad constructor argument.
+    """
+    head, _, rest = path.partition(".")
+    if rest:
+        value = _replace_field_path(getattr(spec, head), rest, value)
+    try:
+        return dataclasses.replace(spec, **{head: value})
+    except TypeError as exc:
+        raise ValueError(
+            f"cannot sweep {path!r} on {type(spec).__name__}: {exc}"
+        ) from None
+
+
+def _check_axis_path_conflicts(paths, context: str) -> None:
+    """Reject duplicate *or overlapping* sweep field paths.
+
+    ``"work"`` and ``"work.vdd"`` cannot coexist: the broader
+    substitution would silently clobber the narrower one, dropping an
+    entire axis from the grid.
+    """
+    split = sorted(tuple(p.split(".")) for p in paths)
+    for a, b in zip(split, split[1:]):
+        if b[: len(a)] == a:
+            raise ValueError(
+                f"{context} name conflicting field paths "
+                f"{'.'.join(a)!r} and {'.'.join(b)!r}"
+            )
+
+
+def _freeze_sweep_axes(over) -> Tuple[Tuple[Tuple[str, ...], Tuple[Any, ...]], ...]:
+    """Normalize a sweep's ``over`` mapping to ``((paths, values), ...)``.
+
+    Keys are dotted field paths (``"vdd"``, ``"work.spec"``) or tuples
+    of paths for a *zipped* axis whose values set several fields at once
+    (``("w_nm", "l_nm")`` with values ``((1500, 40), ...)``).  Axis
+    order is preserved: the first axis varies slowest (row-major grid).
+    """
+    if isinstance(over, dict):
+        items = list(over.items())
+    else:
+        items = [tuple(item) for item in over]
+    if not items:
+        raise ValueError("over must name at least one sweep axis")
+    axes = []
+    for key, values in items:
+        paths = (key,) if isinstance(key, str) else tuple(key)
+        if not paths or not all(isinstance(p, str) and p for p in paths):
+            raise ValueError(f"axis key must be a field path or tuple, got {key!r}")
+        values = tuple(values)
+        if not values:
+            raise ValueError(f"axis {paths} must have at least one value")
+        if len(paths) > 1:
+            for v in values:
+                if len(tuple(v)) != len(paths):
+                    raise ValueError(
+                        f"zipped axis {paths} expects {len(paths)}-tuples, "
+                        f"got {v!r}"
+                    )
+            values = tuple(tuple(v) for v in values)
+        axes.append((paths, values))
+    seen = [p for paths, _ in axes for p in paths]
+    if len(seen) != len(set(seen)):
+        raise ValueError(f"sweep axes name a field path twice: {seen}")
+    _check_axis_path_conflicts(seen, "sweep axes")
+    return tuple(axes)
+
+
+@dataclass(frozen=True)
+class Sweep(AnalysisSpec):
+    """Cartesian grid of one spec's field values: the sweep combinator.
+
+    ``Sweep(spec, over={"vdd": (0.9, 0.7, 0.55)})`` describes running
+    *spec* once per grid point, with the named fields replaced by the
+    point's axis values (dotted paths reach into nested frozen
+    dataclasses, tuple keys zip several fields along one axis).  Points
+    are enumerated row-major — the first axis varies slowest.
+
+    Seeding follows the **nested sweep/seed contract**: in ``spawn``
+    mode point *j* draws from ``SeedSequence(base_seed, spawn_key=(j,))``
+    (base seed = session root + the wrapped spec's ``seed_offset``) and
+    its inner shards from ``spawn_key=(j, i)``; in ``legacy`` mode point
+    *j* simply runs at ``seed_offset + j``, reproducing the historical
+    hand-rolled experiment loops bit-for-bit.  Either way the sweep
+    output is a pure function of the session seed and the spec — never
+    of worker count, sweep shard size, or completion order.
+
+    A single-point sweep is the identity: it runs the wrapped spec on
+    the spec's own execution options — bit-identical to
+    ``session.run(spec)`` on a session without a default executor — and
+    wraps the one result.  (Sweep points never inherit session-default
+    parallelism, so on ``Session(executor=N)`` the unwrapped run is
+    sharded while the sweep point is not; the sweep's numbers are the
+    invariant ones.)  Sweeping a sweep flattens: the outer axes become
+    the slower-varying leading axes of one combined grid.
+
+    ``execution`` controls the *sweep-level* fan-out only (points become
+    shard tasks on the parallel runtime; ``shard_size`` = points per
+    shard, default 1; ``max_samples`` = point cap; ``checkpoint``
+    resumes at point-wave boundaries).  The wrapped spec's own
+    ``execution`` is preserved per point — the session default is never
+    injected into points, so engaging ``--workers`` on a sweep
+    parallelizes it without re-sharding the inner runs.
+    """
+
+    spec: AnalysisSpec
+    over: Any
+    seed_mode: str = "spawn"
+    #: Sweep-level fan-out options; ``None`` = session default.
+    execution: Optional[Execution] = field(default=None, kw_only=True)
+
+    def __post_init__(self):
+        axes = _freeze_sweep_axes(self.over)
+        spec = self.spec
+        if isinstance(spec, Sweep):
+            # Flatten: outer axes vary slowest.  The inner sweep's modes
+            # must agree (one grid, one seed contract) and its execution
+            # is sweep-level scheduling, which the outer sweep owns.
+            if spec.seed_mode != self.seed_mode:
+                raise ValueError(
+                    "cannot flatten nested sweeps with different seed modes "
+                    f"({self.seed_mode!r} vs {spec.seed_mode!r})"
+                )
+            if spec.execution is not None:
+                raise ValueError(
+                    "the inner sweep of a nested sweep must not carry "
+                    "execution options (the outer sweep owns scheduling)"
+                )
+            axes = axes + spec.axes
+            spec = spec.spec
+            # Re-check across the MERGED grid: an outer axis naming (or
+            # overlapping) a path the inner sweep already owns would
+            # silently lose to the inner (faster-varying) substitution.
+            merged = [p for paths, _ in axes for p in paths]
+            if len(merged) != len(set(merged)):
+                raise ValueError(
+                    f"nested sweeps name a field path twice: {merged}"
+                )
+            _check_axis_path_conflicts(merged, "nested sweeps")
+        object.__setattr__(self, "spec", spec)
+        object.__setattr__(self, "over", axes)
+        if not isinstance(spec, _SWEEPABLE):
+            names = ", ".join(t.__name__ for t in _SWEEPABLE)
+            raise TypeError(
+                f"cannot sweep a {type(spec).__name__} spec (sweepable: "
+                f"{names} — circuit-bound analyses have no picklable "
+                "per-point recipe)"
+            )
+        if self.seed_mode not in SEED_MODES:
+            raise ValueError(
+                f"seed_mode must be one of {SEED_MODES}, got {self.seed_mode!r}"
+            )
+        _check_execution(self.execution)
+        if self.execution is not None and self.execution.target_rel_err is not None:
+            raise ValueError(
+                "adaptive error targets do not apply to sweeps (each point "
+                "is one fixed run); use max_samples to cap the point count"
+            )
+        # Resolve point 0 eagerly so a bad axis path or value fails at
+        # spec construction, not mid-run on a pool worker.
+        self.point_spec(0)
+
+    # ------------------------------------------------------------------
+    # Grid geometry.
+    # ------------------------------------------------------------------
+    @property
+    def axes(self) -> Tuple[Tuple[Tuple[str, ...], Tuple[Any, ...]], ...]:
+        """The normalized ``((field paths, values), ...)`` axis tuple."""
+        return self.over
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Grid extent per axis, in axis order."""
+        return tuple(len(values) for _, values in self.over)
+
+    @property
+    def n_points(self) -> int:
+        n = 1
+        for extent in self.shape:
+            n *= extent
+        return n
+
+    def point_coords(self, index: int) -> Tuple[int, ...]:
+        """Row-major (first axis slowest) coordinates of flat *index*."""
+        if not 0 <= index < self.n_points:
+            raise IndexError(f"point {index} outside grid of {self.n_points}")
+        coords = []
+        for extent in reversed(self.shape):
+            index, c = divmod(index, extent)
+            coords.append(c)
+        return tuple(reversed(coords))
+
+    def point_values(self, index: int) -> Dict[str, Any]:
+        """``{field path: value}`` assignments of flat point *index*."""
+        out: Dict[str, Any] = {}
+        for (paths, values), c in zip(self.over, self.point_coords(index)):
+            value = values[c]
+            if len(paths) == 1:
+                out[paths[0]] = value
+            else:
+                out.update(zip(paths, value))
+        return out
+
+    def point_spec(self, index: int) -> AnalysisSpec:
+        """The fully resolved spec of flat point *index*.
+
+        Axis fields are substituted; in ``legacy`` mode the point's
+        ``seed_offset`` is advanced by the sweep seed arithmetic, so the
+        returned spec is self-describing and independently re-runnable.
+        """
+        spec = self.spec
+        for path, value in self.point_values(index).items():
+            spec = _replace_field_path(spec, path, value)
+        if self.seed_mode == "legacy":
+            spec = dataclasses.replace(
+                spec,
+                seed_offset=sweep_point_offset(self.spec.seed_offset, index),
+            )
+        return spec
 
 
 @dataclass(frozen=True)

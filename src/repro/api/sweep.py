@@ -1,0 +1,262 @@
+"""Sweep execution: grid points as shard tasks on the parallel runtime.
+
+A :class:`~repro.api.specs.Sweep` wraps one statistical spec into a
+cartesian grid; this module is the orchestration behind
+``Session.run(Sweep(...))``:
+
+* :func:`resolve_point` applies the sweep's seed contract — ``legacy``
+  points are self-seeding specs (``seed_offset + j``), ``spawn`` points
+  run under a :class:`~repro.api.seeding.SeedScope` whose serial draw is
+  ``SeedSequence(base_seed, spawn_key=(j,))`` and whose inner shards are
+  ``spawn_key=(j, i)``.
+
+* :class:`SweepPointTask` is the picklable shard task: a shard covers a
+  contiguous flat range of grid points, each evaluated through a
+  worker-local :class:`~repro.api.session.Session` (process plan cache,
+  same root seed/backend policy as the parent).  Because every point
+  owns its stream, sweep output is **bit-identical at every worker
+  count and every sweep shard size** — shard size is scheduling
+  granularity only, like the PR-4 characterization grid.
+
+* :class:`SweepAccumulator` folds completed point results for the stop
+  rule (``max_samples`` = point cap), checkpoint/resume at point-wave
+  boundaries, and the futures' ``partial()`` snapshots.
+
+:func:`run_sweep` ties them together and assembles the
+:class:`~repro.api.result.SweepResult` envelope.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.api.result import SweepResult
+from repro.api.seeding import SeedScope
+from repro.api.specs import Sweep, sweep_point_offset
+from repro.runtime.runner import (
+    CANCELLED,
+    RunObserver,
+    run_sharded,
+    stop_rule_for_execution,
+)
+from repro.runtime.sharding import plan_shards
+
+__all__ = [
+    "SweepAccumulator",
+    "SweepPointTask",
+    "resolve_point",
+    "run_sweep",
+    "sweep_point_offset",
+]
+
+
+def resolve_point(sweep: Sweep, index: int, base_seed: int):
+    """``(point_spec, SeedScope-or-None)`` of flat point *index*.
+
+    *base_seed* is the sweep's stream basis (session root + the wrapped
+    spec's ``seed_offset``).  Legacy points carry their whole seed in
+    the returned spec; spawn points need the scope.  A single-point
+    sweep returns no scope in either mode — the identity law: it runs
+    exactly like the unwrapped spec under the spec's own execution
+    options (session-default parallelism is never injected into
+    points).
+    """
+    point = sweep.point_spec(index)
+    if sweep.seed_mode == "spawn" and sweep.n_points > 1:
+        return point, SeedScope(base_seed=base_seed, spawn_key=(index,))
+    return point, None
+
+
+def _pin_point_workers(spec):
+    """Cap a fanned-out point's inner execution at one worker.
+
+    Worker count is scheduling-only under the shard/seed contract, so
+    the results are identical — but a point running inside a pool worker
+    must not spawn a nested pool of its own.
+    """
+    execution = getattr(spec, "execution", None)
+    if execution is not None and execution.workers > 1:
+        return replace(spec, execution=replace(execution, workers=1))
+    return spec
+
+
+class SweepAccumulator:
+    """Completed point results, in flat grid order.
+
+    The sweep runner's streaming state: ``n_samples`` counts *points*
+    (so ``Execution(max_samples=...)`` caps the grid and checkpoints
+    resume mid-grid), and the stored results double as the future's
+    partial snapshot.
+    """
+
+    def __init__(self):
+        self.results: list = []
+
+    def update(self, results) -> "SweepAccumulator":
+        self.results.extend(results)
+        return self
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.results)
+
+    def sigma_relative_error(self) -> float:
+        """Stop-rule protocol; sweeps reject error targets, so: never."""
+        return float("inf")
+
+    def state(self) -> dict:
+        return {"results": list(self.results)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SweepAccumulator":
+        out = cls()
+        out.results = list(state["results"])
+        return out
+
+
+@dataclass(frozen=True)
+class SweepPointTask:
+    """Picklable shard task over a sweep's flat point range."""
+
+    technology: object
+    sweep: Sweep
+    root_seed: int
+    backend: str
+
+    def _session(self):
+        from repro.api.session import Session
+        from repro.runtime.tasks import _process_plan_cache
+
+        return Session(
+            technology=self.technology,
+            seed=self.root_seed,
+            backend=self.backend,
+            plan_cache=_process_plan_cache(),
+        )
+
+    def measure_index(self, index: int, session=None):
+        """Evaluate flat grid point *index* (any process, any order)."""
+        session = session if session is not None else self._session()
+        base_seed = sweep_point_offset(self.root_seed,
+                                       self.sweep.spec.seed_offset)
+        spec, scope = resolve_point(self.sweep, index, base_seed)
+        return session._execute(
+            _pin_point_workers(spec), scope=scope, inherit_execution=False
+        )
+
+    def __call__(self, shard) -> Tuple:
+        session = self._session()
+        return tuple(
+            self.measure_index(k, session)
+            for k in range(shard.start, shard.stop)
+        )
+
+
+class _PointProgress(RunObserver):
+    """Translate shard-level runner callbacks into point-level progress."""
+
+    def __init__(self, inner: RunObserver, n_points: int):
+        self._inner = inner
+        self._n_points = n_points
+
+    def on_progress(self, done, total, accumulator=None, unit="shards"):
+        points = accumulator.n_samples if accumulator is not None else 0
+        self._inner.on_progress(points, self._n_points, accumulator,
+                                unit="points")
+
+    def should_cancel(self) -> bool:
+        return self._inner.should_cancel()
+
+
+def run_sweep(
+    session,
+    sweep: Sweep,
+    observer: Optional[RunObserver] = None,
+    inherit_execution: bool = True,
+) -> SweepResult:
+    """Run every grid point of *sweep* through *session*.
+
+    ``execution=None`` (and no session default) walks the flat grid in
+    index order in-process; with execution options points fan out as
+    shards of ``execution.shard_size`` points each (default 1).  Both
+    paths draw each point's streams per the sweep seed contract, so the
+    envelope is bit-identical regardless of scheduling.
+    """
+    execution = sweep.execution
+    points_per_shard = None
+    if execution is None and inherit_execution:
+        # Inherit only the session's *parallelism*.  The session-default
+        # shard size (CLI --shard-size) is sample granularity for
+        # statistical runs; adopting it as points-per-shard would fold
+        # a small grid into one shard and silently serialize the sweep.
+        execution = session.default_execution()
+        points_per_shard = 1
+    if execution is not None and points_per_shard is None:
+        points_per_shard = execution.shard_size or 1
+    base_seed = sweep_point_offset(session.seed, sweep.spec.seed_offset)
+    n_points = sweep.n_points
+    meta = {"seed_mode": sweep.seed_mode, "grid_shape": sweep.shape}
+
+    start = time.perf_counter()
+    if execution is None:
+        accumulator = SweepAccumulator()
+        results = accumulator.results
+        if observer is not None:
+            observer.on_progress(0, n_points, accumulator, unit="points")
+        cancelled = False
+        for index in range(n_points):
+            if observer is not None and index > 0 and observer.should_cancel():
+                cancelled = True
+                break
+            spec, scope = resolve_point(sweep, index, base_seed)
+            results.append(
+                session._execute(spec, scope=scope, inherit_execution=False)
+            )
+            if observer is not None:
+                observer.on_progress(index + 1, n_points, accumulator,
+                                     unit="points")
+        info = None
+        if cancelled:
+            meta["stop_reason"] = CANCELLED
+    else:
+        # The task embeds the sweep MINUS its execution options: those
+        # are scheduling, not workload, and the checkpoint fingerprint
+        # (a hash of the pickled task) must let a resume run under a
+        # different cap/worker count adopt the same state.
+        task = SweepPointTask(
+            technology=session.technology,
+            sweep=replace(sweep, execution=None),
+            root_seed=session.seed,
+            backend=session.backend,
+        )
+        plan = plan_shards(n_points, points_per_shard, base_seed)
+        run = run_sharded(
+            task,
+            plan,
+            session.executor_for(execution),
+            accumulator=SweepAccumulator(),
+            accumulate=lambda acc, payload: acc.update(payload),
+            stop=stop_rule_for_execution(execution, "sigma"),
+            wave_size=execution.wave_size,
+            checkpoint_path=execution.checkpoint,
+            observer=(
+                _PointProgress(observer, n_points)
+                if observer is not None else None
+            ),
+        )
+        results = list(run.accumulator.results)
+        info = run.info
+        if info.stop_reason is not None:
+            meta["stop_reason"] = info.stop_reason
+    elapsed = time.perf_counter() - start
+
+    return SweepResult(
+        spec=sweep,
+        points=tuple(results),
+        seed=base_seed,
+        wall_time_s=elapsed,
+        runtime=info,
+        meta=meta,
+    )

@@ -106,6 +106,10 @@ class MonteCarloDeviceFactory(DeviceFactory):
         self.model = model
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.batch_shape = (n_samples,)
+        # Stream state at construction, before any draw (including the
+        # inter-die draw below): what replay() rewinds to.
+        self._initial_rng_state = self.rng.bit_generator.state
+        self._interdie_sigma = interdie_sigma
 
         self._interdie: dict = {}
         if interdie_sigma is not None:
@@ -137,6 +141,29 @@ class MonteCarloDeviceFactory(DeviceFactory):
         return char.golden_mismatch.sample_device(
             self.n_samples, self.rng, w_nm=w_nm, l_nm=l_nm
         )
+
+    def replay(self) -> "MonteCarloDeviceFactory":
+        """A fresh factory replaying this one's stream from the start.
+
+        The replay rewinds to the construction-time generator state, so
+        an identical device-request order re-draws the *identical*
+        sampled devices — how the Fig. 6 leakage measurement reuses the
+        delay run's dice inside one sharded work callable, where the
+        seed that built the factory is not in scope.  Session policy
+        (plan cache, backend) carries over.
+        """
+        rng = np.random.Generator(type(self.rng.bit_generator)())
+        rng.bit_generator.state = self._initial_rng_state
+        twin = MonteCarloDeviceFactory(
+            self.technology,
+            self.n_samples,
+            rng=rng,
+            model=self.model,
+            interdie_sigma=self._interdie_sigma,
+        )
+        twin.plan_cache = self.plan_cache
+        twin.backend = self.backend
+        return twin
 
 
 class RecordingFactory(DeviceFactory):

@@ -12,7 +12,6 @@ nominal path, streamed arc statistics), :mod:`~repro.charlib.arcs`
 from repro.charlib.tables import LookupTable2D
 from repro.charlib.characterize import (
     ArcSamples,
-    ArcStatistics,
     CellTiming,
     CharacterizationError,
     characterize_arcs,
@@ -44,7 +43,6 @@ __all__ = [
     "CellTiming",
     "CharacterizationError",
     "ArcSamples",
-    "ArcStatistics",
     "characterize_arcs",
     "characterize_cell",
     "characterize_cell_statistics",

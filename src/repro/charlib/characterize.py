@@ -19,7 +19,6 @@ container, and the serial nominal path (`characterize_arcs` /
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -276,34 +275,6 @@ class ArcSamples:
     def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Bootstrap-resample arc delays (preserves non-Gaussian shape)."""
         return rng.choice(self.samples, size=n, replace=True)
-
-
-class ArcStatistics(ArcSamples):
-    """Deprecated alias of :class:`ArcSamples` (one release grace period).
-
-    Accepts the legacy ``edge=`` keyword; statistics are now streamed
-    through :class:`~repro.runtime.accumulators.StreamStats` instead of
-    hand-rolled ``np.mean``/``np.std`` calls.
-    """
-
-    def __init__(self, cell: str, edge: Optional[str] = None,
-                 slew_in: float = 0.0, c_load: float = 0.0,
-                 samples=None, arc: Optional[str] = None):
-        warnings.warn(
-            "ArcStatistics is deprecated; use repro.charlib.ArcSamples "
-            "(field 'arc' replaces 'edge')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if samples is None:
-            raise TypeError("ArcStatistics requires samples")
-        super().__init__(
-            cell=cell,
-            arc=arc if arc is not None else edge,
-            slew_in=slew_in,
-            c_load=c_load,
-            samples=samples,
-        )
 
 
 def characterize_cell_statistics(

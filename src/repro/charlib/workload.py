@@ -115,6 +115,10 @@ class CharGridTask:
     model: str = "vs"
     base_seed: int = 0
     backend: Optional[str] = None
+    #: Enclosing sweep-point indices: under sweep point *j* grid point
+    #: *k* draws from ``SeedSequence(base_seed, spawn_key=(j, k))`` —
+    #: the nested sweep/seed contract.
+    spawn_prefix: Tuple[int, ...] = ()
 
     @property
     def points_per_cell(self) -> int:
@@ -134,7 +138,8 @@ class CharGridTask:
         if self.n_mc:
             factory = MonteCarloDeviceFactory(
                 self.technology, self.n_mc,
-                rng=shard_rng(self.base_seed, point_index),
+                rng=shard_rng(self.base_seed, point_index,
+                              self.spawn_prefix),
                 model=self.model,
             )
         else:
@@ -201,7 +206,8 @@ class LibraryTiming:
         return write_liberty(self.cells, library_name=library_name or self.name)
 
 
-def run_characterization(task: CharGridTask, execution=None, executor=None):
+def run_characterization(task: CharGridTask, execution=None, executor=None,
+                         observer=None):
     """Evaluate the whole grid, serially or through the sharded runtime.
 
     ``execution=None`` walks the flat grid in index order in-process —
@@ -209,21 +215,31 @@ def run_characterization(task: CharGridTask, execution=None, executor=None):
     to any sharded run.  With execution options, grid points fan out as
     shards of ``execution.shard_size`` points each (default 1: one
     transient per shard task).  Adaptive stopping / checkpointing do not
-    apply to a fixed grid and are ignored.
+    apply to a fixed grid and are ignored.  *observer* (a
+    :class:`~repro.runtime.runner.RunObserver`) sees per-point progress
+    on the serial walk and per-wave progress on the sharded one.
 
     Returns ``(points, RuntimeInfo-or-None)`` with *points* in flat grid
     order.
     """
     if execution is None:
-        return [task.measure_index(k) for k in range(task.n_points)], None
+        points = []
+        if observer is not None:
+            observer.on_progress(0, task.n_points, None)
+        for k in range(task.n_points):
+            points.append(task.measure_index(k))
+            if observer is not None:
+                observer.on_progress(k + 1, task.n_points, None)
+        return points, None
 
     shard_size = getattr(execution, "shard_size", None) or 1
-    plan = plan_shards(task.n_points, shard_size, task.base_seed)
+    plan = plan_shards(task.n_points, shard_size, task.base_seed,
+                       spawn_prefix=task.spawn_prefix)
     if executor is None:
         from repro.runtime.executors import resolve_executor
 
         executor = resolve_executor(getattr(execution, "workers", 1))
-    run = run_sharded(task, plan, executor)
+    run = run_sharded(task, plan, executor, observer=observer)
     points = [point for payload in run.payloads for point in payload]
     return points, run.info
 

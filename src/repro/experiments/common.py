@@ -1,4 +1,4 @@
-"""Shared experiment plumbing: report formatting.
+"""Shared experiment plumbing: report formatting, sample filtering.
 
 Seeding lives in :mod:`repro.api.seeding` — experiments draw every
 random stream from their session's seed tree; ``EXPERIMENT_SEED`` is
@@ -9,7 +9,16 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.api.seeding import EXPERIMENT_SEED  # noqa: F401  (re-export)
+
+
+def finite(values) -> np.ndarray:
+    """The finite entries of a 1-D metric array (drops non-converged MC
+    samples before summary statistics)."""
+    values = np.asarray(values)
+    return values[np.isfinite(values)]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

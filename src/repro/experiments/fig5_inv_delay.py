@@ -12,15 +12,18 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.api import default_session, experiment
+from repro.api import FactoryMap, Sweep, default_session, experiment
 from repro.cells.inverter import FIG5_SIZES, InverterSpec, inverter_delays
-from repro.experiments.common import format_table, si
+from repro.experiments.common import finite, format_table, si
 from repro.stats.distributions import (
     DistributionSummary,
     centered_ks,
     ks_between,
     summarize,
 )
+
+#: Legacy per-model stream bases (sweep point *k* runs at ``base + k``).
+SEED_BASE = {"vs": 10, "bsim": 20}
 
 
 @dataclass(frozen=True)
@@ -47,13 +50,29 @@ class Fig5Result:
     cases: Tuple[DelayComparison, ...]
 
 
-def _mc_delays(session, model: str, spec: InverterSpec, vdd: float,
-               n_samples: int, seed_offset: int) -> np.ndarray:
-    factory = session.mc_factory(n_samples, model=model, seed_offset=seed_offset)
-    delays = inverter_delays(factory, spec, vdd)
-    tphl = delays["tphl"].delay
-    valid = np.isfinite(tphl)
-    return tphl[valid]
+@dataclass(frozen=True)
+class InvDelayWork:
+    """Picklable INV FO3 ``tphl`` workload for ``FactoryMap`` sweeps."""
+
+    spec: InverterSpec
+    vdd: float
+
+    def __call__(self, factory) -> np.ndarray:
+        return inverter_delays(factory, self.spec, self.vdd)["tphl"].delay
+
+
+def _delay_sweep(model: str, specs, vdd: float, n_samples: int) -> Sweep:
+    """The per-model drive-strength sweep (legacy point streams)."""
+    return Sweep(
+        FactoryMap(
+            work=InvDelayWork(specs[0], vdd),
+            n_samples=n_samples,
+            model=model,
+            seed_offset=SEED_BASE[model],
+        ),
+        over={"work.spec": specs},
+        seed_mode="legacy",
+    )
 
 
 @experiment(
@@ -63,14 +82,21 @@ def _mc_delays(session, model: str, spec: InverterSpec, vdd: float,
     full={"n_samples": 2500},
 )
 def run(n_samples: int = 2500, sizes=FIG5_SIZES, *, session=None) -> Fig5Result:
-    """Monte-Carlo the INV delay under both statistical models."""
+    """Monte-Carlo the INV delay under both statistical models.
+
+    One drive-strength :class:`Sweep` per model — the axis values are
+    whole ``InverterSpec`` instances, swept into the work callable.
+    """
     session = session or default_session()
     vdd = session.technology.vdd
+    sizes = tuple(sizes)
+    specs = tuple(InverterSpec(wp_nm=wp, wn_nm=wn) for _, wp, wn in sizes)
+    vs_sweep = session.run(_delay_sweep("vs", specs, vdd, n_samples))
+    golden_sweep = session.run(_delay_sweep("bsim", specs, vdd, n_samples))
     cases = []
     for k, (label, wp, wn) in enumerate(sizes):
-        spec = InverterSpec(wp_nm=wp, wn_nm=wn)
-        vs = _mc_delays(session, "vs", spec, vdd, n_samples, 10 + k)
-        golden = _mc_delays(session, "bsim", spec, vdd, n_samples, 20 + k)
+        vs = finite(vs_sweep.points[k].payload)
+        golden = finite(golden_sweep.points[k].payload)
         cases.append(
             DelayComparison(
                 label=label,

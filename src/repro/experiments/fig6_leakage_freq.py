@@ -15,10 +15,14 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.leakage import supply_leakage
-from repro.api import default_session, experiment
+from repro.api import FactoryMap, Sweep, default_session, experiment
 from repro.cells.inverter import InverterSpec, build_inverter_fo, inverter_delays
 from repro.circuit.waveforms import DC
 from repro.experiments.common import format_table, si
+
+#: Legacy stream base; the model axis runs bsim (30) then vs (31).
+SEED_BASE = 30
+MODEL_ORDER = ("bsim", "vs")
 
 
 @dataclass(frozen=True)
@@ -49,27 +53,37 @@ class Fig6Result:
     clouds: Dict[str, LeakageFrequencyCloud]
 
 
-def _cloud(session, model: str, spec: InverterSpec, vdd: float, n_samples: int,
-           seed_offset: int) -> LeakageFrequencyCloud:
-    # One factory: the SAME sampled devices provide delay and leakage, so
-    # the per-sample correlation between speed and leak is physical.
-    factory = session.mc_factory(n_samples, model=model, seed_offset=seed_offset)
-    delays = inverter_delays(factory, spec, vdd)
-    delay = delays["tphl"].delay
+@dataclass(frozen=True)
+class DelayLeakageWork:
+    """Delay + static leakage of the SAME sampled devices, one work call.
 
-    # Rebuild the same devices for static leakage: the same seed offset
-    # replays the same stream (identical device-request order =>
-    # identical samples).  Leakage is the DUT supply pin's current with
-    # the input low — dominated by the driver's off NMOS, the
-    # single-device log-normal behind the paper's multi-x spread.
-    factory_static = session.mc_factory(n_samples, model=model,
-                                        seed_offset=seed_offset)
-    circuit, hints = build_inverter_fo(
-        factory_static, spec, vdd, input_waveform=DC(0.0),
-        separate_load_supply=True,
-    )
-    leakage = supply_leakage(circuit, "VDD", hints)
+    The delay transient consumes the factory's stream; the static
+    leakage testbench then runs on ``factory.replay()`` — a rewind to
+    the construction-time generator state — so identical device-request
+    order re-draws the identical dice and the per-sample speed/leak
+    correlation is physical.  Returns ``(n, 2)``: delay, leakage.
+    """
 
+    spec: InverterSpec
+    vdd: float
+
+    def __call__(self, factory) -> np.ndarray:
+        factory_static = factory.replay()
+        delay = inverter_delays(factory, self.spec, self.vdd)["tphl"].delay
+
+        # Leakage is the DUT supply pin's current with the input low —
+        # dominated by the driver's off NMOS, the single-device
+        # log-normal behind the paper's multi-x spread.
+        circuit, hints = build_inverter_fo(
+            factory_static, self.spec, self.vdd, input_waveform=DC(0.0),
+            separate_load_supply=True,
+        )
+        leakage = supply_leakage(circuit, "VDD", hints)
+        return np.stack([delay, leakage], axis=1)
+
+
+def _cloud(model: str, point_payload: np.ndarray) -> LeakageFrequencyCloud:
+    delay, leakage = np.asarray(point_payload).T
     valid = np.isfinite(delay) & (leakage > 0.0)
     return LeakageFrequencyCloud(
         model=model,
@@ -90,12 +104,22 @@ def run(
     *,
     session=None,
 ) -> Fig6Result:
-    """Generate both scatter clouds."""
+    """Generate both scatter clouds (one model-axis sweep)."""
     session = session or default_session()
     vdd = session.technology.vdd
+    sweep = session.run(Sweep(
+        FactoryMap(
+            work=DelayLeakageWork(spec, vdd),
+            n_samples=n_samples,
+            model=MODEL_ORDER[0],
+            seed_offset=SEED_BASE,
+        ),
+        over={"model": MODEL_ORDER},
+        seed_mode="legacy",
+    ))
     clouds = {
-        "bsim": _cloud(session, "bsim", spec, vdd, n_samples, 30),
-        "vs": _cloud(session, "vs", spec, vdd, n_samples, 31),
+        model: _cloud(model, sweep.points[k].payload)
+        for k, model in enumerate(MODEL_ORDER)
     }
     return Fig6Result(vdd=vdd, n_samples=n_samples, clouds=clouds)
 

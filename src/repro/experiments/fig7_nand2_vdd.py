@@ -14,9 +14,9 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.api import default_session, experiment
+from repro.api import FactoryMap, Sweep, default_session, experiment
 from repro.cells.nand import Nand2Spec, nand2_delays
-from repro.experiments.common import format_table, si
+from repro.experiments.common import finite, format_table, si
 from repro.stats.distributions import (
     DistributionSummary,
     centered_ks,
@@ -26,6 +26,10 @@ from repro.stats.distributions import (
 )
 
 DEFAULT_VDDS = (0.9, 0.7, 0.55)
+
+#: Legacy per-model stream bases (sweep point *k* runs at ``base + k``
+#: under the sweep's legacy seed contract — the historical offsets).
+SEED_BASE = {"vs": 40, "bsim": 50}
 
 
 @dataclass(frozen=True)
@@ -49,12 +53,29 @@ class Fig7Result:
     cases: Tuple[VddCase, ...]
 
 
-def _mc_delays(session, model: str, vdd: float, n_samples: int,
-               seed_offset: int):
-    factory = session.mc_factory(n_samples, model=model, seed_offset=seed_offset)
-    delays = nand2_delays(factory, Nand2Spec(), vdd)
-    tphl = delays["tphl"].delay
-    return tphl[np.isfinite(tphl)]
+@dataclass(frozen=True)
+class Nand2DelayWork:
+    """Picklable NAND2 ``tphl`` workload for ``FactoryMap`` sweeps."""
+
+    spec: Nand2Spec
+    vdd: float
+
+    def __call__(self, factory) -> np.ndarray:
+        return nand2_delays(factory, self.spec, self.vdd)["tphl"].delay
+
+
+def _delay_sweep(model: str, vdds, n_samples: int) -> Sweep:
+    """The per-model supply sweep (legacy streams: point k at base + k)."""
+    return Sweep(
+        FactoryMap(
+            work=Nand2DelayWork(Nand2Spec(), vdds[0]),
+            n_samples=n_samples,
+            model=model,
+            seed_offset=SEED_BASE[model],
+        ),
+        over={"work.vdd": vdds},
+        seed_mode="legacy",
+    )
 
 
 @experiment(
@@ -64,12 +85,20 @@ def _mc_delays(session, model: str, vdd: float, n_samples: int,
     full={"n_samples": 2500},
 )
 def run(n_samples: int = 2500, vdds=DEFAULT_VDDS, *, session=None) -> Fig7Result:
-    """Monte-Carlo the NAND2 delay across supplies and models."""
+    """Monte-Carlo the NAND2 delay across supplies and models.
+
+    Both models run as one supply :class:`Sweep` each through
+    ``session.run`` — on a parallel session the grid points fan out as
+    shard tasks, with per-point streams identical to the serial run.
+    """
     session = session or default_session()
+    vdds = tuple(vdds)
+    vs_sweep = session.run(_delay_sweep("vs", vdds, n_samples))
+    golden_sweep = session.run(_delay_sweep("bsim", vdds, n_samples))
     cases = []
     for k, vdd in enumerate(vdds):
-        vs = _mc_delays(session, "vs", vdd, n_samples, 40 + k)
-        golden = _mc_delays(session, "bsim", vdd, n_samples, 50 + k)
+        vs = finite(vs_sweep.points[k].payload)
+        golden = finite(golden_sweep.points[k].payload)
         cases.append(
             VddCase(
                 vdd=vdd,

@@ -11,10 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
-from repro.api import default_session, experiment
+from repro.api import FactoryMap, Sweep, default_session, experiment
 from repro.cells.dff import DFFSpec, dff_setup_time
-from repro.experiments.common import format_table, si
+from repro.experiments.common import finite, format_table, si
 from repro.stats.distributions import DistributionSummary, ks_between, summarize
+
+#: Legacy stream base; the model axis runs vs (60) then bsim (61).
+SEED_BASE = 60
+MODEL_ORDER = ("vs", "bsim")
 
 
 @dataclass(frozen=True)
@@ -28,12 +32,17 @@ class Fig8Result:
     ks_distance: float
 
 
-def _mc_setup(session, model: str, n_samples: int, seed_offset: int,
-              n_iterations: int) -> np.ndarray:
-    factory = session.mc_factory(n_samples, model=model, seed_offset=seed_offset)
-    setup = dff_setup_time(factory, DFFSpec(), session.technology.vdd,
-                           n_iterations=n_iterations)
-    return setup[np.isfinite(setup)]
+@dataclass(frozen=True)
+class DFFSetupWork:
+    """Picklable batched-bisection setup-time workload for sweeps."""
+
+    spec: DFFSpec
+    vdd: float
+    n_iterations: int
+
+    def __call__(self, factory) -> np.ndarray:
+        return dff_setup_time(factory, self.spec, self.vdd,
+                              n_iterations=self.n_iterations)
 
 
 @experiment(
@@ -43,10 +52,21 @@ def _mc_setup(session, model: str, n_samples: int, seed_offset: int,
     full={"n_samples": 250},
 )
 def run(n_samples: int = 250, n_iterations: int = 8, *, session=None) -> Fig8Result:
-    """Setup-time Monte-Carlo for both statistical models."""
+    """Setup-time Monte-Carlo for both models (one model-axis sweep)."""
     session = session or default_session()
-    vs = _mc_setup(session, "vs", n_samples, 60, n_iterations)
-    golden = _mc_setup(session, "bsim", n_samples, 61, n_iterations)
+    sweep = session.run(Sweep(
+        FactoryMap(
+            work=DFFSetupWork(DFFSpec(), session.technology.vdd,
+                              n_iterations),
+            n_samples=n_samples,
+            model=MODEL_ORDER[0],
+            seed_offset=SEED_BASE,
+        ),
+        over={"model": MODEL_ORDER},
+        seed_mode="legacy",
+    ))
+    vs = finite(sweep.points[0].payload)
+    golden = finite(sweep.points[1].payload)
     return Fig8Result(
         vdd=session.technology.vdd,
         n_samples=n_samples,

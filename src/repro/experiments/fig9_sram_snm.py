@@ -13,7 +13,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.api import default_session, experiment
+from repro.api import default_session, experiment, sweep_point_offset
 from repro.cells.sram import SRAMSpec, butterfly_curves, sram_snm
 from repro.experiments.common import format_table, si
 from repro.stats.distributions import (
@@ -88,13 +88,17 @@ def run(n_samples: int = 2500, spec: SRAMSpec = SRAMSpec(),
 
     cases = []
     for k, mode in enumerate(("read", "hold")):
+        # Mode k's streams advance the legacy bases (70 VS / 80 golden)
+        # per the sweep seed arithmetic; sample-sharding — not a 2-point
+        # mode sweep — is this workload's parallelism axis, so map_mc
+        # keeps splitting each mode's draw across shards.
         vs, _ = session.map_mc(
             SNMWork(spec, vdd, mode), n_samples, model="vs",
-            seed_offset=70 + k, execution=execution,
+            seed_offset=sweep_point_offset(70, k), execution=execution,
         )
         golden, _ = session.map_mc(
             SNMWork(spec, vdd, mode), n_samples, model="bsim",
-            seed_offset=80 + k, execution=execution,
+            seed_offset=sweep_point_offset(80, k), execution=execution,
         )
         cases.append(
             SNMCase(

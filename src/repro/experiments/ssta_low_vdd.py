@@ -16,7 +16,14 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.api import default_session, experiment
+from repro.api import (
+    Characterize,
+    FactoryMap,
+    Sweep,
+    default_session,
+    experiment,
+    sweep_point_offset,
+)
 from repro.cells.nand import Nand2Spec, nand2_delays
 from repro.experiments.common import format_table, si
 from repro.ssta import EmpiricalDelay, TimingGraph, clark_arrival, monte_carlo_arrival
@@ -24,6 +31,13 @@ from repro.ssta import EmpiricalDelay, TimingGraph, clark_arrival, monte_carlo_a
 #: Timing-graph shape: reconvergent fanout of parallel NAND chains.
 N_CHAINS = 8
 CHAIN_DEPTH = 3
+
+#: Stream bases.  The supply axis advances each base per the sweep seed
+#: contract (``sweep_point_offset``) — no hand-rolled ``base + k``.
+ARC_SEED = 410       #: arc characterization sweep (legacy point streams)
+DRAW_SEED = 420      #: table-arc bootstrap draws, per supply
+GRAPH_SEED = 430     #: sharded graph Monte-Carlo, per supply
+GRAPH_SERIAL_SEED = 400  #: one shared serial graph stream (golden-pinned)
 
 
 @dataclass(frozen=True)
@@ -55,7 +69,7 @@ class SSTAResult:
 
 @dataclass(frozen=True)
 class ArcDelayWork:
-    """Picklable NAND2 arc-delay workload for ``session.map_mc``."""
+    """Picklable NAND2 arc-delay workload (``FactoryMap``/``map_mc``)."""
 
     spec: Nand2Spec
     vdd: float
@@ -64,13 +78,18 @@ class ArcDelayWork:
         return nand2_delays(factory, self.spec, self.vdd)["tphl"].delay
 
 
-def _arc_samples(session, vdd: float, n_samples: int,
-                 seed_offset: int, execution=None) -> np.ndarray:
-    tphl, _ = session.map_mc(
-        ArcDelayWork(Nand2Spec(), vdd), n_samples, model="vs",
-        seed_offset=seed_offset, execution=execution,
+def _arc_sample_sweep(vdds, n_samples: int, execution=None) -> Sweep:
+    """The supply sweep of raw NAND2 arc-delay Monte-Carlo."""
+    return Sweep(
+        FactoryMap(
+            work=ArcDelayWork(Nand2Spec(), vdds[0]),
+            n_samples=n_samples,
+            seed_offset=ARC_SEED,
+        ),
+        over={"work.vdd": vdds},
+        seed_mode="legacy",
+        execution=execution,
     )
-    return tphl[np.isfinite(tphl)]
 
 
 def _build_graph(samples: np.ndarray, gaussian: bool) -> TimingGraph:
@@ -89,27 +108,42 @@ def _build_graph(samples: np.ndarray, gaussian: bool) -> TimingGraph:
     return TimingGraph.parallel_chains(chains)
 
 
-def _table_arc(session, vdd: float, n_device_mc: int, seed_offset: int,
-               execution=None):
-    """One NAND2 arc as a characterized :class:`TableDelay`.
+_TABLE_LOADS = (1e-15, 4e-15)
 
-    Runs a small statistical NAND2 characterization grid through
-    ``Session.run(Characterize(...))`` — windows stretched for low
-    supply like the direct measurement path — and reads the worst-case
-    ``tphl`` arc at the grid's center operating point.
+
+def _table_slews(vdd: float):
+    """Per-supply slew window, stretched for low Vdd like direct runs."""
+    stretch = (0.9 / vdd) ** 2
+    return (8e-12 * stretch, 24e-12 * stretch)
+
+
+def _table_arc_sweep(vdds, n_device_mc: int, execution=None) -> Sweep:
+    """The supply sweep of statistical NAND2 characterization grids.
+
+    A zipped (vdd, slews) axis: each supply characterizes over its own
+    stretched slew window.  The worst-case ``tphl`` arc is read at each
+    grid's center operating point by :func:`_table_arc_from_point`.
     """
-    from repro.api import Characterize
+    vdd_slews = tuple((vdd, _table_slews(vdd)) for vdd in vdds)
+    return Sweep(
+        Characterize(
+            cell="nand2", vdd=vdds[0], slews=_table_slews(vdds[0]),
+            loads=_TABLE_LOADS, n_mc=n_device_mc, seed_offset=ARC_SEED,
+        ),
+        over={("vdd", "slews"): vdd_slews},
+        seed_mode="legacy",
+        execution=execution,
+    )
+
+
+def _table_arc_from_point(point_result):
+    """A :class:`TableDelay` arc at a sweep point's center operating point."""
     from repro.ssta import TableDelay
 
-    stretch = (0.9 / vdd) ** 2
-    slews = (8e-12 * stretch, 24e-12 * stretch)
-    loads = (1e-15, 4e-15)
-    result = session.run(Characterize(
-        cell="nand2", vdd=vdd, slews=slews, loads=loads,
-        n_mc=n_device_mc, seed_offset=seed_offset, execution=execution,
-    ))
+    slews = point_result.spec.slews
+    loads = point_result.spec.loads
     return TableDelay.from_timing(
-        result.payload, "tphl",
+        point_result.payload, "tphl",
         slew=0.5 * (slews[0] + slews[1]), load=0.5 * (loads[0] + loads[1]),
     )
 
@@ -136,16 +170,14 @@ def run(
 ) -> SSTAResult:
     """Arc characterization + both SSTA engines per supply.
 
-    With *execution* options both Monte-Carlo stages — the NAND2 arc
-    characterization and the timing-graph sampling — run sharded through
-    the parallel runtime (``python -m repro ssta --workers 4``); the
-    default keeps the golden-pinned serial streams.
-
-    ``arc_source="table"`` replaces the raw bootstrap arcs with
-    slew/load-aware :class:`repro.ssta.TableDelay` arcs read from a
-    statistical NAND2 characterization run through
-    ``Session.run(Characterize(...))`` — the full table-driven SSTA
-    loop (characterize -> NLDM tables -> timing graph).
+    The arc stage is one supply :class:`Sweep` through ``session.run``
+    — raw ``FactoryMap`` Monte-Carlo (``arc_source="samples"``) or
+    statistical ``Characterize`` grids (``"table"``, the full
+    characterize -> NLDM tables -> timing graph loop) — with legacy
+    per-supply point streams, so the serial numbers are golden-stable
+    at every worker count.  With *execution* options the sweep points
+    and the timing-graph sampling fan out through the parallel runtime
+    (``python -m repro ssta --workers 4``).
     """
     from scipy import stats as sps
 
@@ -159,17 +191,29 @@ def run(
     # shard one stage and leave the other on the legacy stream).
     if execution is None:
         execution = session.default_execution()
-    rng = session.rng(400)
+    vdds = tuple(vdds)
+    if arc_source == "table":
+        arc_sweep = session.run(
+            _table_arc_sweep(vdds, n_device_mc, execution=execution)
+        )
+    else:
+        arc_sweep = session.run(
+            _arc_sample_sweep(vdds, n_device_mc, execution=execution)
+        )
+    rng = session.rng(GRAPH_SERIAL_SEED)
     cases = []
     for k, vdd in enumerate(vdds):
+        point = arc_sweep.points[k]
         if arc_source == "table":
-            arc = _table_arc(session, vdd, n_device_mc, 410 + k,
-                             execution=execution)
+            arc = _table_arc_from_point(point)
             graph_mc = _table_graph(arc)
-            samples = arc.draw(max(n_device_mc, 64), session.rng(420 + k))
+            samples = arc.draw(
+                max(n_device_mc, 64),
+                session.rng(sweep_point_offset(DRAW_SEED, k)),
+            )
         else:
-            samples = _arc_samples(session, vdd, n_device_mc, 410 + k,
-                                   execution=execution)
+            tphl = np.asarray(point.payload)
+            samples = tphl[np.isfinite(tphl)]
             graph_mc = _build_graph(samples, gaussian=False)
         if execution is None:
             arrivals = monte_carlo_arrival(graph_mc, "src", "snk",
@@ -180,7 +224,9 @@ def run(
             arrivals = monte_carlo_arrival(
                 graph_mc, "src", "snk", n_graph_mc,
                 execution=execution,
-                base_seed=session.seeds.seed(430 + k),
+                base_seed=session.seeds.seed(
+                    sweep_point_offset(GRAPH_SEED, k)
+                ),
                 executor=session.executor_for(execution),
             )
         # The Clark engine consumes the same graph's moments (the

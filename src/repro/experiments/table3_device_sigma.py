@@ -11,12 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.api import MonteCarlo, default_session, experiment
+from repro.api import MonteCarlo, Sweep, default_session, experiment
 from repro.experiments.common import format_table
 
 #: Paper's device classes.
 DEVICE_CLASSES = (("Wide", 1500.0, 40.0), ("Medium", 600.0, 40.0),
                   ("Short", 120.0, 40.0))
+
+#: Legacy per-model stream bases (device class *k* runs at ``base + k``;
+#: both polarities intentionally share the class's stream, as always).
+SEED_BASE = {"bsim": 100, "vs": 110}
 
 #: Published Table III values for side-by-side printing:
 #: {(class, polarity): (sigma_idsat_uA, sigma_log10_ioff)}.
@@ -61,6 +65,17 @@ class Table3Result:
         return worst
 
 
+def _geometry_sweep(model: str, polarity: str, n_samples: int) -> Sweep:
+    """The per-(model, polarity) device-class sweep: a zipped (W, L) axis."""
+    geometries = tuple((w, l) for _, w, l in DEVICE_CLASSES)
+    return Sweep(
+        MonteCarlo(n_samples=n_samples, polarity=polarity, model=model,
+                   seed_offset=SEED_BASE[model]),
+        over={("w_nm", "l_nm"): geometries},
+        seed_mode="legacy",
+    )
+
+
 @experiment(
     "table3",
     title="Device-level sigma comparison, VS vs golden",
@@ -68,19 +83,25 @@ class Table3Result:
     full={"n_samples": 4000},
 )
 def run(n_samples: int = 4000, *, session=None) -> Table3Result:
-    """Monte-Carlo both models across the Table III geometry set."""
+    """Monte-Carlo both models across the Table III geometry set.
+
+    Four geometry sweeps (model x polarity), each a zipped (W, L) axis
+    through ``session.run`` — parallel sessions fan the classes out as
+    shard tasks with the legacy per-class streams intact.
+    """
     session = session or default_session()
+    sweeps = {
+        (model, polarity): session.run(
+            _geometry_sweep(model, polarity, n_samples)
+        )
+        for polarity in ("nmos", "pmos")
+        for model in ("bsim", "vs")
+    }
     rows = []
     for k, (label, w, l) in enumerate(DEVICE_CLASSES):
         for polarity in ("nmos", "pmos"):
-            g = session.run(
-                MonteCarlo(n_samples=n_samples, polarity=polarity,
-                           model="bsim", w_nm=w, l_nm=l, seed_offset=100 + k)
-            ).payload
-            v = session.run(
-                MonteCarlo(n_samples=n_samples, polarity=polarity,
-                           model="vs", w_nm=w, l_nm=l, seed_offset=110 + k)
-            ).payload
+            g = sweeps[("bsim", polarity)].points[k].payload
+            v = sweeps[("vs", polarity)].points[k].payload
             rows.append(
                 Table3Row(
                     label=label,

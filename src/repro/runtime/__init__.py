@@ -40,7 +40,9 @@ from repro.runtime.executors import (
     resolve_executor,
 )
 from repro.runtime.runner import (
+    CANCELLED,
     DEFAULT_WAVE_SIZE,
+    RunObserver,
     RuntimeInfo,
     ShardedRun,
     plan_for_execution,
@@ -85,8 +87,10 @@ __all__ = [
     "TargetAccumulator",
     "StopRule",
     "StopDecision",
+    "RunObserver",
     "RuntimeInfo",
     "ShardedRun",
+    "CANCELLED",
     "run_sharded",
     "DEFAULT_WAVE_SIZE",
     "RunCheckpoint",

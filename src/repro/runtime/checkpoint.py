@@ -20,7 +20,7 @@ import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["RunCheckpoint", "save_checkpoint", "load_checkpoint"]
 
@@ -46,15 +46,19 @@ class RunCheckpoint:
     accumulator_state: Optional[Dict] = None
     #: Completed shard payloads, in shard-index order.
     payloads: List = field(default_factory=list)
+    #: Spawn prefix of the plan (nested sweep/seed contract); a run
+    #: nested under a different sweep point must never adopt this state.
+    spawn_prefix: Tuple[int, ...] = ()
 
     def matches(self, n_samples: int, shard_size: int, base_seed: int,
-                task: str = "") -> bool:
+                task: str = "", spawn_prefix: Tuple[int, ...] = ()) -> bool:
         """Whether this checkpoint belongs to the given plan *and* task."""
         return (
             self.n_samples == n_samples
             and self.shard_size == shard_size
             and self.base_seed == base_seed
             and self.task == task
+            and tuple(self.spawn_prefix) == tuple(spawn_prefix)
         )
 
 

@@ -37,13 +37,40 @@ from repro.runtime.sharding import (
 from repro.runtime.stopping import StopDecision, StopRule
 
 __all__ = [
+    "RunObserver",
     "RuntimeInfo",
     "ShardedRun",
     "run_sharded",
     "DEFAULT_WAVE_SIZE",
+    "CANCELLED",
     "plan_for_execution",
     "stop_rule_for_execution",
 ]
+
+#: ``RuntimeInfo.stop_reason`` of a run halted by an observer's cancel
+#: request (distinct from adaptive-stopping reasons).
+CANCELLED = "cancelled"
+
+
+class RunObserver:
+    """Between-wave hook of :func:`run_sharded` (progress + cancellation).
+
+    The default implementation is inert; :class:`repro.api.futures.
+    RunHandle` subclasses it to report progress and request cancellation
+    from another thread.  Observers are *scheduling-side only*: nothing
+    an observer does may change the shard partition, the streams, or the
+    merge order — cancellation simply truncates the run at a wave
+    boundary (recorded as ``stop_reason=CANCELLED``), exactly like an
+    adaptive stop.
+    """
+
+    def on_progress(self, done: int, total: int, accumulator=None,
+                    unit: str = "shards") -> None:
+        """Called after each merged wave (and once at start/resume)."""
+
+    def should_cancel(self) -> bool:
+        """Polled before each wave; ``True`` stops after >= 1 wave ran."""
+        return False
 
 #: Shards per adaptive wave.  A plan property (never derived from the
 #: worker count), so early stopping halts at the same wave boundary at
@@ -96,6 +123,7 @@ def run_sharded(
     wave_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     task_label: Optional[str] = None,
+    observer: Optional[RunObserver] = None,
 ) -> ShardedRun:
     """Run *task* over every shard of *plan*, merging in shard order.
 
@@ -126,6 +154,11 @@ def run_sharded(
         content hash of the pickled task, which discriminates every
         workload parameter automatically; pass an explicit label only
         when a stable cross-version identity is needed.
+    observer:
+        Optional :class:`RunObserver` notified after every merged wave
+        and polled for cancellation before each wave.  Purely a
+        scheduling-side hook — results are bit-identical with or
+        without one (cancellation truncates, it never reorders).
     """
     if (stop is not None or checkpoint_path is not None) and (
         accumulator is None or accumulate is None
@@ -136,10 +169,23 @@ def run_sharded(
         )
     shards = list(plan)
     if stop is None and checkpoint_path is None:
-        # Nothing to evaluate or persist between waves: dispatch the
-        # whole plan at once so the executor can keep every worker busy
-        # (a wave barrier would cap parallelism at the wave size).
-        waves = len(shards)
+        if observer is None:
+            # Nothing to evaluate or persist between waves: dispatch the
+            # whole plan at once so the executor can keep every worker
+            # busy (a wave barrier would cap parallelism at wave size).
+            waves = len(shards)
+        else:
+            # Progress/cancel only.  No between-wave *decision* rides on
+            # the boundary, so sizing waves by the worker count is safe
+            # here (unlike the stop/checkpoint path, where boundaries
+            # must be plan constants).  Several shards per worker per
+            # wave amortize the barrier: a straggler idles its peers at
+            # most once per 4 rounds instead of every round, while
+            # progress still surfaces a few times per long run.
+            waves = max(
+                1, 4 * executor.workers,
+                int(wave_size) if wave_size is not None else DEFAULT_WAVE_SIZE,
+            )
     else:
         waves = max(1, int(wave_size) if wave_size is not None
                     else DEFAULT_WAVE_SIZE)
@@ -161,7 +207,8 @@ def run_sharded(
         restored = load_checkpoint(checkpoint_path)
         if restored is not None:
             if not restored.matches(plan.n_samples, plan.shard_size,
-                                    plan.base_seed, label):
+                                    plan.base_seed, label,
+                                    plan.spawn_prefix):
                 raise ValueError(
                     f"checkpoint {checkpoint_path} was written for a "
                     f"different run (n_samples/shard_size/base_seed/task "
@@ -176,7 +223,16 @@ def run_sharded(
 
     stopped_early = False
     stop_reason: Optional[str] = None
+    if observer is not None:
+        observer.on_progress(done, len(shards), accumulator)
     while done < len(shards):
+        if observer is not None and done > 0 and observer.should_cancel():
+            # Cancellation lands on wave boundaries only, and never
+            # before the first wave (an empty run has nothing to
+            # assemble) — RunHandle rejects not-yet-started runs itself.
+            stopped_early = True
+            stop_reason = CANCELLED
+            break
         if stop is not None and done > 0:
             # Bound checks use the *accumulated* count (what the error
             # estimate actually rests on), not the planned shard index —
@@ -214,8 +270,11 @@ def run_sharded(
                         accumulator.state() if accumulator is not None else None
                     ),
                     payloads=payloads,
+                    spawn_prefix=plan.spawn_prefix,
                 ),
             )
+        if observer is not None:
+            observer.on_progress(done, len(shards), accumulator)
 
     n_run = shards[done - 1].stop if done else 0
     info = _build_info(plan, executor, done, n_run, stopped_early,
@@ -273,7 +332,7 @@ def _checkpoint_file(prefix: str, plan: ShardPlan, wave_size: int,
     """
     fingerprint = hashlib.sha256(
         f"{plan.n_samples}|{plan.shard_size}|{plan.base_seed}|"
-        f"{wave_size}|{label}".encode()
+        f"{plan.spawn_prefix}|{wave_size}|{label}".encode()
     ).hexdigest()[:12]
     return f"{prefix}.{fingerprint}.ckpt"
 
@@ -303,16 +362,19 @@ def stop_rule_for_execution(execution, metric: str) -> Optional[StopRule]:
     )
 
 
-def plan_for_execution(execution, n_samples: int, base_seed: int) -> ShardPlan:
+def plan_for_execution(execution, n_samples: int, base_seed: int,
+                       spawn_prefix=()) -> ShardPlan:
     """Shard plan an ``Execution`` spec implies for an *n_samples* run.
 
     An explicit ``shard_size`` wins; otherwise every engaged execution
     defaults to :data:`~repro.runtime.sharding.DEFAULT_SHARD_SIZE`.
     Nothing here may consult the worker count — the partition (and
     through it the sample stream) must be identical at every
-    parallelism level, including ``workers=1``.
+    parallelism level, including ``workers=1``.  *spawn_prefix* nests
+    the shard streams under an enclosing sweep point.
     """
     shard_size = getattr(execution, "shard_size", None)
     if shard_size is None and execution is not None:
         shard_size = DEFAULT_SHARD_SIZE
-    return plan_shards(n_samples, shard_size, base_seed)
+    return plan_shards(n_samples, shard_size, base_seed,
+                       spawn_prefix=spawn_prefix)

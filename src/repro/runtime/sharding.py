@@ -13,6 +13,12 @@ results at every worker count — the invariant
 ``tests/test_runtime.py`` pins for both Monte-Carlo and importance
 sampling.
 
+Runs nested under an outer grid — point *j* of a ``Sweep`` — prepend the
+enclosing point index as a **spawn prefix**: shard *i* of sweep point
+*j* draws from ``SeedSequence(base_seed, spawn_key=(j, i))``, the nested
+sweep/seed contract of ROADMAP "Conventions (PR 5)".  The prefix is part
+of the plan (and of checkpoint fingerprints), never of scheduling.
+
 The one thing the stream *does* depend on is the shard size: changing
 ``shard_size`` re-partitions the draw and produces a different (equally
 valid) sample set.  ``Execution(shard_size=None)`` therefore means "one
@@ -24,7 +30,7 @@ draws so the golden figures stay pinned.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,7 +54,7 @@ DEFAULT_SHARD_SIZE = 1024
 class Shard:
     """One contiguous slice of a sharded statistical run."""
 
-    #: Position in the plan; also the spawn key of the shard's stream.
+    #: Position in the plan; also the last spawn key of the shard's stream.
     index: int
     #: First sample index covered (inclusive).
     start: int
@@ -56,28 +62,42 @@ class Shard:
     stop: int
     #: Base seed of the run the shard belongs to.
     base_seed: int
+    #: Enclosing grid-point indices (e.g. the sweep point), prepended to
+    #: the spawn key: stream = ``SeedSequence(base_seed, (*prefix, index))``.
+    spawn_prefix: Tuple[int, ...] = ()
 
     @property
     def n_samples(self) -> int:
         return self.stop - self.start
 
     def sequence(self) -> np.random.SeedSequence:
-        """The shard's `SeedSequence` (depends on base seed + index only)."""
-        return shard_sequence(self.base_seed, self.index)
+        """The shard's `SeedSequence` (base seed + prefix + index only)."""
+        return shard_sequence(self.base_seed, self.index, self.spawn_prefix)
 
     def rng(self) -> np.random.Generator:
         """Fresh generator for the shard's stream."""
         return np.random.Generator(np.random.PCG64(self.sequence()))
 
 
-def shard_sequence(base_seed: int, index: int) -> np.random.SeedSequence:
-    """`SeedSequence` of shard *index* under *base_seed* (the contract)."""
-    return np.random.SeedSequence(int(base_seed), spawn_key=(int(index),))
+def shard_sequence(
+    base_seed: int, index: int, spawn_prefix: Sequence[int] = ()
+) -> np.random.SeedSequence:
+    """`SeedSequence` of shard *index* under *base_seed* (the contract).
+
+    *spawn_prefix* nests the stream under enclosing grid points (sweep
+    point *j* -> prefix ``(j,)`` -> shard key ``(j, index)``).
+    """
+    key = tuple(int(p) for p in spawn_prefix) + (int(index),)
+    return np.random.SeedSequence(int(base_seed), spawn_key=key)
 
 
-def shard_rng(base_seed: int, index: int) -> np.random.Generator:
+def shard_rng(
+    base_seed: int, index: int, spawn_prefix: Sequence[int] = ()
+) -> np.random.Generator:
     """Fresh generator for shard *index* under *base_seed*."""
-    return np.random.Generator(np.random.PCG64(shard_sequence(base_seed, index)))
+    return np.random.Generator(
+        np.random.PCG64(shard_sequence(base_seed, index, spawn_prefix))
+    )
 
 
 @dataclass(frozen=True)
@@ -88,6 +108,8 @@ class ShardPlan:
     shard_size: int
     base_seed: int
     shards: tuple
+    #: Spawn prefix shared by every shard (nested sweep/seed contract).
+    spawn_prefix: Tuple[int, ...] = ()
 
     @property
     def n_shards(self) -> int:
@@ -101,6 +123,7 @@ def plan_shards(
     n_samples: int,
     shard_size: Optional[int],
     base_seed: int,
+    spawn_prefix: Sequence[int] = (),
 ) -> ShardPlan:
     """Split *n_samples* into contiguous shards of at most *shard_size*.
 
@@ -108,7 +131,7 @@ def plan_shards(
     smallest step up from the unsharded path: one stream, one worker).
     Every shard except possibly the last has exactly *shard_size*
     samples, so the partition — and through it the sample stream — is a
-    pure function of ``(n_samples, shard_size, base_seed)``.
+    pure function of ``(n_samples, shard_size, base_seed, spawn_prefix)``.
     """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
@@ -116,6 +139,7 @@ def plan_shards(
     if size <= 0:
         raise ValueError("shard_size must be positive")
     size = min(size, n_samples)
+    prefix = tuple(int(p) for p in spawn_prefix)
 
     shards: List[Shard] = []
     start = 0
@@ -123,7 +147,7 @@ def plan_shards(
         stop = min(start + size, n_samples)
         shards.append(
             Shard(index=len(shards), start=start, stop=stop,
-                  base_seed=int(base_seed))
+                  base_seed=int(base_seed), spawn_prefix=prefix)
         )
         start = stop
     return ShardPlan(
@@ -131,4 +155,5 @@ def plan_shards(
         shard_size=size,
         base_seed=int(base_seed),
         shards=tuple(shards),
+        spawn_prefix=prefix,
     )

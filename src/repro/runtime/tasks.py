@@ -83,6 +83,7 @@ def run_target_samples(
     stop: Optional[StopRule] = None,
     wave_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
+    observer=None,
 ):
     """Sharded :func:`repro.stats.montecarlo.target_samples`.
 
@@ -101,6 +102,7 @@ def run_target_samples(
         accumulator=TargetAccumulator(),
         accumulate=lambda acc, payload: acc.update(payload.samples),
         stop=stop, wave_size=wave_size, checkpoint_path=checkpoint_path,
+        observer=observer,
     )
     return concat_target_samples(run.payloads), run.accumulator, run.info
 
@@ -148,6 +150,7 @@ def run_importance(
     stop: Optional[StopRule] = None,
     wave_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
+    observer=None,
 ):
     """Sharded mean-shift importance sampling.
 
@@ -167,6 +170,7 @@ def run_importance(
         accumulator=FailureAccumulator(),
         accumulate=lambda acc, payload: acc.merge(payload),
         stop=stop, wave_size=wave_size, checkpoint_path=checkpoint_path,
+        observer=observer,
     )
     acc: FailureAccumulator = run.accumulator
     estimate = FailureEstimate(
@@ -246,6 +250,7 @@ def run_factory_map(
     stop: Optional[StopRule] = None,
     wave_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
+    observer=None,
 ):
     """Sharded circuit-level Monte-Carlo over device factories.
 
@@ -257,7 +262,7 @@ def run_factory_map(
     )
     return run_array_task(
         task, plan, executor, stop=stop, wave_size=wave_size,
-        checkpoint_path=checkpoint_path,
+        checkpoint_path=checkpoint_path, observer=observer,
     )
 
 
@@ -315,6 +320,7 @@ def run_array_task(
     wave_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     task_label: Optional[str] = None,
+    observer=None,
 ):
     """Generic fan-out for tasks returning per-shard sample arrays."""
     run = run_sharded(
@@ -322,7 +328,7 @@ def run_array_task(
         accumulator=ArrayAccumulator(),
         accumulate=lambda acc, payload: acc.update(payload),
         stop=stop, wave_size=wave_size, checkpoint_path=checkpoint_path,
-        task_label=task_label,
+        task_label=task_label, observer=observer,
     )
     values = np.concatenate(run.payloads, axis=0)
     return values, run.accumulator, run.info

@@ -12,7 +12,6 @@ from repro.cells import (
 )
 from repro.charlib import (
     ArcSamples,
-    ArcStatistics,
     CharacterizationError,
     DFFArcs,
     InverterArcs,
@@ -256,13 +255,10 @@ class TestStatisticalCharacterization:
         assert arc.stats.n == finite.size
         assert arc.edge == "tphl"  # legacy alias
 
-    def test_arc_statistics_shim_deprecated(self, rng):
-        samples = rng.normal(10e-12, 1e-12, size=64)
-        with pytest.deprecated_call():
-            arc = ArcStatistics(cell="INV", edge="tphl", slew_in=1e-12,
-                                c_load=1e-15, samples=samples)
-        assert isinstance(arc, ArcSamples)
-        assert arc.arc == "tphl" and arc.edge == "tphl"
-        assert arc.mean == pytest.approx(float(np.mean(samples)), rel=1e-12)
-        assert arc.sigma == pytest.approx(float(np.std(samples, ddof=1)),
-                                          rel=1e-9)
+    def test_arc_statistics_shim_removed(self):
+        # The PR-4 DeprecationWarning shim served its one-release grace
+        # period; the name must be gone from the public surface.
+        import repro.charlib as charlib
+
+        assert not hasattr(charlib, "ArcStatistics")
+        assert "ArcStatistics" not in charlib.__all__

@@ -18,6 +18,19 @@ class TestCLI:
         load_all()
         assert [line.split()[0] for line in lines] == names()
 
+    def test_list_json_is_a_machine_readable_registry_dump(self, capsys):
+        assert main(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        load_all()
+        assert [e["name"] for e in entries] == names()
+        for entry in entries:
+            assert set(entry) >= {"name", "title", "module", "quick", "full"}
+            assert isinstance(entry["quick"], dict)
+            assert isinstance(entry["full"], dict)
+        # The presets are the registry's, verbatim.
+        fig5 = next(e for e in entries if e["name"] == "fig5")
+        assert fig5["quick"] == {"n_samples": 150}
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figX"])
