@@ -1,0 +1,150 @@
+"""Rare-event yield cost: CE importance sampling vs plain Monte-Carlo.
+
+The acceptance study behind the ``Yield`` spec (ROADMAP "Conventions
+(PR 6)"): at a 3-sigma READ-SNM threshold on the 6T cell, the adaptive
+cross-entropy engine must land inside the brute-force Monte-Carlo
+confidence interval while spending >= 10x fewer simulations than plain
+MC needs for the same relative error.
+
+Both estimators share one pilot-derived threshold and the same
+circuit-level metric (:class:`~repro.experiments.yield_rare_event.
+SRAMCriticalSNM`, left pull-down critical).  The brute-force arm is the
+sharded runtime's zero-shift importance run — unit weights, so it *is*
+plain MC, with the shard/seed contract keeping it reproducible.
+
+Emits machine-readable ``BENCH_yield.json`` recording
+sims-to-target-relative-error for both arms alongside the txt report.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.api import Execution, ImportanceSampling, Session, Yield
+from repro.api.seeding import EXPERIMENT_SEED
+from repro.cells.sram import SRAMSpec
+from repro.experiments.yield_rare_event import (
+    SRAMCriticalSNM,
+    _mc_equivalent,
+    pilot_proposal,
+)
+
+#: Unshifted pilot behind the threshold + seed proposal.
+N_PILOT = 192
+#: Threshold depth in pilot standard deviations.
+SIGMA_LEVEL = 3.0
+#: CE budget: estimation samples and adaptation rounds.
+N_SAMPLES = 768
+N_ROUNDS = 2
+N_PER_ROUND = 256
+#: Brute-force Monte-Carlo samples (the reference interval).
+N_BRUTE = 20000
+
+
+def test_yield_cost_sram_snm(results_dir, record_report):
+    session = Session()
+    spec = SRAMSpec()
+    metric = SRAMCriticalSNM(spec=spec, vdd=session.technology.vdd,
+                             mode="read")
+    model = session.technology["nmos"].statistical
+    try:
+        pilot = pilot_proposal(
+            model, metric, spec.wn_pd_nm, spec.l_nm, N_PILOT, SIGMA_LEVEL,
+            fail_below=True, seed=EXPERIMENT_SEED + 9100,
+        )
+
+        t0 = time.perf_counter()
+        adaptive = session.run(Yield(
+            metric=metric,
+            threshold=pilot.threshold,
+            shifts=pilot.shifts,
+            n_samples=N_SAMPLES,
+            n_rounds=N_ROUNDS,
+            n_per_round=N_PER_ROUND,
+            w_nm=spec.wn_pd_nm,
+            l_nm=spec.l_nm,
+        )).payload
+        t_adaptive = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        brute = session.run(ImportanceSampling(
+            metric=metric,
+            threshold=pilot.threshold,
+            shifts={"vt0": 0.0},        # unit weights: plain MC
+            n_samples=N_BRUTE,
+            w_nm=spec.wn_pd_nm,
+            l_nm=spec.l_nm,
+            execution=Execution(shard_size=2048),
+        )).payload
+        t_brute = time.perf_counter() - t0
+    finally:
+        session.close()
+
+    # The two estimates must agree within the combined 95 % intervals.
+    combined = 1.96 * (adaptive.std_error + brute.std_error)
+    gap = abs(adaptive.probability - brute.probability)
+    assert gap <= combined, (
+        f"CE estimate {adaptive.probability:.3e} vs brute "
+        f"{brute.probability:.3e}: gap {gap:.2e} > {combined:.2e}"
+    )
+
+    # Cost: plain MC needs (1-p)/(p rel^2) samples for the CE run's
+    # relative error; the CE arm (pilot included) must be >= 10x under.
+    sims_adaptive = adaptive.total_samples + N_PILOT
+    n_mc, _ = _mc_equivalent(adaptive)
+    assert np.isfinite(n_mc) and n_mc > 0
+    speedup = n_mc / sims_adaptive
+    assert speedup >= 10.0, (
+        f"CE spent {sims_adaptive} sims where plain MC needs {n_mc:.0f} "
+        f"for rel err {adaptive.relative_error:.3f} — only {speedup:.1f}x"
+    )
+
+    record = {
+        "benchmark": "6T SRAM READ-SNM rare-event yield (CE vs plain MC)",
+        "sigma_level": SIGMA_LEVEL,
+        "threshold_V": pilot.threshold,
+        "pilot_samples": N_PILOT,
+        "adaptive": {
+            "probability": adaptive.probability,
+            "std_error": adaptive.std_error,
+            "relative_error": adaptive.relative_error,
+            "n_failures": adaptive.n_failures,
+            "effective_samples": adaptive.effective_samples,
+            "rounds_run": adaptive.rounds_run,
+            "sims": sims_adaptive,
+            "seconds": t_adaptive,
+        },
+        "brute_force": {
+            "probability": brute.probability,
+            "std_error": brute.std_error,
+            "relative_error": brute.relative_error,
+            "n_failures": brute.n_failures,
+            "sims": N_BRUTE,
+            "seconds": t_brute,
+        },
+        "mc_samples_for_adaptive_rel_err": n_mc,
+        "speedup_vs_plain_mc": speedup,
+        "agreement_gap": gap,
+        "agreement_bound_95": combined,
+    }
+    (results_dir / "BENCH_yield.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        "Rare-event yield cost -- 6T SRAM READ SNM at "
+        f"{SIGMA_LEVEL:.0f} sigma (threshold {pilot.threshold * 1e3:.1f} mV)",
+        f"adaptive CE : P={adaptive.probability:.3e} "
+        f"rel err {adaptive.relative_error:.3f} "
+        f"({sims_adaptive} sims incl. pilot, {t_adaptive:.1f} s)",
+        f"plain MC    : P={brute.probability:.3e} "
+        f"rel err {brute.relative_error:.3f} "
+        f"({N_BRUTE} sims, {t_brute:.1f} s)",
+        f"agreement   : gap {gap:.2e} <= 1.96*(se_a+se_b) {combined:.2e}",
+        f"MC needs {n_mc:.0f} sims for the CE rel err -> {speedup:.0f}x "
+        "fewer simulations (acceptance: >= 10x)",
+    ]
+    record_report("yield_cost", "\n".join(lines))

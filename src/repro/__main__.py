@@ -39,7 +39,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments", nargs="+",
         help="experiment names (fig1..fig9, table2..table4, baseline, "
-             "ssta, charlib), 'all', or 'list'",
+             "ssta, charlib, yield_sram, yield_dff), 'all', or 'list'",
     )
     parser.add_argument(
         "--quick", action="store_true",

@@ -42,8 +42,10 @@ from repro.api.specs import (
     MonteCarlo,
     Sweep,
     Transient,
+    Yield,
     sweep_point_offset,
 )
+from repro.stats.yield_engine import YieldEstimate
 
 __all__ = [
     "Session",
@@ -55,6 +57,8 @@ __all__ = [
     "DCSweep",
     "MonteCarlo",
     "ImportanceSampling",
+    "Yield",
+    "YieldEstimate",
     "FactoryMap",
     "Characterize",
     "CharacterizeLibrary",

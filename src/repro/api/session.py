@@ -48,6 +48,7 @@ from repro.api.specs import (
     MonteCarlo,
     Sweep,
     Transient,
+    Yield,
 )
 
 __all__ = ["Session", "default_session"]
@@ -407,6 +408,9 @@ class Session:
         if isinstance(spec, ImportanceSampling):
             return self._run_importance(spec, scope, observer,
                                         inherit_execution)
+        if isinstance(spec, Yield):
+            return self._run_yield(spec, scope, observer,
+                                   inherit_execution)
         if isinstance(spec, FactoryMap):
             return self._run_factory_map(spec, scope, observer,
                                          inherit_execution)
@@ -589,6 +593,58 @@ class Session:
             wall_time_s=elapsed,
             runtime=info,
             meta=self._scope_meta(scope),
+        )
+
+    def _run_yield(self, spec: Yield, scope=None, observer=None,
+                   inherit_execution: bool = True) -> Result:
+        """Adaptive CE importance sampling (the rare-event yield engine).
+
+        There is no legacy unsharded path: the engine always draws in
+        the spec's fixed blocks, so ``execution=None`` simply runs the
+        block plan serially without stopping or checkpointing — the
+        envelope is a pure function of the seed basis and the spec,
+        never of workers or ``execution.shard_size``.
+        """
+        from repro.runtime import stop_rule_for_execution
+        from repro.stats.yield_engine import run_yield
+
+        model = self.technology[spec.polarity].statistical
+        execution = self._spec_execution(spec, inherit_execution)
+        base_seed, spawn_prefix = self._seed_basis(spec.seed_offset, scope)
+        start = time.perf_counter()
+        payload, yield_meta, info = run_yield(
+            model,
+            spec.metric,
+            spec.threshold,
+            spec.shifts_dict(),
+            spec.n_samples,
+            self.executor_for(execution),
+            n_rounds=spec.n_rounds,
+            n_per_round=spec.n_per_round,
+            n_components=spec.n_components,
+            elite_fraction=spec.elite_fraction,
+            smoothing=spec.smoothing,
+            block_size=spec.block_size,
+            base_seed=base_seed,
+            spawn_prefix=spawn_prefix,
+            w_nm=spec.w_nm,
+            l_nm=spec.l_nm,
+            fail_below=spec.fail_below,
+            stop=stop_rule_for_execution(execution, "probability"),
+            wave_size=execution.wave_size if execution is not None else None,
+            checkpoint_path=execution.checkpoint if execution is not None else None,
+            observer=observer,
+        )
+        elapsed = time.perf_counter() - start
+        return Result(
+            payload=payload,
+            spec=spec,
+            backend="device",
+            seed=base_seed,
+            n_samples=info.n_samples,
+            wall_time_s=elapsed,
+            runtime=info,
+            meta={"yield": yield_meta, **self._scope_meta(scope)},
         )
 
     def _run_factory_map(self, spec: FactoryMap, scope=None, observer=None,

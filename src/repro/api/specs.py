@@ -28,6 +28,7 @@ __all__ = [
     "DCSweep",
     "MonteCarlo",
     "ImportanceSampling",
+    "Yield",
     "FactoryMap",
     "Characterize",
     "CharacterizeLibrary",
@@ -323,6 +324,89 @@ class ImportanceSampling(AnalysisSpec):
 
 
 @dataclass(frozen=True)
+class Yield(AnalysisSpec):
+    """Rare-event yield: adaptive cross-entropy importance sampling.
+
+    Where :class:`ImportanceSampling` needs the failure-region shift
+    guessed up front, ``Yield`` *learns* it: ``n_rounds`` cross-entropy
+    rounds of ``n_per_round`` samples adapt a Gaussian mixture proposal
+    (``n_components`` mean-shifted components over the parameters named
+    by ``shifts``, which seed the round-zero proposal in sigma units),
+    then a frozen-mixture estimation phase of up to ``n_samples``
+    samples produces the :class:`~repro.stats.yield_engine.YieldEstimate`
+    payload.  Adaptive stopping (``execution.target_rel_err``) drives
+    the failure probability's relative error between estimation waves.
+
+    **Seed contract** — draws happen in fixed blocks of ``block_size``
+    samples: adaptation round *r*'s block *b* uses
+    ``SeedSequence(base_seed, spawn_key=(r, b))`` and estimation block
+    *b* uses ``spawn_key=(b,)`` (nested one level deeper under a sweep
+    point).  The block partition is spec geometry, so the envelope is
+    bit-identical at every worker count **and across shard sizes**
+    (``execution.shard_size`` does not apply to ``Yield``); with
+    ``n_rounds=0`` and ``n_components=1`` it reproduces a sharded
+    :class:`ImportanceSampling` run at ``shard_size=block_size``
+    exactly.
+    """
+
+    metric: Callable
+    threshold: float
+    shifts: Tuple[Tuple[str, float], ...]
+    n_samples: int = 4096
+    n_rounds: int = 4
+    n_per_round: int = 1024
+    n_components: int = 1
+    elite_fraction: float = 0.1
+    smoothing: float = 0.7
+    block_size: int = 256
+    polarity: str = "nmos"
+    w_nm: Optional[float] = None
+    l_nm: Optional[float] = None
+    fail_below: bool = True
+    seed_offset: int = 0
+    #: Workers/stopping/checkpointing; ``None`` = session default (the
+    #: engine always runs block-sharded — there is no legacy path).
+    execution: Optional[Execution] = field(default=None, kw_only=True)
+
+    def __post_init__(self):
+        object.__setattr__(self, "shifts", _freeze_pairs(self.shifts) or ())
+        if self.metric is None or not callable(self.metric):
+            raise ValueError("metric must be a callable")
+        if not self.shifts:
+            raise ValueError(
+                "shifts must name at least one adapted parameter (its "
+                "values seed the round-zero proposal; 0.0 is allowed)"
+            )
+        from repro.stats.pelgrom import PARAMETER_ORDER
+
+        unknown = {name for name, _ in self.shifts} - set(PARAMETER_ORDER)
+        if unknown:
+            raise ValueError(
+                f"unknown statistical parameters {sorted(unknown)}"
+            )
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if self.n_rounds < 0:
+            raise ValueError("n_rounds must be >= 0")
+        if self.n_rounds and self.n_per_round <= 0:
+            raise ValueError("n_per_round must be positive")
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if not 0.0 < self.elite_fraction < 1.0:
+            raise ValueError("elite_fraction must be in (0, 1)")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+        _check_execution(self.execution)
+
+    def shifts_dict(self) -> Dict[str, float]:
+        return dict(self.shifts)
+
+
+@dataclass(frozen=True)
 class FactoryMap(AnalysisSpec):
     """Circuit-level Monte-Carlo: ``work(factory) -> (n, ...) array``.
 
@@ -469,6 +553,7 @@ SEED_MODES = ("spawn", "legacy")
 _SWEEPABLE = (
     MonteCarlo,
     ImportanceSampling,
+    Yield,
     FactoryMap,
     Characterize,
     CharacterizeLibrary,

@@ -1,6 +1,7 @@
 """Benchmark circuits of Sec. IV: INV, NAND2, D flip-flop, 6T SRAM."""
 
 from repro.cells.factory import (
+    CriticalDeviceFactory,
     DeviceFactory,
     MonteCarloDeviceFactory,
     NominalDeviceFactory,
@@ -15,6 +16,7 @@ __all__ = [
     "DeviceFactory",
     "NominalDeviceFactory",
     "MonteCarloDeviceFactory",
+    "CriticalDeviceFactory",
     "InverterSpec",
     "build_inverter_fo",
     "inverter_delays",

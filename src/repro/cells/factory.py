@@ -204,6 +204,61 @@ class RecordingFactory(DeviceFactory):
         return device
 
 
+class CriticalDeviceFactory(DeviceFactory):
+    """Substitutes one prepared device at a single factory-call index.
+
+    The rare-event yield engine (:mod:`repro.stats.yield_engine`) varies
+    ONE critical transistor — a batched device sampled under the shifted
+    proposal — while every other transistor in the cell stays nominal,
+    so the failure probability is conditioned on that single device's
+    local variation.  *call_index* counts the cell builder's device
+    requests in order (the 6T SRAM draws pu_l, pd_l, pu_r, pd_r, ax_l,
+    ax_r, so the left pull-down is index 1; the DFF's master pass
+    transistor M1 is index 0).
+    """
+
+    def __init__(
+        self, inner: DeviceFactory, critical: DeviceModel, call_index: int
+    ):
+        if call_index < 0:
+            raise ValueError("call_index must be non-negative")
+        self.inner = inner
+        self.critical = critical
+        self.call_index = int(call_index)
+        self.calls = 0
+        self.batch_shape = tuple(critical.params.batch_shape)
+
+    # Session policy delegates to the inner factory (live, both ways) —
+    # same rationale as RecordingFactory.
+    @property
+    def plan_cache(self):
+        return self.inner.plan_cache
+
+    @plan_cache.setter
+    def plan_cache(self, value):
+        self.inner.plan_cache = value
+
+    @property
+    def backend(self):
+        return self.inner.backend
+
+    @backend.setter
+    def backend(self, value):
+        self.inner.backend = value
+
+    def __call__(self, polarity: str, w_nm: float, l_nm: float) -> DeviceModel:
+        index = self.calls
+        self.calls += 1
+        if index != self.call_index:
+            return self.inner(polarity, w_nm, l_nm)
+        if self.critical.polarity.name.lower() != polarity.lower():
+            raise ValueError(
+                f"critical device is {self.critical.polarity.name} but "
+                f"call {index} requests {polarity!r} — wrong call_index?"
+            )
+        return self.critical
+
+
 class ScalarReplayFactory(DeviceFactory):
     """Replays one scalar slice of previously recorded batched devices.
 

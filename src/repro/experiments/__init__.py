@@ -35,6 +35,7 @@ ALL_MODULES = (
     "repro.experiments.baseline_alphapower",
     "repro.experiments.ssta_low_vdd",
     "repro.experiments.charlib_library",
+    "repro.experiments.yield_rare_event",
 )
 
 __all__ = ["common", "ALL_MODULES"]

@@ -27,6 +27,7 @@ from repro.runtime.accumulators import (
     QuantileSketch,
     StreamStats,
     TargetAccumulator,
+    WeightedFailureAccumulator,
 )
 from repro.runtime.checkpoint import (
     RunCheckpoint,
@@ -83,6 +84,7 @@ __all__ = [
     "resolve_executor",
     "StreamStats",
     "FailureAccumulator",
+    "WeightedFailureAccumulator",
     "QuantileSketch",
     "TargetAccumulator",
     "StopRule",

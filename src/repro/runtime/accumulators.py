@@ -24,6 +24,7 @@ import numpy as np
 __all__ = [
     "StreamStats",
     "FailureAccumulator",
+    "WeightedFailureAccumulator",
     "QuantileSketch",
     "TargetAccumulator",
 ]
@@ -288,6 +289,7 @@ class FailureAccumulator:
             std_error=float(self.std_error),
             n_samples=int(self.n_samples),
             effective_samples=float(self.effective_samples),
+            n_failures=int(self.n_fail),
         ).relative_error
 
     # ------------------------------------------------------------------
@@ -306,6 +308,101 @@ class FailureAccumulator:
         out.sum_w = float(state["sum_w"])
         out.sum_w2 = float(state["sum_w2"])
         out.n_fail = int(state["n_fail"])
+        return out
+
+
+class WeightedFailureAccumulator(FailureAccumulator):
+    """Weighted failure statistics plus cross-entropy sufficient moments.
+
+    Extends :class:`FailureAccumulator` with the per-parameter weighted
+    moments of the *failing* samples' deviations (in sigma units):
+    ``sum(w)``, ``sum(w * x_p)`` and ``sum(w * x_p^2)`` over failures.
+    Those are exactly the sufficient statistics of a single-Gaussian
+    cross-entropy shift update — when the adaptive level has reached the
+    true threshold, the new mean shift is ``fail_wx / fail_w`` — so the
+    yield engine's adaptation rounds fold shard payloads through this
+    accumulator instead of shipping sample arrays for the terminal case.
+
+    The failure-probability estimate itself (``probability``,
+    ``std_error``, ``effective_samples``, ``relative_error``) is the
+    inherited one, bit-identical to :class:`FailureAccumulator` for the
+    same update sequence, which is what keeps the ``Yield`` zero-round
+    special case exactly equal to sharded ``ImportanceSampling``.
+    """
+
+    __slots__ = ("fail_w", "fail_wx", "fail_wx2")
+
+    def __init__(self):
+        super().__init__()
+        self.fail_w = 0.0
+        self.fail_wx: Dict[str, float] = {}
+        self.fail_wx2: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        fails: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        deviations: Optional[Dict[str, np.ndarray]] = None,
+    ) -> "WeightedFailureAccumulator":
+        fails = np.asarray(fails, dtype=bool).ravel()
+        if weights is None:
+            weights = np.ones(fails.shape)
+        weights = np.asarray(weights, dtype=float).ravel()
+        super().update(fails, weights)
+        w_fail = weights[fails]
+        self.fail_w += float(np.sum(w_fail))
+        if deviations is not None:
+            for name in deviations:
+                x_fail = np.asarray(deviations[name], dtype=float).ravel()[fails]
+                self.fail_wx[name] = self.fail_wx.get(name, 0.0) + float(
+                    np.sum(w_fail * x_fail)
+                )
+                self.fail_wx2[name] = self.fail_wx2.get(name, 0.0) + float(
+                    np.sum(w_fail * x_fail**2)
+                )
+        return self
+
+    def merge(
+        self, other: "WeightedFailureAccumulator"
+    ) -> "WeightedFailureAccumulator":
+        super().merge(other)
+        self.fail_w += other.fail_w
+        for name, wx in other.fail_wx.items():
+            self.fail_wx[name] = self.fail_wx.get(name, 0.0) + wx
+        for name, wx2 in other.fail_wx2.items():
+            self.fail_wx2[name] = self.fail_wx2.get(name, 0.0) + wx2
+        return self
+
+    # ------------------------------------------------------------------
+    def shift_estimate(self) -> Dict[str, float]:
+        """Weighted mean deviation (sigma units) of the failing samples.
+
+        The single-Gaussian cross-entropy update at the true threshold;
+        empty when no weighted failure mass has been folded in yet.
+        """
+        if self.fail_w <= 0.0:
+            return {}
+        return {name: wx / self.fail_w for name, wx in self.fail_wx.items()}
+
+    # ------------------------------------------------------------------
+    def state(self) -> Dict:
+        out = super().state()
+        out["fail_w"] = self.fail_w
+        out["fail_wx"] = dict(self.fail_wx)
+        out["fail_wx2"] = dict(self.fail_wx2)
+        return out
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "WeightedFailureAccumulator":
+        out = cls()
+        out.contrib = StreamStats.from_state(state["contrib"])
+        out.sum_w = float(state["sum_w"])
+        out.sum_w2 = float(state["sum_w2"])
+        out.n_fail = int(state["n_fail"])
+        out.fail_w = float(state["fail_w"])
+        out.fail_wx = {k: float(v) for k, v in state["fail_wx"].items()}
+        out.fail_wx2 = {k: float(v) for k, v in state["fail_wx2"].items()}
         return out
 
 

@@ -178,6 +178,7 @@ def run_importance(
         std_error=float(acc.std_error),
         n_samples=int(acc.n_samples),
         effective_samples=float(acc.effective_samples),
+        n_failures=int(acc.n_fail),
     )
     return estimate, acc, run.info
 

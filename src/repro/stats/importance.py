@@ -34,6 +34,9 @@ class FailureEstimate:
     std_error: float
     n_samples: int
     effective_samples: float     #: Kish effective sample size of the weights
+    #: Observed failure count (``None`` for legacy estimates that did not
+    #: record it; then only the probability/std-error guards apply).
+    n_failures: Optional[int] = None
 
     @property
     def relative_error(self) -> float:
@@ -41,13 +44,19 @@ class FailureEstimate:
 
         With zero observed failures the probability estimate is 0 and no
         relative accuracy can be claimed; degenerate single-sample runs
-        leave ``std_error`` NaN.  Both cases answer ``inf`` — never NaN,
-        never a ZeroDivisionError — so adaptive stop rules can compare
-        the value against a tolerance unconditionally.
+        leave ``std_error`` NaN; a *single* observed failure leaves the
+        variance estimate resting on one nonzero contribution (the
+        reported std error is then meaningless, and under weighted
+        sampling can even be ~0 when that one weight dominates).  All of
+        these answer ``inf`` — never NaN, never a ZeroDivisionError —
+        so adaptive stop rules can compare the value against a tolerance
+        unconditionally.
         """
         if not np.isfinite(self.probability) or self.probability <= 0.0:
             return np.inf
         if not np.isfinite(self.std_error):
+            return np.inf
+        if self.n_failures is not None and self.n_failures < 2:
             return np.inf
         return self.std_error / self.probability
 
@@ -139,7 +148,12 @@ def estimate_failure_probability(
     contrib = weights * fails
 
     probability = float(np.mean(contrib))
-    std_error = float(np.std(contrib, ddof=1) / np.sqrt(n_samples))
+    if n_samples < 2:
+        # ddof=1 on a single sample would emit a RuntimeWarning and
+        # yield NaN; the degenerate-run policy is an explicit inf.
+        std_error = np.inf
+    else:
+        std_error = float(np.std(contrib, ddof=1) / np.sqrt(n_samples))
     sum_w = float(np.sum(weights))
     sum_w2 = float(np.sum(weights**2))
     effective = sum_w**2 / sum_w2 if sum_w2 > 0.0 else 0.0
@@ -148,4 +162,5 @@ def estimate_failure_probability(
         std_error=std_error,
         n_samples=n_samples,
         effective_samples=effective,
+        n_failures=int(np.count_nonzero(fails)),
     )

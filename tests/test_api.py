@@ -370,11 +370,11 @@ class TestACAndDCSweepEquivalence:
 
 
 class TestExperimentRegistry:
-    def test_all_fifteen_artifacts_registered(self):
+    def test_all_seventeen_artifacts_registered(self):
         load_all()
         expected = {f"fig{k}" for k in range(1, 10)}
         expected |= {"table2", "table3", "table4", "baseline", "ssta",
-                     "charlib"}
+                     "charlib", "yield_sram", "yield_dff"}
         assert expected == set(names())
 
     def test_run_experiment_wraps_result(self, session):

@@ -70,6 +70,71 @@ class TestRelativeError:
                                    n_samples=10, effective_samples=10.0)
         assert nan_prob.relative_error == np.inf
 
+    def test_single_observed_failure_returns_inf(self):
+        # One failing sample leaves the variance estimate resting on a
+        # single nonzero contribution: under weighted sampling the
+        # reported std error can be near zero when that weight
+        # dominates, so a finite (tiny!) relative error here would stop
+        # an adaptive run on a statistically meaningless estimate.
+        from repro.stats.importance import FailureEstimate
+
+        single_fail = FailureEstimate(
+            probability=1e-6, std_error=1e-9, n_samples=1000,
+            effective_samples=3.0, n_failures=1,
+        )
+        assert single_fail.relative_error == np.inf
+        two_fails = FailureEstimate(
+            probability=1e-6, std_error=5e-7, n_samples=1000,
+            effective_samples=30.0, n_failures=2,
+        )
+        assert two_fails.relative_error == 0.5
+
+    def test_legacy_estimate_without_failure_count_still_guards(self):
+        # n_failures=None (legacy construction) keeps the probability
+        # and std-error guards; a finite well-posed estimate passes
+        # through untouched.
+        from repro.stats.importance import FailureEstimate
+
+        legacy = FailureEstimate(probability=1e-3, std_error=1e-4,
+                                 n_samples=1000, effective_samples=400.0)
+        assert legacy.relative_error == pytest.approx(0.1)
+
+    def test_single_sample_run_is_warning_free(self, model, rng):
+        # A 1-sample run must not emit the numpy ddof RuntimeWarning nor
+        # produce NaN: std_error is an explicit inf by policy.
+        import warnings
+
+        threshold = float(np.asarray(model.nominal.vt0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            estimate = estimate_failure_probability(
+                model,
+                metric=lambda params: np.asarray(params.vt0),
+                threshold=threshold,
+                shifts={"vt0": 1.0},
+                n_samples=1,
+                rng=rng,
+                w_nm=600.0,
+                l_nm=40.0,
+            )
+        assert estimate.std_error == np.inf
+        assert estimate.relative_error == np.inf
+        assert not np.isnan(estimate.probability)
+
+    def test_all_zero_weights_are_inf_not_nan(self):
+        # Zero weight mass (e.g. every drawn weight underflowed): the
+        # Kish ESS is 0 by convention and the relative error inf — no
+        # 0/0 NaN anywhere.
+        from repro.runtime import FailureAccumulator
+
+        acc = FailureAccumulator().update(
+            np.ones(50, dtype=bool), np.zeros(50)
+        )
+        assert acc.effective_samples == 0.0
+        assert acc.probability == 0.0
+        assert acc.relative_error() == np.inf
+        assert not np.isnan(acc.relative_error())
+
 
 class TestAnalyticRecovery:
     def test_gaussian_tail_probability(self, model, rng):

@@ -24,6 +24,7 @@ from repro.runtime import (
     StopRule,
     StreamStats,
     TargetAccumulator,
+    WeightedFailureAccumulator,
     load_checkpoint,
     plan_shards,
     resolve_executor,
@@ -170,6 +171,136 @@ class TestFailureAccumulator:
         acc = FailureAccumulator().update(np.zeros(100, dtype=bool))
         assert acc.probability == 0.0
         assert acc.relative_error() == np.inf
+
+
+#: One weighted-failure sample: (importance weight, fail flag, sigma
+#: deviation).  Weights stay non-negative like real density ratios.
+_WEIGHTED_SAMPLE = st.tuples(
+    st.floats(0.0, 1e3, allow_nan=False),
+    st.booleans(),
+    st.floats(-6.0, 6.0, allow_nan=False),
+)
+
+
+def _weighted_acc(chunk) -> WeightedFailureAccumulator:
+    weights = np.asarray([w for w, _, _ in chunk], dtype=float)
+    fails = np.asarray([f for _, f, _ in chunk], dtype=bool)
+    x = np.asarray([x for _, _, x in chunk], dtype=float)
+    return WeightedFailureAccumulator().update(
+        fails, weights, deviations={"vt0": x}
+    )
+
+
+class TestWeightedFailureAccumulator:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.lists(_WEIGHTED_SAMPLE, min_size=1, max_size=30),
+                    min_size=3, max_size=3))
+    def test_merge_is_associative(self, chunks):
+        a, b, c = chunks
+        left = _weighted_acc(a).merge(_weighted_acc(b)).merge(_weighted_acc(c))
+        right = _weighted_acc(a).merge(_weighted_acc(b).merge(_weighted_acc(c)))
+        assert left.n_samples == right.n_samples
+        assert left.n_fail == right.n_fail
+        assert left.probability == pytest.approx(right.probability,
+                                                 rel=1e-9, abs=1e-12)
+        assert left.sum_w == pytest.approx(right.sum_w, rel=1e-9, abs=1e-12)
+        assert left.sum_w2 == pytest.approx(right.sum_w2, rel=1e-9, abs=1e-12)
+        assert left.fail_w == pytest.approx(right.fail_w, rel=1e-9, abs=1e-12)
+        assert left.fail_wx.get("vt0", 0.0) == pytest.approx(
+            right.fail_wx.get("vt0", 0.0), rel=1e-9, abs=1e-12
+        )
+        assert left.fail_wx2.get("vt0", 0.0) == pytest.approx(
+            right.fail_wx2.get("vt0", 0.0), rel=1e-9, abs=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.lists(_WEIGHTED_SAMPLE, min_size=1, max_size=30),
+                    min_size=2, max_size=4))
+    def test_shard_merge_matches_single_stream_fold(self, chunks):
+        # Shard-local accumulators merged in shard order must equal one
+        # accumulator folding the same chunks sequentially — the
+        # identity that makes the runtime's reduce worker-count
+        # invariant.
+        merged = WeightedFailureAccumulator()
+        for chunk in chunks:
+            merged.merge(_weighted_acc(chunk))
+        folded = WeightedFailureAccumulator()
+        for chunk in chunks:
+            folded.update(
+                np.asarray([f for _, f, _ in chunk], dtype=bool),
+                np.asarray([w for w, _, _ in chunk], dtype=float),
+                deviations={"vt0": np.asarray([x for _, _, x in chunk])},
+            )
+        assert merged.n_samples == folded.n_samples
+        assert merged.n_fail == folded.n_fail
+        assert merged.probability == pytest.approx(folded.probability,
+                                                   rel=1e-9, abs=1e-12)
+        assert merged.fail_w == pytest.approx(folded.fail_w,
+                                              rel=1e-9, abs=1e-12)
+        assert merged.fail_wx.get("vt0", 0.0) == pytest.approx(
+            folded.fail_wx.get("vt0", 0.0), rel=1e-9, abs=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.lists(_WEIGHTED_SAMPLE, min_size=1, max_size=30),
+                    min_size=1, max_size=4))
+    def test_merged_ess_matches_kish_formula(self, chunks):
+        merged = WeightedFailureAccumulator()
+        for chunk in chunks:
+            merged.merge(_weighted_acc(chunk))
+        weights = np.asarray([w for chunk in chunks for w, _, _ in chunk])
+        sum_w2 = float(np.sum(weights**2))
+        if sum_w2 == 0.0:
+            assert merged.effective_samples == 0.0
+        else:
+            assert merged.effective_samples == pytest.approx(
+                float(np.sum(weights)) ** 2 / sum_w2, rel=1e-9
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_WEIGHTED_SAMPLE, min_size=1, max_size=60))
+    def test_shift_estimate_is_weighted_failure_centroid(self, chunk):
+        acc = _weighted_acc(chunk)
+        weights = np.asarray([w for w, _, _ in chunk], dtype=float)
+        fails = np.asarray([f for _, f, _ in chunk], dtype=bool)
+        x = np.asarray([x for _, _, x in chunk], dtype=float)
+        mass = float(np.sum(weights[fails]))
+        if mass <= 0.0:
+            assert acc.shift_estimate() == {}
+        else:
+            assert acc.shift_estimate()["vt0"] == pytest.approx(
+                float(np.sum(weights[fails] * x[fails])) / mass,
+                rel=1e-9, abs=1e-12,
+            )
+
+    def test_probability_path_identical_to_plain_accumulator(self, rng):
+        # The inherited estimate must be bit-identical to
+        # FailureAccumulator for the same update sequence — the property
+        # behind the Yield zero-round == ImportanceSampling identity.
+        weights = rng.exponential(size=300)
+        fails = rng.random(300) < 0.3
+        x = rng.standard_normal(300)
+        plain = FailureAccumulator()
+        weighted = WeightedFailureAccumulator()
+        for lo in range(0, 300, 100):
+            plain.update(fails[lo:lo + 100], weights[lo:lo + 100])
+            weighted.update(fails[lo:lo + 100], weights[lo:lo + 100],
+                            deviations={"vt0": x[lo:lo + 100]})
+        assert weighted.probability == plain.probability
+        assert weighted.std_error == plain.std_error
+        assert weighted.effective_samples == plain.effective_samples
+        assert weighted.n_fail == plain.n_fail
+
+    def test_state_roundtrip(self, rng):
+        acc = WeightedFailureAccumulator().update(
+            rng.random(64) < 0.25,
+            rng.exponential(size=64),
+            deviations={"vt0": rng.standard_normal(64),
+                        "leff": rng.standard_normal(64)},
+        )
+        clone = WeightedFailureAccumulator.from_state(acc.state())
+        assert clone.state() == acc.state()
+        assert clone.shift_estimate() == acc.shift_estimate()
 
 
 class TestQuantileSketch:
