@@ -1,0 +1,29 @@
+# Analysis service daemon image.
+#
+#   docker build -t repro-service .
+#   docker run -p 7373:7373 -v repro-store:/data repro-service
+#
+# The store volume holds results, the pending-job journal, and
+# wave-boundary checkpoints, so a replaced container resumes in-flight
+# jobs instead of restarting them.  Envelopes are bit-identical to a
+# local `Session(executor=1).run(spec)` regardless of --workers.
+
+FROM python:3.11-slim
+
+# Runtime dependencies only — the image serves analyses; the test
+# suite runs in CI, not here.
+RUN pip install --no-cache-dir numpy scipy networkx
+
+WORKDIR /app
+COPY src/ src/
+ENV PYTHONPATH=/app/src
+
+VOLUME /data
+EXPOSE 7373
+
+HEALTHCHECK --interval=30s --timeout=5s --start-period=120s \
+  CMD python -c "import urllib.request; urllib.request.urlopen('http://127.0.0.1:7373/healthz', timeout=4)"
+
+ENTRYPOINT ["python", "-m", "repro", "serve", \
+            "--host", "0.0.0.0", "--port", "7373", \
+            "--store", "/data/store"]

@@ -1,0 +1,156 @@
+"""Drive the analysis service as a client: submit, poll, cancel, fetch.
+
+The service (PR 7) exposes the whole declarative Session API over
+HTTP/JSON with a content-addressed result store.  This example walks
+the full client-side loop against a live daemon:
+
+1. submit a ``Sweep(Yield)`` surface — a yield-vs-width scan of the
+   adaptive CE importance-sampling engine — and a second copy of the
+   same spec, which *attaches* to the in-flight job instead of
+   recomputing (content addressing dedupes identical work);
+2. poll per-wave progress while the surface runs;
+3. submit a second, slower job and **cancel** it mid-run, then fetch
+   its partial envelope — the truncated-but-valid result accumulated
+   up to the cancellation wave boundary (its checkpoints stay on disk,
+   so resubmitting later resumes instead of restarting);
+4. fetch the finished surface and re-submit once more: a store hit,
+   served from disk, bit-identical fetch-to-fetch.
+
+By default the example hosts an in-process daemon on an ephemeral port
+(no setup needed); point ``--url`` at a running
+``python -m repro serve`` to drive a real one instead.
+
+Run:  python examples/service_client.py
+"""
+
+import argparse
+import sys
+import time
+
+from repro.api import ImportanceSampling, Sweep, Yield
+from repro.api.seeding import EXPERIMENT_SEED
+from repro.service import ServiceClient
+from repro.stats import ParameterMetric
+
+#: Widths of the yield surface, in nm.
+WIDTHS = tuple(float(w) for w in range(240, 2000, 240))
+
+
+def yield_surface(threshold: float) -> Sweep:
+    """Yield vs. device width: one adaptive CE-IS estimate per point."""
+    return Sweep(
+        Yield(
+            metric=ParameterMetric("vt0"), threshold=threshold,
+            shifts={"vt0": 3.0}, n_samples=100_000, n_rounds=1,
+            n_per_round=8192, block_size=8192, w_nm=600.0, l_nm=40.0,
+            fail_below=False,
+        ),
+        over={"w_nm": WIDTHS},
+    )
+
+
+def slow_scan(threshold: float) -> Sweep:
+    """A wider scan used to demonstrate mid-run cancellation."""
+    return Sweep(
+        ImportanceSampling(
+            metric=ParameterMetric("vt0"), threshold=threshold,
+            shifts={"vt0": 3.0}, n_samples=400_000, w_nm=600.0, l_nm=40.0,
+            fail_below=False,
+        ),
+        over={"w_nm": tuple(float(w) for w in range(240, 4000, 120))},
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="daemon base URL (default: host one in-process)",
+    )
+    args = parser.parse_args(argv)
+
+    server = None
+    if args.url is None:
+        from repro.service import AnalysisServer, ServiceConfig
+        import tempfile
+
+        store = tempfile.mkdtemp(prefix="repro-service-example-")
+        server = AnalysisServer(
+            ServiceConfig(port=0, store=store, workers=1)
+        ).start()
+        print(f"hosting an in-process daemon at {server.url} "
+              f"(store: {store})\n")
+        url = server.url
+    else:
+        url = args.url
+    client = ServiceClient(url, timeout=120.0)
+
+    try:
+        health = client.health()
+        print(f"daemon healthy: seed={health['seed']}, "
+              f"workers={health['workers']}, store has "
+              f"{health['store']['results']} result(s)\n")
+
+        # A deep-tail vt0 threshold; any float works — the daemon owns
+        # the technology, the client only names the workload.
+        threshold = 0.60
+
+        # --- submit the surface, attach a duplicate ------------------
+        surface = yield_surface(threshold)
+        job = client.submit(surface)
+        print(f"submitted yield surface  job={job['job'][:12]}… "
+              f"outcome={job['outcome']}")
+        twin = client.submit(surface)
+        print(f"duplicate submission     job={twin['job'][:12]}… "
+              f"outcome={twin['outcome']}  (same computation, one run)\n")
+
+        # --- a second job, cancelled mid-run -------------------------
+        doomed = client.submit(slow_scan(threshold))
+        while (client.status(doomed)["progress"]["completed"] or 0) < 3:
+            time.sleep(0.02)
+        client.cancel(doomed)
+        while client.status(doomed)["state"] == "running":
+            time.sleep(0.02)
+        snapshot = client.partial(doomed)
+        partial = snapshot["envelope"]
+        print(f"cancelled scan at {snapshot['progress']['completed']}/"
+              f"{snapshot['progress']['total']} points; partial envelope "
+              f"holds {len(partial.points)} finished point(s) "
+              f"(stop_reason={partial.runtime.stop_reason!r})\n")
+
+        # --- poll the surface to completion --------------------------
+        while True:
+            status = client.status(job)
+            progress = status["progress"]
+            print(f"  surface: {status['state']:8s} "
+                  f"{progress['completed'] or 0:3d}/"
+                  f"{progress['total'] or len(WIDTHS)} points")
+            if status["state"] != "running":
+                break
+            time.sleep(0.3)
+
+        result = client.result(job)
+        print("\nyield vs. width (P[vt0 > threshold], CE importance "
+              "sampling):")
+        for index, point in enumerate(result.points):
+            estimate = point.payload
+            width = result.coords(index)["w_nm"]
+            detail = (f"rel.err = {estimate.relative_error:.2%}"
+                      if estimate.probability else "(no failures observed)")
+            print(f"  w = {width:6.0f} nm   "
+                  f"p = {estimate.probability:.3e}   {detail}")
+
+        # --- the store remembers -------------------------------------
+        hit = client.submit(surface)
+        print(f"\nresubmitted surface      job={hit['job'][:12]}… "
+              f"outcome={hit['outcome']}  (served from the store)")
+        stable = (client.result_document(job) == client.result_document(job))
+        print(f"result text byte-stable fetch-to-fetch: {stable}")
+    finally:
+        if server is not None:
+            server.stop(timeout=60.0)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

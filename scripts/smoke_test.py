@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the analysis service daemon.
+
+Drives a real ``python -m repro serve`` subprocess over HTTP and proves
+the two store contracts that make the service trustworthy:
+
+1. **Content addressing / dedup** — the same yield spec submitted twice
+   computes once: the second submission is a store hit, the result text
+   is byte-identical fetch-to-fetch, and the envelope matches a plain
+   in-process ``Session(executor=1).run(spec)`` bit-for-bit (up to wall
+   time / scheduling metadata, which ``scrub_envelope`` removes).
+
+2. **Crash durability** — SIGKILL the daemon mid-job, restart it over
+   the same store directory, and the job resumes from its wave-boundary
+   checkpoints (``runtime.resumed_shards > 0``) to an envelope that is
+   still bit-identical to an uninterrupted local run.
+
+Run from the repository root::
+
+    python scripts/smoke_test.py
+
+Exit status 0 on success, 1 on any failed check.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import Session, Yield  # noqa: E402
+from repro.api.fingerprint import fingerprint  # noqa: E402
+from repro.api.seeding import EXPERIMENT_SEED  # noqa: E402
+from repro.api.serialize import dumps  # noqa: E402
+from repro.service import ServiceClient, ServiceError, scrub_envelope  # noqa: E402
+from repro.stats import ParameterMetric  # noqa: E402
+
+STORE = os.environ.get("SMOKE_STORE", os.path.join(REPO_ROOT, ".smoke-store"))
+failures = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[smoke] {status:4s} {label}{(' — ' + detail) if detail else ''}")
+    if not ok:
+        failures.append(label)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_daemon(port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--store", STORE, "--workers", "1"],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_healthy(client: ServiceClient, proc: subprocess.Popen,
+                 timeout: float = 180.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"daemon exited early (rc={proc.returncode})")
+        try:
+            if client.health()["ok"]:
+                return
+        except (ServiceError, OSError):
+            time.sleep(0.2)
+    raise RuntimeError("daemon never became healthy")
+
+
+def yield_spec(technology, n_samples: int) -> Yield:
+    model = technology["nmos"].statistical
+    threshold = (float(np.asarray(model.nominal.vt0))
+                 + 3.0 * model.sigmas(600.0, 40.0)["vt0"])
+    return Yield(
+        metric=ParameterMetric("vt0"), threshold=threshold,
+        shifts={"vt0": 3.0}, n_samples=n_samples, n_rounds=1,
+        n_per_round=16384, block_size=16384, w_nm=600.0, l_nm=40.0,
+        fail_below=False,
+    )
+
+
+def main() -> int:
+    import shutil
+
+    shutil.rmtree(STORE, ignore_errors=True)
+    port = free_port()
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=120.0)
+
+    print(f"[smoke] starting daemon on port {port}, store {STORE}")
+    daemon = start_daemon(port)
+    try:
+        wait_healthy(client, daemon)
+        check("daemon healthy", True)
+
+        # The local reference session: same default technology, same
+        # seed, serial executor — the service's envelope contract.
+        session = Session(seed=EXPERIMENT_SEED, executor=1)
+
+        # --- 1. dedup / store hit -----------------------------------
+        quick = yield_spec(session.technology, n_samples=200_000)
+        first = client.submit(quick)
+        check("first submission runs", first["outcome"] == "started",
+              f"outcome={first['outcome']}")
+        envelope = client.result(first, timeout=300.0)
+        again = client.submit(quick)
+        check("second submission is a store hit",
+              again["outcome"] == "hit" and again["job"] == first["job"],
+              f"outcome={again['outcome']}")
+        text_a = client.result_document(first)
+        text_b = client.result_document(first)
+        check("result text is byte-stable", text_a == text_b)
+        reference = session.run(quick)
+        check("envelope bit-identical to Session(executor=1).run",
+              dumps(scrub_envelope(envelope)) == (
+                  dumps(scrub_envelope(reference))),
+              f"p={envelope.payload.probability:.3e}")
+
+        # --- 2. SIGKILL mid-job, restart, resume --------------------
+        big = yield_spec(session.technology, n_samples=8_000_000)
+        fp = fingerprint(big, seed=EXPERIMENT_SEED)
+        job = client.submit(big)
+        check("long job started", job["outcome"] == "started")
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            progress = client.status(job)["progress"]
+            # Past the adaptation round, several estimation waves in:
+            # checkpoints exist on disk.
+            if (progress["total"] or 0) > 100 and (
+                    progress["completed"] or 0) >= 8:
+                break
+            time.sleep(0.02)
+        else:
+            raise RuntimeError("long job never reached estimation waves")
+        daemon.send_signal(signal.SIGKILL)
+        daemon.wait(timeout=30)
+        check("daemon killed mid-job", True,
+              f"at {progress['completed']}/{progress['total']} shards")
+        journal = os.path.join(STORE, "jobs", f"{fp}.json")
+        ckpt_dir = os.path.join(STORE, "ckpt")
+        check("journal survives the kill", os.path.exists(journal))
+        check("checkpoints survive the kill",
+              any(name.startswith(fp) for name in os.listdir(ckpt_dir)))
+
+        daemon = start_daemon(port)
+        wait_healthy(client, daemon)
+        check("daemon restarted over the same store", True)
+        resumed = client.result(fp, timeout=600.0)
+        check("recovered job resumed from checkpoint",
+              resumed.runtime.resumed_shards > 0,
+              f"resumed_shards={resumed.runtime.resumed_shards}")
+        reference = session.run(big)
+        check("resumed envelope bit-identical to uninterrupted run",
+              dumps(scrub_envelope(resumed)) == (
+                  dumps(scrub_envelope(reference))))
+        session.close()
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            try:
+                daemon.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+        shutil.rmtree(STORE, ignore_errors=True)
+
+    if failures:
+        print(f"[smoke] FAILED: {failures}")
+        return 1
+    print("[smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ Usage::
     python -m repro fig9 --workers 4     # sharded multi-process Monte-Carlo
     python -m repro fig9 --workers 4 --shard-size 256   # explicit shards
     python -m repro charlib --workers 4  # parallel library characterization
+    python -m repro serve --port 7373 --store ./store --workers 4
+                                         # analysis service daemon (HTTP)
 
 Every experiment is a declarative entry in the :mod:`repro.api`
 registry and executes through one :class:`repro.api.Session`, which
@@ -31,7 +33,44 @@ from repro.api import Session, load_all, names
 from repro.api.registry import get as registry_get_def
 
 
+def _serve_main(argv) -> int:
+    """The ``python -m repro serve`` verb: start the analysis daemon."""
+    from repro.api.seeding import EXPERIMENT_SEED
+    from repro.service import ServiceConfig, serve
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Persistent analysis service: the Session API over "
+                    "HTTP/JSON with a content-addressed result store.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback only)")
+    parser.add_argument("--port", type=int, default=7373,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--store", default=".repro-store",
+                        help="result-store directory (results, pending-job "
+                             "journal, and checkpoints live here; a "
+                             "restarted daemon resumes from it)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool workers per job (scheduling "
+                             "only — envelopes are worker-count invariant)")
+    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
+                        help="session root seed; folded into every store "
+                             "key, so stores are seed-disjoint")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    return serve(ServiceConfig(
+        host=args.host, port=args.port, store=args.store,
+        workers=args.workers, seed=args.seed,
+    ))
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate DATE-2013 statistical-VS paper artifacts.",

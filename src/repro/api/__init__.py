@@ -13,7 +13,8 @@ the spec vocabulary, and :mod:`repro.api.registry` for the
 ``@experiment`` registration the CLI iterates.
 """
 
-from repro.api.futures import Progress, RunCancelled, RunHandle
+from repro.api.fingerprint import canonical_document, fingerprint, strip_execution
+from repro.api.futures import Progress, RunCancelled, RunHandle, RunSnapshot
 from repro.api.plans import PlanCache
 from repro.api.registry import (
     REGISTRY,
@@ -73,7 +74,11 @@ __all__ = [
     "jsonify",
     "Progress",
     "RunHandle",
+    "RunSnapshot",
     "RunCancelled",
+    "fingerprint",
+    "canonical_document",
+    "strip_execution",
     "PlanCache",
     "SeedTree",
     "SeedScope",

@@ -1,0 +1,103 @@
+"""Content-addressed spec identity: the public ``fingerprint``.
+
+The analysis service (and any result cache) needs one answer to "are
+these two submissions the same computation?".  The runtime has long had
+a private version of that question for checkpoints —
+:func:`repro.runtime.runner.task_fingerprint` hashes the *pickled* shard
+task — but pickle bytes are an implementation detail: they shift across
+refactors and cannot be recomputed from a wire document.  This module
+promotes the idea to a public, release-stable contract on *specs*:
+
+``fingerprint(spec, seed=...)`` is the SHA-256 of the spec's canonical
+document — the execution-stripped spec rendered through the reversible
+tagged-JSON codec (:mod:`repro.api.serialize`) with sorted keys and
+compact separators, prefixed by the session root seed.  Two properties
+follow by construction:
+
+* **Execution-stripped.**  ``Execution`` options (workers, wave size,
+  stopping, checkpoint paths) are scheduling, not workload: every
+  ``execution`` field — including those nested inside swept or wrapped
+  specs — is replaced by ``None`` before hashing, so a 1-worker and a
+  32-worker submission of the same analysis share one fingerprint.
+  (For sample-sharded specs the *shard partition* is stream-affecting;
+  result stores must therefore pin one canonical execution policy for
+  what they compute under a key — see ``repro.service``.)
+* **Seed-inclusive.**  The spec's own ``seed_offset`` rides in the
+  document, and the caller's session root seed is folded into the hash,
+  so runs that would draw different streams can never collide.
+
+The canonical document is data, not pickle: it contains only tagged
+JSON (dataclass field values, importable callable names), so the golden
+fingerprints pinned in ``tests/test_fingerprint.py`` are stable across
+python versions and releases — which is exactly what lets a service
+store survive redeploys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Optional
+
+from repro.api.serialize import encode
+
+__all__ = ["strip_execution", "canonical_document", "fingerprint"]
+
+
+def strip_execution(obj: Any) -> Any:
+    """*obj* with every nested ``execution`` field replaced by ``None``.
+
+    Recurses through frozen dataclasses and tuples (the only containers
+    specs are built from), rebuilding via :func:`dataclasses.replace` so
+    each level's ``__post_init__`` re-validates.  Objects without
+    execution fields come back unchanged (identical, not copied).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        changes = {}
+        for f in dataclasses.fields(obj):
+            if not f.init:
+                continue
+            value = getattr(obj, f.name)
+            if f.name == "execution":
+                if value is not None:
+                    changes[f.name] = None
+                continue
+            stripped = strip_execution(value)
+            if stripped is not value:
+                changes[f.name] = stripped
+        return dataclasses.replace(obj, **changes) if changes else obj
+    if isinstance(obj, tuple):
+        stripped = tuple(strip_execution(v) for v in obj)
+        if any(a is not b for a, b in zip(stripped, obj)):
+            return stripped
+        return obj
+    return obj
+
+
+def canonical_document(spec: Any) -> str:
+    """The canonical JSON text ``fingerprint`` hashes (for inspection).
+
+    Execution-stripped, codec-tagged, sorted keys, compact separators —
+    byte-stable for a given spec.  Raises ``TypeError`` for specs the
+    codec cannot express (closure callables); such specs have no stable
+    content address and cannot cross the service wire either.
+    """
+    return json.dumps(
+        encode(strip_execution(spec)),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def fingerprint(spec: Any, seed: Optional[int] = None) -> str:
+    """SHA-256 content address of *spec* (64 hex chars).
+
+    *seed* is the session root seed the spec would run under; passing it
+    keys the hash by the full stream basis (``None`` addresses the spec
+    alone, e.g. for comparing submissions before a session exists).
+    The result is the store key and job id of :mod:`repro.service`.
+    """
+    prefix = "" if seed is None else str(int(seed))
+    document = canonical_document(spec)
+    return hashlib.sha256(f"{prefix}|{document}".encode()).hexdigest()

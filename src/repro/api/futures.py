@@ -31,7 +31,7 @@ from typing import Any, Dict, Optional
 
 from repro.runtime.runner import CANCELLED, RunObserver
 
-__all__ = ["Progress", "RunCancelled", "RunHandle"]
+__all__ = ["Progress", "RunCancelled", "RunHandle", "RunSnapshot"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,23 @@ class Progress:
         if self.total is None or self.total == 0:
             return None
         return self.completed / self.total
+
+
+@dataclass(frozen=True)
+class RunSnapshot:
+    """One atomic (progress, partial) pair from :meth:`RunHandle.snapshot`.
+
+    Both fields were published together at the same wave boundary, so a
+    cross-thread poller — the analysis service's status endpoints — can
+    rely on them describing the *same* accumulated state: when a sweep
+    reports ``progress.completed == k``, ``partial["points"]`` holds
+    exactly the first *k* point envelopes, never a half-merged wave.
+    """
+
+    progress: Progress
+    #: Accumulator snapshot at the same boundary (None before the first
+    #: wave and for monolithic unsharded runs).
+    partial: Optional[Dict[str, Any]]
 
 
 class RunCancelled(RuntimeError):
@@ -143,6 +160,12 @@ class RunHandle(RunObserver):
     # Observer protocol (called on the driver thread).
     # ------------------------------------------------------------------
     def on_progress(self, done, total, accumulator=None, unit="shards"):
+        # Freeze the accumulator into plain copied containers *before*
+        # publication: the runner only calls between waves (the driver
+        # thread is the sole mutator), so the snapshot is internally
+        # consistent, and publishing it together with the matching
+        # Progress under one lock is what makes snapshot() atomic for
+        # cross-thread pollers.
         snapshot = _accumulator_snapshot(accumulator)
         with self._lock:
             self._progress = Progress(completed=int(done), total=int(total),
@@ -163,17 +186,19 @@ class RunHandle(RunObserver):
     def running(self) -> bool:
         return self._thread.is_alive()
 
+    @staticmethod
+    def _finished(progress: Progress, done: bool) -> Progress:
+        """A Progress normalized for a finished run (done flag, 1/1)."""
+        if not done:
+            return progress
+        if progress.total is None:
+            return Progress(completed=1, total=1, unit="runs", done=True)
+        return Progress(completed=progress.completed, total=progress.total,
+                        unit=progress.unit, done=True)
+
     def progress(self) -> Progress:
         """Latest completion snapshot (monolithic runs report 0 -> 1)."""
-        done = self.done()
-        with self._lock:
-            progress = self._progress
-        if progress.total is None and done:
-            return Progress(completed=1, total=1, unit="runs", done=True)
-        if done:
-            return Progress(completed=progress.completed, total=progress.total,
-                            unit=progress.unit, done=True)
-        return progress
+        return self.snapshot().progress
 
     def partial(self) -> Optional[Dict[str, Any]]:
         """Snapshot of the streamed accumulator state so far.
@@ -184,8 +209,24 @@ class RunHandle(RunObserver):
         statistical runs expose streamed ``"means"``/``"sigmas"`` and
         the raw accumulator ``"state"``.
         """
+        return self.snapshot().partial
+
+    def snapshot(self) -> RunSnapshot:
+        """Atomic (progress, partial) pair from one wave boundary.
+
+        The two fields are read under one lock acquisition, and the
+        driver publishes them together after each merged wave — so a
+        poller on another thread (the analysis service) always sees a
+        progress count and an accumulator state from the *same*
+        boundary, never a half-merged combination.  Prefer this over
+        separate ``progress()``/``partial()`` calls whenever the two
+        values are used together.
+        """
+        done = self.done()
         with self._lock:
-            return self._partial
+            progress, partial = self._progress, self._partial
+        return RunSnapshot(progress=self._finished(progress, done),
+                           partial=partial)
 
     def cancel(self) -> bool:
         """Ask the run to stop at its next wave/point boundary.

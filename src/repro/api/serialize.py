@@ -59,12 +59,17 @@ def _resolve(spec: str):
 
 def encode(obj: Any) -> Any:
     """Recursively convert *obj* into tagged, JSON-serializable types."""
+    if isinstance(obj, np.generic):
+        # Before the plain-scalar check: np.float64 *subclasses* float,
+        # and encode must canonicalize it to the builtin so the
+        # in-memory document equals its JSON round trip (the service's
+        # checkpoint fingerprints rely on decode(encode(x)) being the
+        # wire-canonical form).
+        return encode(obj.item())
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     if isinstance(obj, complex):
         return {"__complex__": [obj.real, obj.imag]}
-    if isinstance(obj, np.generic):
-        return encode(obj.item())
     if isinstance(obj, np.ndarray):
         data = (
             {"real": obj.real.tolist(), "imag": obj.imag.tolist()}

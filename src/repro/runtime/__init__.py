@@ -49,6 +49,7 @@ from repro.runtime.runner import (
     plan_for_execution,
     run_sharded,
     stop_rule_for_execution,
+    task_fingerprint,
 )
 from repro.runtime.sharding import (
     DEFAULT_SHARD_SIZE,
@@ -94,6 +95,7 @@ __all__ = [
     "ShardedRun",
     "CANCELLED",
     "run_sharded",
+    "task_fingerprint",
     "DEFAULT_WAVE_SIZE",
     "RunCheckpoint",
     "save_checkpoint",

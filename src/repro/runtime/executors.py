@@ -23,6 +23,7 @@ completion order and worker count.
 from __future__ import annotations
 
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -100,20 +101,36 @@ class ParallelExecutor(Executor):
                              "use SerialExecutor for serial runs")
         self.workers = int(workers)
         self._pool: Optional[ProcessPoolExecutor] = None
-        #: Why the last ``map_shards`` call degraded to serial (None if
-        #: it ran on the pool).  The runner copies this into the run's
-        #: :class:`~repro.runtime.runner.RuntimeInfo`.
-        self.degraded: Optional[str] = None
-        #: Picklability probe memo for the task of the current run
-        #: (``(task, degraded_reason)``); a task is fixed across a run's
-        #: waves, so probing — which serializes the whole task — must
-        #: not repeat per wave.
-        self._probed: Optional[Tuple[object, Optional[str]]] = None
+        #: Guards pool creation.  One executor instance is shared by
+        #: every concurrent ``Session.submit`` handle (and by the
+        #: analysis service's whole job pool), whose driver threads call
+        #: :meth:`map_shards` concurrently.
+        self._lock = threading.Lock()
+        #: Per-driver-thread state: the degradation flag (see
+        #: :attr:`degraded`) and the picklability probe memo
+        #: (``(task, degraded_reason)``).  Thread-local on both counts:
+        #: concurrent runs sharing this executor must not read each
+        #: other's reasons, and a run's task is fixed across its waves,
+        #: so per-thread memoization avoids re-serializing the whole
+        #: task every wave without racing other runs' probes.
+        self._local = threading.local()
+
+    @property
+    def degraded(self) -> Optional[str]:
+        """Why this thread's last ``map_shards`` call degraded to serial.
+
+        ``None`` when it ran on the pool.  Thread-local: the runner
+        reads it right after each wave on the run's own driver thread,
+        so concurrent runs sharing the executor each see only their own
+        task's degradation.
+        """
+        return getattr(self._local, "degraded", None)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
 
     def warm(self) -> None:
         """Start every worker process now (they otherwise spawn lazily)."""
@@ -122,17 +139,19 @@ class ParallelExecutor(Executor):
             future.result()
 
     def map_shards(self, task, shards: Sequence[Shard]) -> List[Tuple[int, object]]:
-        if self._probed is None or self._probed[0] is not task:
+        probed = getattr(self._local, "probed", None)
+        if probed is None or probed[0] is not task:
             try:
                 pickle.dumps(task)
-                self._probed = (task, None)
+                probed = (task, None)
             except Exception as exc:  # unpicklable -> identical serial run
-                self._probed = (
+                probed = (
                     task,
                     f"task not picklable ({type(exc).__name__}: {exc})",
                 )
-        self.degraded = self._probed[1]
-        if self.degraded is not None:
+            self._local.probed = probed
+        self._local.degraded = probed[1]
+        if probed[1] is not None:
             return SerialExecutor().map_shards(task, shards)
         pool = self._ensure_pool()
         # Round-robin chunks, one per worker: shards are homogeneous in

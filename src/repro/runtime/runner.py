@@ -19,6 +19,7 @@ on shard completion order — which is exactly what
 from __future__ import annotations
 
 import hashlib
+import io
 import pickle
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
@@ -41,6 +42,7 @@ __all__ = [
     "RuntimeInfo",
     "ShardedRun",
     "run_sharded",
+    "task_fingerprint",
     "DEFAULT_WAVE_SIZE",
     "CANCELLED",
     "plan_for_execution",
@@ -196,7 +198,7 @@ def run_sharded(
     degraded: Optional[str] = None
 
     if checkpoint_path is not None:
-        label = task_label if task_label is not None else _task_fingerprint(task)
+        label = task_label if task_label is not None else task_fingerprint(task)
         if label is None:
             raise ValueError(
                 "checkpointing needs a picklable task (or an explicit "
@@ -300,7 +302,7 @@ def _build_info(plan, executor, done, n_run, stopped_early, stop_reason,
     )
 
 
-def _task_fingerprint(task) -> Optional[str]:
+def task_fingerprint(task) -> Optional[str]:
     """Content fingerprint of a task, for checkpoint workload identity.
 
     Hashing the pickled task captures *every* discriminating parameter —
@@ -310,12 +312,38 @@ def _task_fingerprint(task) -> Optional[str]:
     metrics): a type-name fallback would let same-type workloads with
     different parameters adopt each other's state, so checkpointing
     refuses such tasks instead.
+
+    This is the *task*-level identity (process-lifetime working state:
+    pickle bytes may shift across refactors, and the embedded technology
+    rightly discriminates).  Its release-stable spec-level sibling is
+    :func:`repro.api.fingerprint.fingerprint`, which hashes the
+    execution-stripped tagged-JSON canonical form — the key the analysis
+    service's content-addressed result store (and its co-located
+    checkpoint prefixes) are filed under.
     """
     try:
-        digest = hashlib.sha256(pickle.dumps(task)).hexdigest()[:16]
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, protocol=pickle.DEFAULT_PROTOCOL)
+        # Disable the pickle memo: with it, the byte stream encodes
+        # object-graph *sharing* (a sub-object referenced twice pickles
+        # as a memo backreference the second time), so two structurally
+        # equal tasks could hash differently — e.g. a live-submitted
+        # spec whose fields alias each other vs. the same spec replayed
+        # from the service journal, which rebuilds every object fresh.
+        # Checkpoint identity must be content-only, or a daemon restart
+        # silently loses resume-ability.  Tasks are acyclic by
+        # construction; a recursive one lands in the except below and
+        # checkpointing refuses it.
+        pickler.fast = True
+        pickler.dump(task)
+        digest = hashlib.sha256(buffer.getvalue()).hexdigest()[:16]
     except Exception:
         return None
     return f"{type(task).__name__}/{digest}"
+
+
+#: Backward-compatible private alias (pre-PR-7 name).
+_task_fingerprint = task_fingerprint
 
 
 def _checkpoint_file(prefix: str, plan: ShardPlan, wave_size: int,

@@ -1,0 +1,45 @@
+"""Analysis service: the Session API over HTTP, backed by a result store.
+
+``python -m repro serve`` starts a persistent daemon that accepts
+analysis specs as tagged-JSON documents, runs them through one shared
+:class:`repro.api.Session`, and files every completed envelope in a
+**content-addressed store**: the key is
+:func:`repro.api.fingerprint.fingerprint` — the SHA-256 of the
+execution-stripped canonical spec document plus the service's root seed.
+Content addressing is what turns the daemon from a job queue into a
+memoized function:
+
+* two identical submissions while the first is still running **dedupe
+  in flight** — the second simply attaches to the running job;
+* a submission whose fingerprint is already on disk is a **cache hit**
+  served straight from the store, bit-identical to what a local
+  ``Session`` run would produce;
+* checkpoints are co-located under the same fingerprint, so a killed
+  daemon **resumes** interrupted jobs from their last wave boundary on
+  restart — and still lands the same envelope.
+
+The layers, bottom up: :mod:`~repro.service.store` (the on-disk
+results/journal/checkpoint layout), :mod:`~repro.service.jobs` (the job
+registry: dedup, watcher threads, cancel, crash recovery),
+:mod:`~repro.service.server` (stdlib ``ThreadingHTTPServer`` routes +
+the wire-document validation), :mod:`~repro.service.client` (a
+``urllib``-only client mirroring the Session verbs).  No dependency
+beyond the standard library is involved at any layer.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobRegistry
+from repro.service.server import AnalysisServer, ServiceConfig, serve
+from repro.service.store import ResultStore, scrub_envelope
+
+__all__ = [
+    "AnalysisServer",
+    "Job",
+    "JobRegistry",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "scrub_envelope",
+    "serve",
+]

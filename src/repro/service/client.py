@@ -1,0 +1,126 @@
+"""``urllib``-only client for the analysis service.
+
+Mirrors the ``Session`` verbs over the wire::
+
+    client = ServiceClient("http://127.0.0.1:7373")
+    job = client.submit(Yield(metric=ParameterMetric("vt0"), ...))
+    while not client.status(job)["progress"]["done"]:
+        time.sleep(0.5)
+    result = client.result(job)          # a live Result envelope
+
+Specs go out through the tagged codec (:func:`repro.api.serialize.
+encode`) and envelopes come back through it, so the round trip ends in
+the same live objects a local ``session.run`` returns — numpy payloads
+bit-equal, frozen specs re-validated.  Service-side errors surface as
+:class:`ServiceError` carrying the structured ``{"error": {...}}``
+document, never as raw HTTP noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.api.serialize import decode, encode
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Structured service-side failure (HTTP status + error document)."""
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(f"[{status} {kind}] {message}")
+        self.status = status
+        self.kind = kind
+        self.message = message
+
+
+class ServiceClient:
+    """Thin HTTP wrapper; one instance per service URL."""
+
+    def __init__(self, url: str, timeout: float = 60.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                document = json.loads(exc.read())
+                error = document["error"]
+                raise ServiceError(exc.code, error["type"], error["message"])
+            except (ValueError, KeyError):
+                raise ServiceError(exc.code, "HTTPError", str(exc))
+
+    @staticmethod
+    def _job_id(job) -> str:
+        """Accept a fingerprint string or a ``submit`` response dict."""
+        return job["job"] if isinstance(job, dict) else str(job)
+
+    # ------------------------------------------------------------------
+    # Verbs.
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec) -> Dict[str, Any]:
+        """Submit a spec (live object or pre-encoded tagged document).
+
+        Returns the service's ``{"job": <fp>, "outcome": ...}`` reply;
+        pass it (or the bare fingerprint) to every other verb.
+        """
+        document = spec if isinstance(spec, dict) else encode(spec)
+        return self._request("POST", "/jobs", {"spec": document})
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/jobs")
+
+    def status(self, job) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{self._job_id(job)}")
+
+    def partial(self, job) -> Dict[str, Any]:
+        """Latest wave-boundary snapshot, decoded back to live objects."""
+        return decode(self._request("GET", f"/jobs/{self._job_id(job)}/partial"))
+
+    def cancel(self, job) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{self._job_id(job)}")
+
+    def result_document(self, job) -> Dict[str, Any]:
+        """The stored envelope as its raw tagged-JSON document."""
+        return self._request("GET", f"/jobs/{self._job_id(job)}/result")
+
+    def result(self, job, wait: bool = True, poll: float = 0.25,
+               timeout: Optional[float] = None):
+        """The completed envelope as a live ``Result``/``SweepResult``.
+
+        With ``wait=True`` (default) polls the job until it leaves the
+        running state; raises :class:`ServiceError` if it finished
+        without a stored result (failed/cancelled) or *timeout* elapses.
+        """
+        fp = self._job_id(job)
+        if wait:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while True:
+                state = self.status(fp)["state"]
+                if state != "running":
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ServiceError(0, "Timeout",
+                                       f"job {fp} still running after {timeout} s")
+                time.sleep(poll)
+        return decode(self.result_document(fp))

@@ -1,0 +1,323 @@
+"""HTTP front end: stdlib ``ThreadingHTTPServer`` over the job registry.
+
+Wire protocol (all bodies JSON):
+
+==========================  ============================================
+``POST /jobs``               ``{"spec": <tagged spec document>}`` →
+                             202 ``{"job": <fp>, "outcome": "started" |
+                             "attached"}`` (200 + ``"hit"`` when the
+                             store already holds the envelope).  The
+                             document is :func:`repro.api.serialize.
+                             encode` of an analysis spec.
+``GET /jobs``                job table summary
+``GET /jobs/<fp>``           poll one job's state/progress
+``GET /jobs/<fp>/partial``   wave-boundary accumulator snapshot (tagged
+                             JSON; after a cancel, the truncated
+                             envelope rides along as ``"envelope"``)
+``GET /jobs/<fp>/result``    the stored envelope, verbatim — the same
+                             bytes for every fetch (409 until done)
+``DELETE /jobs/<fp>``        cancel at the next wave boundary
+``GET /healthz``             liveness + store/job counters
+==========================  ============================================
+
+Errors are structured, never tracebacks: ``{"error": {"type": ...,
+"message": ...}}`` with 400 for malformed/disallowed documents, 404 for
+unknown fingerprints, 409 for not-ready results, 500 for genuine bugs.
+
+**Trust boundary.**  Decoding a tagged document imports the dataclass
+types and callables it names (:mod:`repro.api.serialize` is
+unpickle-like by design).  The service therefore validates every
+``__dataclass__``/``__callable__`` tag against a module-root allowlist
+— default ``("repro",)`` — *before* decoding, so a submission can only
+instantiate this package's own validated frozen specs, never
+``os:system``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.seeding import EXPERIMENT_SEED
+from repro.api.serialize import decode, encode
+from repro.api.session import Session
+from repro.service.jobs import JobError, JobRegistry, UnknownJob
+from repro.service.store import ResultStore
+
+__all__ = ["ServiceConfig", "AnalysisServer", "serve", "validate_document"]
+
+_IMPORT_TAGS = ("__dataclass__", "__callable__")
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon configuration (the ``python -m repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 7373
+    store: str = ".repro-store"
+    workers: int = 1
+    #: Root seed of the service session; part of every store key.
+    seed: int = EXPERIMENT_SEED
+    #: Module roots a submitted document may import types from.
+    allow_modules: Tuple[str, ...] = ("repro",)
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not self.allow_modules:
+            raise ValueError("allow_modules must not be empty")
+
+
+class BadRequest(ValueError):
+    """Client-side document problem (HTTP 400)."""
+
+
+def validate_document(document: Any, allow_modules: Tuple[str, ...]) -> None:
+    """Reject documents whose tags would import outside *allow_modules*.
+
+    Runs on the raw parsed JSON before :func:`~repro.api.serialize.
+    decode` touches it, walking every nesting level — a disallowed
+    import buried inside a sweep axis value is as rejected as a
+    top-level one.
+    """
+    if isinstance(document, dict):
+        for tag in _IMPORT_TAGS:
+            if tag in document:
+                name = document[tag]
+                module = str(name).partition(":")[0]
+                allowed = any(
+                    module == root or module.startswith(root + ".")
+                    for root in allow_modules
+                )
+                if not allowed:
+                    raise BadRequest(
+                        f"document imports {name!r}, outside the allowed "
+                        f"module roots {list(allow_modules)}"
+                    )
+        for value in document.values():
+            validate_document(value, allow_modules)
+    elif isinstance(document, list):
+        for value in document:
+            validate_document(value, allow_modules)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route dispatch; all real work happens in the registry."""
+
+    server_version = "repro-analysis-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> JobRegistry:
+        return self.server.registry
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        self._send_text(status, json.dumps(payload, sort_keys=True))
+
+    def _send_error_json(self, status: int, kind: str, message: str) -> None:
+        self._send_json(status, {"error": {"type": kind, "message": message}})
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BadRequest("request body must be a JSON document")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            self._route(method, parts)
+        except BadRequest as exc:
+            self._send_error_json(400, "BadRequest", str(exc))
+        except UnknownJob as exc:
+            self._send_error_json(404, "UnknownJob", str(exc))
+        except JobError as exc:
+            self._send_error_json(409, "JobNotReady", str(exc))
+        except (TypeError, ValueError, KeyError) as exc:
+            # Spec construction re-validates in __post_init__; a bad
+            # field value is the client's problem, reported structurally
+            # rather than as a 500 traceback.
+            self._send_error_json(400, type(exc).__name__, str(exc))
+        except Exception as exc:  # pragma: no cover - genuine bugs
+            self._send_error_json(500, type(exc).__name__, str(exc))
+
+    # ------------------------------------------------------------------
+    # Routes.
+    # ------------------------------------------------------------------
+    def _route(self, method: str, parts) -> None:
+        if parts == ["healthz"] and method == "GET":
+            return self._healthz()
+        if parts == ["jobs"]:
+            if method == "POST":
+                return self._submit()
+            if method == "GET":
+                return self._list_jobs()
+            return self._send_error_json(405, "MethodNotAllowed", method)
+        if len(parts) >= 2 and parts[0] == "jobs":
+            fp = parts[1]
+            if len(parts) == 2:
+                if method == "GET":
+                    return self._send_json(200, self.registry.status(fp))
+                if method == "DELETE":
+                    return self._cancel(fp)
+                return self._send_error_json(405, "MethodNotAllowed", method)
+            if len(parts) == 3 and method == "GET":
+                if parts[2] == "partial":
+                    return self._partial(fp)
+                if parts[2] == "result":
+                    return self._result(fp)
+        self._send_error_json(404, "NotFound", self.path)
+
+    def _healthz(self) -> None:
+        jobs = self.registry.jobs()
+        self._send_json(200, {
+            "ok": True,
+            "seed": self.registry.session.seed,
+            "workers": self.registry.session.workers,
+            "jobs": {
+                state: sum(1 for j in jobs if j.state == state)
+                for state in ("running", "done", "failed", "cancelled")
+            },
+            "store": self.registry.store.stats(),
+        })
+
+    def _submit(self) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict) or "spec" not in body:
+            raise BadRequest('body must be {"spec": <tagged spec document>}')
+        document = body["spec"]
+        validate_document(document, self.server.config.allow_modules)
+        try:
+            spec = decode(document)
+        except Exception as exc:
+            raise BadRequest(f"cannot decode spec document: {exc}")
+        try:
+            job, outcome = self.registry.submit(spec)
+        except JobError as exc:
+            raise BadRequest(str(exc))
+        self._send_json(200 if outcome == "hit" else 202, {
+            "job": job.fingerprint,
+            "outcome": outcome,
+            "state": job.state,
+            "url": f"/jobs/{job.fingerprint}",
+        })
+
+    def _list_jobs(self) -> None:
+        self._send_json(200, {
+            "jobs": [self.registry.status(j.fingerprint)
+                     for j in self.registry.jobs()],
+        })
+
+    def _partial(self, fp: str) -> None:
+        snapshot = self.registry.partial(fp)
+        # The snapshot holds live objects (Result envelopes, ndarrays);
+        # the tagged codec keeps them reversible on the client side.
+        self._send_json(200, encode(snapshot))
+
+    def _result(self, fp: str) -> None:
+        # Stream the stored text verbatim: every fetch of a fingerprint
+        # returns the same bytes, which is the store's whole point.
+        self._send_text(200, self.registry.result_text(fp))
+
+    def _cancel(self, fp: str) -> None:
+        cancelled = self.registry.cancel(fp)
+        self._send_json(200, {
+            "job": fp,
+            "cancelled": cancelled,
+            "state": self.registry.get(fp).state,
+        })
+
+    do_GET = lambda self: self._dispatch("GET")        # noqa: E731
+    do_POST = lambda self: self._dispatch("POST")      # noqa: E731
+    do_DELETE = lambda self: self._dispatch("DELETE")  # noqa: E731
+
+
+class AnalysisServer(ThreadingHTTPServer):
+    """The daemon: HTTP listener + registry + store, one object.
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`start` serves on
+    a background thread, :meth:`stop` shuts the listener and registry
+    down.  ``stop(abandon_running=True)`` leaves journal + checkpoints
+    on disk so the next daemon over the same store resumes the work.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, config: ServiceConfig, technology=None,
+                 verbose: bool = False):
+        self.config = config
+        self.verbose = verbose
+        store = ResultStore(config.store)
+        session = Session(
+            technology=technology,
+            seed=config.seed,
+            executor=config.workers,
+        )
+        self.registry = JobRegistry(store, session)
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((config.host, config.port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "AnalysisServer":
+        """Recover journaled jobs and serve on a background thread."""
+        self.registry.recover()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, abandon_running: bool = False,
+             timeout: Optional[float] = 30.0) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self.server_close()
+        self.registry.shutdown(abandon_running=abandon_running,
+                               timeout=timeout)
+
+
+def serve(config: ServiceConfig, technology=None) -> int:
+    """Blocking daemon entry point (``python -m repro serve``)."""
+    server = AnalysisServer(config, technology=technology, verbose=True)
+    resumed = server.registry.recover()
+    print(f"repro analysis service on {server.url}")
+    print(f"store: {server.registry.store.root} "
+          f"({server.registry.store.stats()})")
+    if resumed:
+        print(f"resuming {len(resumed)} interrupted job(s): "
+              + ", ".join(fp[:12] for fp in resumed))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (abandoning running jobs for resume)...")
+        server.server_close()
+        server.registry.shutdown(abandon_running=True)
+    return 0

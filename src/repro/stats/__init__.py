@@ -1,5 +1,12 @@
 """Statistical machinery: Pelgrom scaling, sensitivities, BPV extraction, Monte Carlo."""
 
+from repro.stats.importance import FailureEstimate, ParameterMetric
 from repro.stats.pelgrom import PelgromAlphas, pelgrom_sigmas, scaling_vector
 
-__all__ = ["PelgromAlphas", "pelgrom_sigmas", "scaling_vector"]
+__all__ = [
+    "PelgromAlphas",
+    "pelgrom_sigmas",
+    "scaling_vector",
+    "FailureEstimate",
+    "ParameterMetric",
+]

@@ -27,6 +27,26 @@ from repro.stats.pelgrom import PARAMETER_ORDER
 
 
 @dataclass(frozen=True)
+class ParameterMetric:
+    """Metric that reads one statistical parameter off the sampled card.
+
+    ``ParameterMetric("vt0")(params)`` returns ``params.vt0`` as an
+    array.  Trivial on purpose: it is the cheapest metric a Yield or
+    ImportanceSampling spec can carry, and — being a plain frozen
+    dataclass of one string — it is picklable for process pools *and*
+    expressible in the tagged-JSON codec, so specs built on it can cross
+    the analysis-service wire and be content-addressed
+    (:func:`repro.api.fingerprint.fingerprint`).  Closures and lambdas
+    can do the same job locally but have neither property.
+    """
+
+    name: str
+
+    def __call__(self, params: VSParams) -> np.ndarray:
+        return np.asarray(getattr(params, self.name))
+
+
+@dataclass(frozen=True)
 class FailureEstimate:
     """Importance-sampled failure probability."""
 
