@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import hashlib
 import io
+import os
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
 from repro.runtime.checkpoint import (
@@ -205,8 +206,13 @@ def run_sharded(
                 "task_label): the workload fingerprint is what keeps "
                 "same-plan runs from adopting each other's state"
             )
+        checkpoint_prefix = checkpoint_path
         checkpoint_path = _checkpoint_file(checkpoint_path, plan, waves, label)
         restored = load_checkpoint(checkpoint_path)
+        if restored is None and task_label is None:
+            restored = _restore_legacy_checkpoint(
+                checkpoint_prefix, plan, waves, task, label
+            )
         if restored is not None:
             if not restored.matches(plan.n_samples, plan.shard_size,
                                     plan.base_seed, label,
@@ -321,29 +327,79 @@ def task_fingerprint(task) -> Optional[str]:
     service's content-addressed result store (and its co-located
     checkpoint prefixes) are filed under.
     """
+    # The memo is disabled: with it, the byte stream encodes
+    # object-graph *sharing* (a sub-object referenced twice pickles as a
+    # memo backreference the second time), so two structurally equal
+    # tasks could hash differently — e.g. a live-submitted spec whose
+    # fields alias each other vs. the same spec replayed from the
+    # service journal, which rebuilds every object fresh.  Checkpoint
+    # identity must be content-only, or a daemon restart silently loses
+    # resume-ability.  Tasks are acyclic by construction; a recursive
+    # one fails to pickle and checkpointing refuses it.
+    digest = _pickle_digest(task, memo=False)
+    return None if digest is None else f"{type(task).__name__}/{digest}"
+
+
+def _legacy_task_fingerprint(task) -> Optional[str]:
+    """The pre-memo-disabling fingerprint, for checkpoint migration.
+
+    Turning the memo off changed every digest, so checkpoints written
+    by earlier releases live under filenames the new fingerprint never
+    derives.  Resume probes this legacy identity once, when no current-
+    format checkpoint exists, and adopts the state instead of silently
+    starting the run over (see :func:`_restore_legacy_checkpoint`).
+    """
+    digest = _pickle_digest(task, memo=True)
+    return None if digest is None else f"{type(task).__name__}/{digest}"
+
+
+def _pickle_digest(task, memo: bool) -> Optional[str]:
     try:
         buffer = io.BytesIO()
         pickler = pickle.Pickler(buffer, protocol=pickle.DEFAULT_PROTOCOL)
-        # Disable the pickle memo: with it, the byte stream encodes
-        # object-graph *sharing* (a sub-object referenced twice pickles
-        # as a memo backreference the second time), so two structurally
-        # equal tasks could hash differently — e.g. a live-submitted
-        # spec whose fields alias each other vs. the same spec replayed
-        # from the service journal, which rebuilds every object fresh.
-        # Checkpoint identity must be content-only, or a daemon restart
-        # silently loses resume-ability.  Tasks are acyclic by
-        # construction; a recursive one lands in the except below and
-        # checkpointing refuses it.
-        pickler.fast = True
+        pickler.fast = not memo
         pickler.dump(task)
-        digest = hashlib.sha256(buffer.getvalue()).hexdigest()[:16]
     except Exception:
         return None
-    return f"{type(task).__name__}/{digest}"
+    return hashlib.sha256(buffer.getvalue()).hexdigest()[:16]
 
 
 #: Backward-compatible private alias (pre-PR-7 name).
 _task_fingerprint = task_fingerprint
+
+
+def _restore_legacy_checkpoint(prefix: str, plan: ShardPlan, wave_size: int,
+                               task, label: str) -> Optional[RunCheckpoint]:
+    """Adopt a pre-memo-disabling checkpoint under the new identity.
+
+    Called only when no current-format checkpoint exists for *label*.
+    Probes the filename the legacy (memo-enabled) fingerprint would
+    have derived; if a valid checkpoint lives there, the legacy file is
+    deleted — the next wave's save lands under the new name, so the old
+    file never lingers as an orphan — and the state is returned stamped
+    with the new *label* so the caller's match check treats it as its
+    own.  Returns ``None`` when there is nothing to migrate (including
+    tasks whose pickle has no internal sharing: both fingerprints then
+    agree and the current-format probe already covered the filename).
+    """
+    legacy_label = _legacy_task_fingerprint(task)
+    if legacy_label is None or legacy_label == label:
+        return None
+    legacy_path = _checkpoint_file(prefix, plan, wave_size, legacy_label)
+    try:
+        restored = load_checkpoint(legacy_path)
+    except Exception:
+        return None
+    if restored is None or not restored.matches(
+        plan.n_samples, plan.shard_size, plan.base_seed, legacy_label,
+        plan.spawn_prefix,
+    ):
+        return None
+    try:
+        os.unlink(legacy_path)
+    except OSError:
+        pass
+    return replace(restored, task=label)
 
 
 def _checkpoint_file(prefix: str, plan: ShardPlan, wave_size: int,

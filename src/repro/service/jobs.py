@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.fingerprint import fingerprint, strip_execution
@@ -219,14 +220,28 @@ class JobRegistry:
                 # the journal would make every restart re-fail the job.
                 self.store.clear_journal(job.fingerprint)
         else:
-            # Store the envelope under the *canonical* spec: the stored
-            # document must not leak the service's scheduling choices
-            # (worker count, checkpoint paths), and must compare equal
-            # to a local run of the same canonical spec.
-            stored = dataclasses.replace(envelope, spec=job.spec)
-            self.store.put(job.fingerprint, stored)
-            with self._lock:
-                job.state = "done"
+            try:
+                # Store the envelope under the *canonical* spec: the
+                # stored document must not leak the service's scheduling
+                # choices (worker count, checkpoint paths), and must
+                # compare equal to a local run of the same canonical spec.
+                stored = dataclasses.replace(envelope, spec=job.spec)
+                self.store.put(job.fingerprint, stored)
+            except BaseException as exc:
+                # Storing can fail after a successful run (disk full,
+                # encode bug).  File the job as failed — a job must never
+                # sit in "running" with a dead watcher — and leave the
+                # journal in place: the work is checkpointed, so a
+                # restarted daemon replays it nearly for free and retries
+                # the store.
+                with self._lock:
+                    job.state = "failed"
+                    job.error = (
+                        f"storing result failed: {type(exc).__name__}: {exc}"
+                    )
+            else:
+                with self._lock:
+                    job.state = "done"
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -337,8 +352,29 @@ class JobRegistry:
             if self.store.has(fp):
                 self.store.clear_journal(fp)
                 continue
+            seed = document.get("seed")
+            if seed is not None and seed != self.session.seed:
+                # Journaled by a daemon rooted at a different seed: its
+                # store key and checkpoints belong to that seed, not
+                # ours.  Replaying would silently rerun the work under a
+                # new fingerprint (orphaning the old checkpoints) while
+                # this entry lingered to be replayed on every restart.
+                warnings.warn(
+                    f"dropping journaled job {fp[:12]}: it was submitted "
+                    f"under seed {seed}, this daemon runs seed "
+                    f"{self.session.seed}",
+                    RuntimeWarning, stacklevel=2,
+                )
+                self.store.clear_journal(fp)
+                continue
             spec = decode(document["spec"])
-            _, outcome = self.submit(spec)
+            job, outcome = self.submit(spec)
+            if job.fingerprint != fp:
+                # Defensive: the fingerprint algorithm moved between
+                # daemon versions.  submit() journaled under the new
+                # key; clear the stale entry so it is not replayed again
+                # on every subsequent restart.
+                self.store.clear_journal(fp)
             if outcome == "started":
                 resumed.append(fp)
         return resumed

@@ -27,10 +27,15 @@ unknown fingerprints, 409 for not-ready results, 500 for genuine bugs.
 **Trust boundary.**  Decoding a tagged document imports the dataclass
 types and callables it names (:mod:`repro.api.serialize` is
 unpickle-like by design).  The service therefore validates every
-``__dataclass__``/``__callable__`` tag against a module-root allowlist
-— default ``("repro",)`` — *before* decoding, so a submission can only
-instantiate this package's own validated frozen specs, never
-``os:system``.
+``__dataclass__``/``__callable__`` tag *before* decoding: the module
+prefix must sit under an allowlisted root (default ``("repro",)``),
+the qualname must be a single top-level name (a dotted qualname
+getattr-walks from the module object and would reach modules an
+allowed module merely imports — ``repro.x:os.system``), and the name
+must resolve to an object actually *defined* under an allowed root
+(a real dataclass type, for ``__dataclass__`` tags).  A submission can
+therefore only instantiate this package's own validated frozen specs,
+never ``os:system`` — however it is spelled.
 """
 
 from __future__ import annotations
@@ -42,7 +47,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api.seeding import EXPERIMENT_SEED
-from repro.api.serialize import decode, encode
+from repro.api.serialize import _resolve, decode, encode
 from repro.api.session import Session
 from repro.service.jobs import JobError, JobRegistry, UnknownJob
 from repro.service.store import ResultStore
@@ -76,28 +81,66 @@ class BadRequest(ValueError):
     """Client-side document problem (HTTP 400)."""
 
 
+def _under_allowed_root(module: str, allow_modules: Tuple[str, ...]) -> bool:
+    return any(
+        module == root or module.startswith(root + ".")
+        for root in allow_modules
+    )
+
+
+def _validate_tag(tag: str, name: str, allow_modules: Tuple[str, ...]) -> None:
+    """One ``module:qualname`` tag value's full admission check."""
+    module, _, qualname = name.partition(":")
+    if not _under_allowed_root(module, allow_modules):
+        raise BadRequest(
+            f"document imports {name!r}, outside the allowed "
+            f"module roots {list(allow_modules)}"
+        )
+    if not qualname or "." in qualname:
+        # encode() only ever emits top-level qualnames.  A dotted one
+        # getattr-walks from the module object, which reaches modules an
+        # allowed module merely *imports* — "repro.x:os.system" would
+        # pass the prefix check above and resolve to os.system.
+        raise BadRequest(
+            f"document tag {name!r} is not a top-level name in its module"
+        )
+    try:
+        obj = _resolve(name)
+    except Exception as exc:
+        raise BadRequest(f"cannot resolve document tag {name!r}: {exc}")
+    defined_in = getattr(obj, "__module__", None)
+    if not isinstance(defined_in, str) or not _under_allowed_root(
+        defined_in, allow_modules
+    ):
+        # Catches objects re-exported into an allowed module from
+        # elsewhere (stdlib modules/functions imported at its top level).
+        raise BadRequest(
+            f"document tag {name!r} resolves to an object defined in "
+            f"{defined_in!r}, outside the allowed module roots "
+            f"{list(allow_modules)}"
+        )
+    if tag == "__dataclass__" and not (
+        isinstance(obj, type) and dataclasses.is_dataclass(obj)
+    ):
+        raise BadRequest(
+            f"document tag {name!r} does not name a dataclass type"
+        )
+
+
 def validate_document(document: Any, allow_modules: Tuple[str, ...]) -> None:
-    """Reject documents whose tags would import outside *allow_modules*.
+    """Reject documents whose tags would resolve outside *allow_modules*.
 
     Runs on the raw parsed JSON before :func:`~repro.api.serialize.
     decode` touches it, walking every nesting level — a disallowed
     import buried inside a sweep axis value is as rejected as a
-    top-level one.
+    top-level one.  Each tag must name an allowlisted module, carry an
+    undotted qualname, and resolve to an object defined under an
+    allowed root (see the module docstring's trust-boundary note).
     """
     if isinstance(document, dict):
         for tag in _IMPORT_TAGS:
             if tag in document:
-                name = document[tag]
-                module = str(name).partition(":")[0]
-                allowed = any(
-                    module == root or module.startswith(root + ".")
-                    for root in allow_modules
-                )
-                if not allowed:
-                    raise BadRequest(
-                        f"document imports {name!r}, outside the allowed "
-                        f"module roots {list(allow_modules)}"
-                    )
+                _validate_tag(tag, str(document[tag]), allow_modules)
         for value in document.values():
             validate_document(value, allow_modules)
     elif isinstance(document, list):

@@ -57,6 +57,41 @@ def _multicolumn_work(factory):
     return np.stack([vt0, 2.0 * vt0, 3.0 * vt0], axis=1)
 
 
+class _AliasedPayloadTask:
+    """Picklable task whose two fields alias one object.
+
+    With the pickle memo enabled the second reference serializes as a
+    backreference, so the memo-enabled and memo-free content digests
+    differ — the checkpoint-migration hazard the legacy-resume test
+    exercises.
+    """
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    def __call__(self, shard):
+        return float(shard.n_samples)
+
+
+class _CountAccumulator:
+    """Minimal checkpointable accumulator (state round-trip + count)."""
+
+    def __init__(self, n: int = 0):
+        self.n = n
+
+    def state(self):
+        return {"n": self.n}
+
+    @classmethod
+    def from_state(cls, state):
+        return cls(int(state["n"]))
+
+
+def _count_accumulate(accumulator, payload):
+    accumulator.n += int(payload)
+
+
 # ----------------------------------------------------------------------
 # Shard planning.
 # ----------------------------------------------------------------------
@@ -690,6 +725,57 @@ class TestCheckpoint:
                 execution=Execution(shard_size=100, wave_size=1,
                                     checkpoint=prefix),
             ))
+
+    def test_pre_pr7_memo_checkpoint_is_migrated_on_resume(self, tmp_path):
+        # Regression: disabling the pickle memo in task_fingerprint
+        # changed every digest, so checkpoints written by earlier
+        # releases live under filenames the new fingerprint never
+        # derives.  A resume must adopt (and retire) the legacy file
+        # instead of silently starting over and orphaning it.
+        import os
+
+        from repro.runtime import save_checkpoint
+        from repro.runtime.runner import (
+            _checkpoint_file,
+            _legacy_task_fingerprint,
+            task_fingerprint,
+        )
+
+        shared = ("aliased", 1.0)
+        task = _AliasedPayloadTask(shared, shared)
+        # The aliasing makes the memo-enabled (legacy) digest differ
+        # from the memo-free one — the exact upgrade hazard.
+        assert _legacy_task_fingerprint(task) != task_fingerprint(task)
+
+        prefix = str(tmp_path / "legacy.ckpt")
+        plan = plan_shards(40, 10, base_seed=7)
+        first = run_sharded(
+            task, plan, SerialExecutor(), accumulator=_CountAccumulator(),
+            accumulate=_count_accumulate, wave_size=1,
+            stop=StopRule(max_samples=20), checkpoint_path=prefix,
+        )
+        assert first.info.shards_run == 2
+        # Rewrite the on-disk state exactly as a pre-PR-7 release left
+        # it: same checkpoint, filed under the legacy label/filename.
+        (new_path,) = tmp_path.glob("legacy.ckpt.*.ckpt")
+        legacy_label = _legacy_task_fingerprint(task)
+        legacy_path = _checkpoint_file(prefix, plan, 1, legacy_label)
+        checkpoint = load_checkpoint(str(new_path))
+        from dataclasses import replace
+        save_checkpoint(legacy_path, replace(checkpoint, task=legacy_label))
+        os.unlink(new_path)
+
+        resumed = run_sharded(
+            task, plan, SerialExecutor(), accumulator=_CountAccumulator(),
+            accumulate=_count_accumulate, wave_size=1,
+            checkpoint_path=prefix,
+        )
+        assert resumed.info.resumed_shards == 2
+        assert resumed.accumulator.n == 40
+        # Migrated, not orphaned: the legacy file is gone and the
+        # completed run's state lives under the new filename.
+        assert not os.path.exists(legacy_path)
+        assert list(tmp_path.glob("legacy.ckpt.*.ckpt"))
 
     def test_checkpointing_refuses_unpicklable_tasks(self, session,
                                                      technology, tmp_path):

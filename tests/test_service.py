@@ -296,6 +296,49 @@ class TestJobRegistry:
         finally:
             second.shutdown(timeout=60.0)
 
+    def test_recover_drops_journal_from_other_seed(self, technology, store):
+        # Regression: a journal entry written by a daemon rooted at a
+        # different seed must not be replayed (the re-fingerprint under
+        # the new seed would silently rerun the work under a new store
+        # key) and must be cleared so it is not replayed again on every
+        # subsequent restart.
+        spec = _yield_spec(technology)
+        other_seed = SEED + 1
+        fp_other = fingerprint(spec, seed=other_seed)
+        store.journal(fp_other, {
+            "fingerprint": fp_other,
+            "seed": other_seed,
+            "spec": encode(spec),
+        })
+
+        registry = JobRegistry(store, Session(technology=technology,
+                                              seed=SEED, executor=1))
+        try:
+            with pytest.warns(RuntimeWarning, match="this daemon runs seed"):
+                resumed = registry.recover()
+            assert resumed == []
+            assert store.stats()["pending"] == 0
+            assert registry.jobs() == []
+        finally:
+            registry.shutdown(timeout=60.0)
+
+    def test_store_failure_fails_job_instead_of_hanging(self, registry,
+                                                        technology,
+                                                        monkeypatch):
+        # Regression: if persisting the envelope raises, the watcher
+        # must file the job as "failed" — not die and leave the job in
+        # "running" forever with pollers never seeing completion.
+        def boom(fingerprint, envelope):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(registry.store, "put", boom)
+        job, _ = registry.submit(_yield_spec(technology))
+        state = _wait_state(registry, job.fingerprint)
+        assert state == "failed"
+        assert "no space left" in registry.get(job.fingerprint).error
+        with pytest.raises(JobError, match="failed"):
+            registry.result_text(job.fingerprint)
+
 
 # ----------------------------------------------------------------------
 # Wire-document validation.
@@ -322,6 +365,42 @@ class TestValidateDocument:
         # "reprox" must not satisfy the "repro" root.
         with pytest.raises(BadRequest):
             validate_document({"__callable__": "reprox.evil:f"}, ("repro",))
+
+    def test_dotted_qualname_cannot_reach_reimported_modules(self):
+        # Regression (RCE): repro.service.store imports os at module
+        # level, so a dotted qualname under an allowed module prefix
+        # getattr-walks to os.system — decode() would then execute
+        # cls(**fields).  Both tag kinds must reject it before decode.
+        evil = "repro.service.store:os.system"
+        with pytest.raises(BadRequest, match="top-level"):
+            validate_document(
+                {"__dataclass__": evil, "fields": {"command": "true"}},
+                ("repro",),
+            )
+        with pytest.raises(BadRequest, match="top-level"):
+            validate_document({"__callable__": evil}, ("repro",))
+
+    def test_rejects_objects_reexported_into_allowed_modules(self):
+        # Even an undotted name must resolve to an object *defined*
+        # under an allowed root — repro.api.serialize's own top-level
+        # imports (json, np) are not admissible.
+        for name in ("repro.api.serialize:json", "repro.api.serialize:np"):
+            with pytest.raises(BadRequest, match="defined in"):
+                validate_document({"__callable__": name}, ("repro",))
+
+    def test_dataclass_tag_must_name_a_dataclass(self):
+        with pytest.raises(BadRequest, match="dataclass"):
+            validate_document(
+                {"__dataclass__": "repro.api.serialize:encode",
+                 "fields": {}}, ("repro",),
+            )
+
+    def test_rejects_unresolvable_tag(self):
+        with pytest.raises(BadRequest, match="cannot resolve"):
+            validate_document(
+                {"__callable__": "repro.api.serialize:no_such_name"},
+                ("repro",),
+            )
 
 
 # ----------------------------------------------------------------------
