@@ -1,0 +1,154 @@
+"""Observe a live analysis job: progress stream, timeline, `/metrics`.
+
+PR 8 gave the analysis service a scheduling-side observability surface.
+This example drives all of it against a live daemon:
+
+1. submit a ``Sweep(Yield)`` surface — one adaptive CE-IS yield
+   estimate per device width — and stream its per-wave progress while
+   it runs;
+2. fetch ``GET /jobs/<fp>/timeline`` and pretty-print the job's
+   lifecycle (submitted → started → done, with wall timestamps and the
+   run duration the daemon measured);
+3. scrape ``GET /metrics`` in both renderings: the JSON snapshot for a
+   quick digest, and the Prometheus text exposition a scraper would
+   pull.
+
+Telemetry is observation only — the envelope fetched here is
+bit-identical to one computed with every gauge and span disabled.
+
+By default the example hosts an in-process daemon on an ephemeral port
+(no setup needed); point ``--url`` at a running
+``python -m repro serve`` to drive a real one instead.
+
+Run:  python examples/trace_run.py
+"""
+
+import argparse
+import sys
+import time
+
+from repro.api import Sweep, Yield
+from repro.service import ServiceClient
+from repro.stats import ParameterMetric
+
+#: Widths of the yield surface, in nm.
+WIDTHS = tuple(float(w) for w in range(300, 1800, 300))
+
+
+def yield_surface(threshold: float) -> Sweep:
+    """Yield vs. device width: one adaptive CE-IS estimate per point."""
+    return Sweep(
+        Yield(
+            metric=ParameterMetric("vt0"), threshold=threshold,
+            shifts={"vt0": 3.0}, n_samples=60_000, n_rounds=1,
+            n_per_round=8192, block_size=8192, w_nm=600.0, l_nm=40.0,
+            fail_below=False,
+        ),
+        over={"w_nm": WIDTHS},
+    )
+
+
+def print_timeline(client: ServiceClient, job) -> None:
+    """Pretty-print one job's lifecycle events."""
+    timeline = client.timeline(job)
+    print(f"\njob {timeline['job'][:12]}… timeline "
+          f"({timeline['state']}, {timeline.get('duration_s', 0.0):.3f} s, "
+          f"{timeline['submissions']} submission(s)):")
+    t0 = timeline["events"][0]["t"] if timeline["events"] else 0.0
+    for entry in timeline["events"]:
+        extra = {key: value for key, value in entry.items()
+                 if key not in ("t", "event")}
+        detail = f"   {extra}" if extra else ""
+        print(f"  +{entry['t'] - t0:8.3f} s  {entry['event']:<16s}{detail}")
+
+
+def print_metrics_digest(client: ServiceClient) -> None:
+    """A terse human digest of the JSON metrics snapshot."""
+    snapshot = client.metrics()
+    print("\nmetrics digest (JSON rendering):")
+    for name in ("repro_service_requests_total",
+                 "repro_service_submissions_total",
+                 "repro_service_jobs",
+                 "repro_waves_total",
+                 "repro_samples_total"):
+        family = snapshot.get(name)
+        if family is None:
+            continue
+        for series in family["series"]:
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(series["labels"].items()))
+            suffix = f"{{{labels}}}" if labels else ""
+            print(f"  {name}{suffix} = {series.get('value')}")
+    latency = snapshot.get("repro_service_request_seconds")
+    if latency:
+        total_count = sum(s["count"] for s in latency["series"])
+        total_sum = sum(s["sum"] for s in latency["series"])
+        mean_ms = 1e3 * total_sum / total_count if total_count else 0.0
+        print(f"  repro_service_request_seconds: {total_count} requests, "
+              f"mean {mean_ms:.2f} ms")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="daemon base URL (default: host one in-process)",
+    )
+    args = parser.parse_args(argv)
+
+    server = None
+    if args.url is None:
+        from repro.service import AnalysisServer, ServiceConfig
+        import tempfile
+
+        store = tempfile.mkdtemp(prefix="repro-trace-example-")
+        server = AnalysisServer(
+            ServiceConfig(port=0, store=store, workers=1)
+        ).start()
+        print(f"hosting an in-process daemon at {server.url} "
+              f"(store: {store})\n")
+        url = server.url
+    else:
+        url = args.url
+    client = ServiceClient(url, timeout=120.0)
+
+    try:
+        health = client.health()
+        print(f"daemon healthy: seed={health['seed']}, "
+              f"workers={health['workers']}")
+
+        # --- submit and stream progress ------------------------------
+        job = client.submit(yield_surface(threshold=0.60))
+        print(f"submitted yield surface  job={job['job'][:12]}… "
+              f"outcome={job['outcome']}")
+        while True:
+            status = client.status(job)
+            progress = status["progress"]
+            print(f"  surface: {status['state']:8s} "
+                  f"{progress['completed'] or 0:3d}/"
+                  f"{progress['total'] or len(WIDTHS)} points")
+            if status["state"] != "running":
+                break
+            time.sleep(0.3)
+
+        result = client.result(job)
+        print(f"done: {len(result.points)} yield points "
+              f"(first p = {result.points[0].payload.probability:.3e})")
+
+        # --- the observability surface -------------------------------
+        print_timeline(client, job)
+        print_metrics_digest(client)
+
+        exposition = client.metrics(format="prometheus")
+        lines = exposition.strip().split("\n")
+        print(f"\nprometheus exposition: {len(lines)} lines, e.g.")
+        for line in lines[:4]:
+            print(f"  {line}")
+    finally:
+        if server is not None:
+            server.stop(timeout=60.0)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

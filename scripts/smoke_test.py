@@ -15,6 +15,11 @@ the two store contracts that make the service trustworthy:
    checkpoints (``runtime.resumed_shards > 0``) to an envelope that is
    still bit-identical to an uninterrupted local run.
 
+3. **Observability** — ``GET /metrics`` serves the request counters,
+   job-state gauges and latency histograms in both JSON and valid
+   Prometheus text exposition, and ``GET /jobs/<fp>/timeline`` yields a
+   job timing summary (printed below the checks).
+
 Run from the repository root::
 
     python scripts/smoke_test.py
@@ -23,6 +28,7 @@ Exit status 0 on success, 1 on any failed check.
 """
 
 import os
+import re
 import signal
 import socket
 import subprocess
@@ -83,6 +89,48 @@ def wait_healthy(client: ServiceClient, proc: subprocess.Popen,
     raise RuntimeError("daemon never became healthy")
 
 
+# One Prometheus exposition line: a HELP/TYPE comment or a sample.  The
+# label block is matched to the last brace — label values may contain
+# braces themselves (route="/jobs/{fp}").
+PROM_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? -?[0-9+.eE\-Inf]+)$"
+)
+
+
+def check_metrics(client: ServiceClient) -> None:
+    """``/metrics`` sanity in both renderings."""
+    snapshot = client.metrics()
+    check("metrics JSON has request counters",
+          "repro_service_requests_total" in snapshot)
+    check("metrics JSON has job-state gauges",
+          "repro_service_jobs" in snapshot)
+    check("metrics JSON has latency histograms",
+          snapshot.get("repro_service_request_seconds", {}).get("type")
+          == "histogram")
+    text = client.metrics(format="prometheus")
+    bad = [line for line in text.strip().split("\n")
+           if not PROM_LINE.match(line)]
+    check("prometheus exposition parses", text.endswith("\n") and not bad,
+          f"{len(bad)} bad line(s)" if bad else f"{len(text)} bytes")
+
+
+def print_job_timing(client: ServiceClient, job) -> None:
+    """Pretty-print one job's lifecycle timing from its timeline."""
+    timeline = client.timeline(job)
+    events = timeline["events"]
+    if not events:
+        print(f"[smoke] job {timeline['job'][:12]}: no timeline events")
+        return
+    t0 = events[0]["t"]
+    print(f"[smoke] job {timeline['job'][:12]} timing "
+          f"({timeline['state']}, {timeline.get('duration_s', 0.0):.3f} s):")
+    for entry in events:
+        extra = {k: v for k, v in entry.items() if k not in ("t", "event")}
+        detail = f"  {extra}" if extra else ""
+        print(f"[smoke]   +{entry['t'] - t0:8.3f}s {entry['event']}{detail}")
+
+
 def yield_spec(technology, n_samples: int) -> Yield:
     model = technology["nmos"].statistical
     threshold = (float(np.asarray(model.nominal.vt0))
@@ -130,6 +178,17 @@ def main() -> int:
               dumps(scrub_envelope(envelope)) == (
                   dumps(scrub_envelope(reference))),
               f"p={envelope.payload.probability:.3e}")
+
+        # --- observability: /metrics + job timeline -----------------
+        check_metrics(client)
+        timeline = client.timeline(first)
+        events = [e["event"] for e in timeline["events"]]
+        # The dedup re-submission above already appended a "hit" event,
+        # so "done" is inside the list, not necessarily last.
+        check("job timeline records the lifecycle",
+              events[:2] == ["submitted", "started"] and "done" in events,
+              "->".join(events))
+        print_job_timing(client, first)
 
         # --- 2. SIGKILL mid-job, restart, resume --------------------
         big = yield_spec(session.technology, n_samples=8_000_000)

@@ -12,9 +12,11 @@ Usage::
     python -m repro fig5 --backend generic   # force per-element MNA
     python -m repro fig9 --workers 4     # sharded multi-process Monte-Carlo
     python -m repro fig9 --workers 4 --shard-size 256   # explicit shards
+    python -m repro fig9 --trace out.trace.json  # Chrome-traceable run spans
     python -m repro charlib --workers 4  # parallel library characterization
     python -m repro serve --port 7373 --store ./store --workers 4
                                          # analysis service daemon (HTTP)
+    python -m repro serve --log-level debug   # JSON log lines on stderr
 
 Every experiment is a declarative entry in the :mod:`repro.api`
 registry and executes through one :class:`repro.api.Session`, which
@@ -57,12 +59,17 @@ def _serve_main(argv) -> int:
     parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
                         help="session root seed; folded into every store "
                              "key, so stores are seed-disjoint")
+    parser.add_argument("--log-level", default="info", dest="log_level",
+                        choices=("debug", "info", "warning", "error"),
+                        help="threshold of the structured JSON log on "
+                             "stderr (one line per HTTP request and per "
+                             "job state transition)")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
     return serve(ServiceConfig(
         host=args.host, port=args.port, store=args.store,
-        workers=args.workers, seed=args.seed,
+        workers=args.workers, seed=args.seed, log_level=args.log_level,
     ))
 
 
@@ -112,6 +119,15 @@ def main(argv=None) -> int:
         help="samples per shard when the parallel runtime is engaged "
              "(default: the runtime's fixed shard size)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a scheduling-side run trace and write it to PATH "
+             "after the experiments finish: '.jsonl' suffix writes one "
+             "span per line, anything else writes Chrome trace_event "
+             "JSON (load in chrome://tracing or Perfetto).  Tracing "
+             "never changes results — envelopes are bit-identical with "
+             "and without it",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
@@ -146,11 +162,17 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; try 'list'")
 
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     session = Session(
         **({} if args.seed is None else {"seed": args.seed}),
         backend=args.backend or "auto",
         executor=args.workers,
         shard_size=args.shard_size,
+        tracer=tracer,
     )
     try:
         for name in requested:
@@ -164,6 +186,10 @@ def main(argv=None) -> int:
                 print(f"[{name} done in {result.wall_time_s:.1f} s]\n")
     finally:
         session.close()
+        if tracer is not None:
+            tracer.write(args.trace)
+            print(f"[trace: {len(tracer.records)} spans -> {args.trace}]",
+                  file=sys.stderr)
     return 0
 
 

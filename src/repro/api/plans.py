@@ -20,11 +20,23 @@ per-circuit cache while keeping central accounting.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from typing import Optional
 
+from repro.obs import default_registry
+from repro.obs.trace import span
+
 __all__ = ["PlanCache"]
+
+_REGISTRY = default_registry()
+_HITS = _REGISTRY.counter(
+    "repro_plan_cache_hits_total", "Compiled-plan cache hits")
+_MISSES = _REGISTRY.counter(
+    "repro_plan_cache_misses_total", "Compiled-plan cache misses")
+_COMPILE_SECONDS = _REGISTRY.histogram(
+    "repro_plan_compile_seconds", "Circuit plan compilation latency")
 
 
 class _Entry:
@@ -78,16 +90,22 @@ class PlanCache:
                                         objects, shapes)
             ):
                 self.hits += 1
+                _HITS.inc()
                 self._entries.move_to_end(key)
                 return entry.plan
             self.misses += 1
+            _MISSES.inc()
 
         from repro.circuit.compiled import compile_circuit
 
         # Compile outside the lock (it can be the expensive part); two
         # threads racing the same circuit just compile twice, last one
         # wins — correctness is untouched, plans are pure.
-        plan = compile_circuit(circuit)
+        compile_start = time.perf_counter()
+        with span("plan.compile") as sp:
+            plan = compile_circuit(circuit)
+            sp.set(compiled=plan is not None)
+        _COMPILE_SECONDS.observe(time.perf_counter() - compile_start)
         with self._lock:
             # The weakref callback evicts the entry (plan + pinned
             # parameter arrays) as soon as the circuit itself is

@@ -22,6 +22,7 @@ per-point :class:`~repro.api.result.SweepResult`.
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import threading
 import time
@@ -87,6 +88,20 @@ class Session:
     shard_size:
         Session default shard size for runtime-routed runs (``None``
         defers to the runtime's fixed default).
+    tracer:
+        Optional :class:`repro.obs.Tracer` activated around every run
+        this session executes.  Scheduling-side only: results are
+        bit-identical with or without one (the determinism-matrix tests
+        pin this).  The tracer rides on the session, never on
+        ``Execution`` — execution options are stripped from spec
+        fingerprints, and telemetry must not alter workload identity.
+    metrics:
+        ``True`` to snapshot the process-local default
+        :class:`repro.obs.MetricsRegistry` into each envelope, or a
+        registry instance to snapshot instead.  With either *tracer* or
+        *metrics* enabled, runtime-routed results carry a
+        ``runtime.telemetry`` digest (span totals + metrics snapshot);
+        ``scrub_envelope`` strips it with the rest of ``runtime``.
     """
 
     def __init__(
@@ -97,6 +112,8 @@ class Session:
         plan_cache: Optional[PlanCache] = None,
         executor=None,
         shard_size: Optional[int] = None,
+        tracer=None,
+        metrics=None,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -133,6 +150,12 @@ class Session:
                 self._borrowed_workers.add(instance.workers)
             self._default_workers = instance.workers
         self.shard_size = shard_size
+        self.tracer = tracer
+        if metrics is True:
+            from repro.obs import default_registry
+
+            metrics = default_registry()
+        self.metrics = metrics or None
 
     # ------------------------------------------------------------------
     # Owned resources.
@@ -387,7 +410,57 @@ class Session:
         *observer* receives wave-boundary progress/cancel callbacks;
         *inherit_execution* gates session-default parallelism injection
         (pinned off inside sweep points).
+
+        When the session has a tracer or metrics enabled, the dispatch
+        is wrapped in a ``session.run`` span and the result's runtime
+        metadata gains a ``telemetry`` digest.  Activation happens here
+        — on whatever thread drives the run (``submit`` handles use a
+        background thread) — so span nesting is coherent per run.
         """
+        if self.tracer is None and self.metrics is None:
+            return self._execute_spec(spec, circuit, scope, observer,
+                                      inherit_execution)
+        from repro.obs.trace import activate, span
+
+        mark = self.tracer.mark() if self.tracer is not None else 0
+        with activate(self.tracer):
+            with span("session.run", spec=spec.kind,
+                      nested=scope is not None):
+                result = self._execute_spec(spec, circuit, scope, observer,
+                                            inherit_execution)
+        return self._attach_telemetry(result, mark)
+
+    def _attach_telemetry(self, result, mark: int):
+        """Merge the run's telemetry digest into ``result.runtime``.
+
+        Only runtime-routed envelopes (``runtime`` not ``None``) can
+        carry telemetry; legacy unsharded runs expose it through the
+        live :attr:`tracer`/:attr:`metrics` objects instead.  The digest
+        lives *inside* ``RuntimeInfo`` — never in ``meta`` — because
+        ``scrub_envelope`` nulls ``runtime`` wholesale, which is what
+        keeps telemetry-on and telemetry-off envelopes comparable.
+        """
+        telemetry: dict = {}
+        if self.tracer is not None:
+            telemetry["spans"] = self.tracer.summary(since=mark)
+        if self.metrics is not None:
+            telemetry["metrics"] = self.metrics.snapshot()
+        runtime = getattr(result, "runtime", None)
+        if not telemetry or runtime is None:
+            return result
+        return dataclasses.replace(
+            result,
+            runtime=dataclasses.replace(runtime, telemetry=telemetry),
+        )
+
+    def _execute_spec(
+        self,
+        spec: AnalysisSpec,
+        circuit=None,
+        scope: Optional[SeedScope] = None,
+        observer=None,
+        inherit_execution: bool = True,
+    ):
         if isinstance(spec, Sweep):
             if circuit is not None:
                 raise ValueError(f"{spec.kind} does not take a circuit")
@@ -798,7 +871,7 @@ class Session:
 
         Returns ``(values, RuntimeInfo-or-None)``.
         """
-        result = self._run_factory_map(FactoryMap(
+        result = self._execute(FactoryMap(
             work=work, n_samples=n_samples, model=model,
             seed_offset=seed_offset, execution=execution,
         ))
@@ -838,8 +911,17 @@ class Session:
             if default is not None:
                 kwargs["execution"] = default
 
+        from repro.obs.trace import activate, span as trace_span
+
         start = time.perf_counter()
-        payload = defn.func(session=self, **kwargs)
+        # Activate here as well as in _execute: experiments reach the
+        # engines through many session calls, and the span contexts of
+        # helpers invoked outside any spec run (direct circuit solves,
+        # characterization internals) should still land on the trace.
+        with activate(self.tracer):
+            with trace_span("experiment.run", experiment=defn.name,
+                            quick=quick):
+                payload = defn.func(session=self, **kwargs)
         elapsed = time.perf_counter() - start
 
         return Result(

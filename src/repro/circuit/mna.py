@@ -14,6 +14,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.trace import span as _trace_span
+
 #: Conductance tied from every node to ground for matrix conditioning [S].
 DEFAULT_GMIN = 1e-10
 
@@ -105,29 +107,41 @@ def newton_solve(
     """
     opts = options or NewtonOptions()
     v = np.array(v0, dtype=float)
-    converged, iters = _newton_inner(assemble, v, n_nodes, opts, opts.gmin)
-    if np.all(converged):
-        return (v, NewtonInfo(converged, iters)) if return_info else v
+    # Scheduling-side tracing only: the span observes the solve (batch
+    # size, iterations, convergence counts) and never alters it.
+    with _trace_span("newton.solve", batch=int(v[..., 0].size)) as sp:
+        converged, iters = _newton_inner(assemble, v, n_nodes, opts,
+                                         opts.gmin)
+        if np.all(converged):
+            sp.set(iterations=int(iters),
+                   converged=int(np.count_nonzero(converged)),
+                   gmin_ladder=False)
+            return (v, NewtonInfo(converged, iters)) if return_info else v
 
-    # gmin stepping for the samples the plain pass could not solve:
-    # heavily damped systems first, reusing each solution as the next
-    # initial guess.  Samples that already converged keep their plain
-    # Newton result and sit the ladder out — exactly what their
-    # standalone scalar solves would do — and every rung runs so the
-    # verdict comes from the final (lightest-damped) rung, never a
-    # damped rung's accuracy.
-    ladder = ~converged
-    v0 = np.broadcast_to(np.asarray(v0, dtype=float), v.shape)
-    n = v.shape[-1]
-    v.reshape(-1, n)[ladder.reshape(-1)] = v0.reshape(-1, n)[ladder.reshape(-1)]
-    ladder_converged = converged
-    for gmin in opts.gmin_steps:
-        ladder_converged, iters = _newton_inner(
-            assemble, v, n_nodes, opts, gmin, restrict=ladder
+        # gmin stepping for the samples the plain pass could not solve:
+        # heavily damped systems first, reusing each solution as the next
+        # initial guess.  Samples that already converged keep their plain
+        # Newton result and sit the ladder out — exactly what their
+        # standalone scalar solves would do — and every rung runs so the
+        # verdict comes from the final (lightest-damped) rung, never a
+        # damped rung's accuracy.
+        ladder = ~converged
+        v0 = np.broadcast_to(np.asarray(v0, dtype=float), v.shape)
+        n = v.shape[-1]
+        v.reshape(-1, n)[ladder.reshape(-1)] = (
+            v0.reshape(-1, n)[ladder.reshape(-1)]
         )
-    converged = converged | ladder_converged
-    if np.all(converged) or return_info:
-        return (v, NewtonInfo(converged, iters)) if return_info else v
+        ladder_converged = converged
+        for gmin in opts.gmin_steps:
+            ladder_converged, iters = _newton_inner(
+                assemble, v, n_nodes, opts, gmin, restrict=ladder
+            )
+        converged = converged | ladder_converged
+        sp.set(iterations=int(iters),
+               converged=int(np.count_nonzero(converged)),
+               gmin_ladder=True)
+        if np.all(converged) or return_info:
+            return (v, NewtonInfo(converged, iters)) if return_info else v
     raise ConvergenceError(
         f"Newton failed to converge (gmin stepping down to "
         f"gmin={opts.gmin_steps[-1]:g})"

@@ -1,0 +1,54 @@
+"""Scheduling-side telemetry: tracing, metrics, structured logs.
+
+The observability layer sits strictly on the *scheduling* side of the
+runtime — the same side as :class:`repro.runtime.RunObserver`.  Nothing
+in this package may influence seed streams, shard partitions, merge
+order, or stored envelopes: tracing-on and tracing-off runs are
+bit-identical by contract (pinned by the determinism matrix in
+``tests/test_observability.py``).
+
+Three pillars, all stdlib-only:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` producing nested spans
+  (``session.run`` → wave → shard → merge → checkpoint, Newton solves),
+  exportable as JSONL or Chrome ``trace_event`` JSON
+  (``chrome://tracing`` / https://ui.perfetto.dev).
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry`
+  of counters, gauges and fixed-bucket histograms, snapshot-able as
+  JSON and renderable as Prometheus text exposition.
+* :mod:`repro.obs.logging` — one-JSON-object-per-line structured logs
+  for the analysis daemon.
+
+This package imports nothing from the rest of :mod:`repro` (the
+runtime, the circuit engine and the service all import *it*), so it can
+be wired into any layer without cycles.
+"""
+
+from repro.obs.logging import JsonFormatter, configure_logging, get_logger, log_event
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.trace import Tracer, activate, current_tracer, event, span
+
+__all__ = [
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "span",
+    "event",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]

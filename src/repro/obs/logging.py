@@ -1,0 +1,91 @@
+"""Structured JSON logging for the analysis daemon.
+
+One JSON object per line on stderr: ``{"ts": ..., "level": ...,
+"logger": ..., "event": ..., <fields>}``.  The daemon logs one line per
+HTTP request (method, path, status, duration) and one per job state
+transition — greppable, and trivially shippable to any log pipeline.
+
+Helpers only; nothing here is daemon-specific.  :func:`configure_logging`
+is idempotent (re-running replaces the previously installed handler, so
+tests and repeated ``serve`` calls never stack duplicate lines), and the
+``repro`` logger tree does not propagate to the root logger — library
+users who never call it see no output at all.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger", "log_event"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as one sorted-key JSON object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ) + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            for key, value in fields.items():
+                document.setdefault(key, value)
+        if record.exc_info:
+            document["exc"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True, default=str)
+
+
+def configure_logging(level: str = "info",
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Install the JSON handler on the ``repro`` logger tree.
+
+    *level* is one of ``debug``/``info``/``warning``/``error``.
+    Replaces any handler a previous call installed (idempotent), and
+    stops propagation so lines are emitted exactly once.
+    """
+    if level not in _LEVELS:
+        raise ValueError(
+            f"log level must be one of {sorted(_LEVELS)}, got {level!r}"
+        )
+    root = logging.getLogger("repro")
+    root.setLevel(_LEVELS[level])
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    handler._repro_json = True
+    root.addHandler(handler)
+    return root
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger under the ``repro`` tree (inert until configured)."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, event: str,
+              level: int = logging.INFO, **fields) -> None:
+    """Log *event* with structured *fields* as one JSON line."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"event_fields": fields})

@@ -1,0 +1,292 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` maps ``(name, labels)`` series to metric
+instances.  Instrumented modules cache their handles at import time
+(``_WAVES = default_registry().counter("repro_waves_total", ...)``) so
+the hot path is a single float add under a small lock; label-varying
+series (HTTP request counters) go through the get-or-create lookup per
+observation, which is still just a dict probe.
+
+Two renderings:
+
+* :meth:`MetricsRegistry.snapshot` — a plain-JSON document (the
+  ``GET /metrics`` default, and what ``Session`` merges into
+  ``Result.runtime.telemetry``);
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  (``GET /metrics?format=prometheus``), stdlib-only: ``# HELP``/
+  ``# TYPE`` comments, cumulative ``_bucket{le=...}`` histogram series.
+
+Metrics are *scheduling-side only* like the rest of :mod:`repro.obs`:
+they observe runs, they never steer them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+]
+
+#: Default histogram buckets (seconds) — spans wave/solve/request times
+#: from sub-millisecond plan-cache hits to multi-minute full runs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down (job counts, ESS, pool size)."""
+
+    kind = "gauge"
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram (counts per bucket + running sum/count).
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the
+    tail.  Rendering is cumulative (Prometheus ``le`` semantics) in both
+    the JSON snapshot and the text exposition.
+    """
+
+    kind = "histogram"
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._lock = threading.Lock()
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)   # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``[(le-label, cumulative count), ...]`` ending at ``+Inf``."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        with self._lock:
+            counts = list(self.counts)
+        for bound, n in zip(self.buckets, counts):
+            running += n
+            out.append((_format_value(bound), running))
+        out.append(("+Inf", running + counts[-1]))
+        return out
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.counts = [0] * (len(self.buckets) + 1)
+            self.sum = 0.0
+            self.count = 0
+
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-friendly number rendering (ints without the .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _series_suffix(labels: _LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class MetricsRegistry:
+    """Name+label keyed collection of metrics, with dual rendering."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: name -> {"kind", "help", "series": {label_key: metric}}
+        self._families: Dict[str, Dict] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create.
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, help: str,
+             labels: Optional[Dict[str, str]], **kwargs):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = {
+                    "kind": cls.kind, "help": help, "series": {},
+                }
+            elif family["kind"] != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family['kind']}, "
+                    f"not a {cls.kind}"
+                )
+            if help and not family["help"]:
+                family["help"] = help
+            metric = family["series"].get(key)
+            if metric is None:
+                metric = family["series"][key] = cls(**kwargs)
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Optional[Dict[str, str]] = None,
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-JSON document: ``{name: {type, help, series: [...]}}``."""
+        out: Dict[str, Dict] = {}
+        with self._lock:
+            families = {
+                name: (f["kind"], f["help"], dict(f["series"]))
+                for name, f in self._families.items()
+            }
+        for name in sorted(families):
+            kind, help, series = families[name]
+            rendered = []
+            for key in sorted(series):
+                metric = series[key]
+                entry: Dict = {"labels": dict(key)}
+                if kind == "histogram":
+                    entry["count"] = metric.count
+                    entry["sum"] = metric.sum
+                    entry["buckets"] = {
+                        le: n for le, n in metric.cumulative()
+                    }
+                else:
+                    entry["value"] = metric.value
+                rendered.append(entry)
+            out[name] = {"type": kind, "help": help, "series": rendered}
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        snapshot_source: Dict[str, Tuple[str, str, Dict]] = {}
+        with self._lock:
+            for name, family in self._families.items():
+                snapshot_source[name] = (
+                    family["kind"], family["help"], dict(family["series"])
+                )
+        for name in sorted(snapshot_source):
+            kind, help, series = snapshot_source[name]
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+            for key in sorted(series):
+                metric = series[key]
+                if kind == "histogram":
+                    for le, cumulative in metric.cumulative():
+                        suffix = _series_suffix(key, f'le="{le}"')
+                        lines.append(f"{name}_bucket{suffix} {cumulative}")
+                    base = _series_suffix(key)
+                    lines.append(
+                        f"{name}_sum{base} {_format_value(metric.sum)}"
+                    )
+                    lines.append(f"{name}_count{base} {metric.count}")
+                else:
+                    suffix = _series_suffix(key)
+                    lines.append(
+                        f"{name}{suffix} {_format_value(metric.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def reset(self) -> None:
+        """Zero every metric *in place* (cached handles stay valid)."""
+        with self._lock:
+            for family in self._families.values():
+                for metric in family["series"].values():
+                    metric._reset()
+
+
+#: The process-local default registry every instrumented module writes
+#: to.  ``GET /metrics`` serves it; ``Session(metrics=True)`` snapshots
+#: it into ``Result.runtime.telemetry``.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT

@@ -1,0 +1,332 @@
+"""Run tracing: nested spans with JSONL and Chrome ``trace_event`` export.
+
+A :class:`Tracer` collects *span* records — named, timed regions with a
+parent/child relationship per thread — and instantaneous *events*.
+Instrumented code never holds a tracer reference; it calls the
+module-level :func:`span`/:func:`event` helpers, which resolve the
+currently :func:`activate`-d tracer (or no-op in a handful of
+nanoseconds when none is active).  That keeps the instrumentation
+always-on in the source while the default run pays nothing.
+
+Activation is a process-global stack rather than a context variable on
+purpose: a run crosses threads (``Session.submit`` drives the analysis
+on a background thread, the service watcher threads poll from others),
+and context variables do not propagate into ``threading.Thread`` bodies.
+Span *nesting*, by contrast, is tracked per thread inside the tracer, so
+concurrent driver threads interleave records without corrupting each
+other's ancestry.
+
+Worker processes never see the tracer (it does not cross the pickle
+boundary).  Per-shard attribution from pool workers is *synthesized* on
+the parent side by :meth:`Tracer.add_span` from the timing metadata the
+executor ships back with each chunk — scheduling-side data only, shipped
+separately from the shard payloads, so results stay bit-identical.
+
+Timestamps are seconds since the tracer's construction
+(``time.perf_counter`` based); :meth:`Tracer.to_chrome` converts to the
+microseconds Chrome's ``trace_event`` format expects.  Load the written
+file in ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Tracer", "Span", "activate", "current_tracer", "span", "event"]
+
+#: Process-global stack of active tracers (inner-most last).  Guarded by
+#: ``_ACTIVE_LOCK`` for mutation; reads are a single attribute load.
+_ACTIVE: List["Tracer"] = []
+_ACTIVE_LOCK = threading.Lock()
+
+
+def current_tracer() -> Optional["Tracer"]:
+    """The innermost active tracer, or ``None`` (the default run)."""
+    active = _ACTIVE
+    return active[-1] if active else None
+
+
+class _Activation:
+    """Context manager pushing a tracer onto the active stack."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: Optional["Tracer"]):
+        self.tracer = tracer
+
+    def __enter__(self) -> Optional["Tracer"]:
+        if self.tracer is not None:
+            with _ACTIVE_LOCK:
+                _ACTIVE.append(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc) -> bool:
+        if self.tracer is not None:
+            with _ACTIVE_LOCK:
+                for i in range(len(_ACTIVE) - 1, -1, -1):
+                    if _ACTIVE[i] is self.tracer:
+                        del _ACTIVE[i]
+                        break
+        return False
+
+
+def activate(tracer: Optional["Tracer"]) -> _Activation:
+    """Make *tracer* the current tracer for a ``with`` block.
+
+    ``activate(None)`` is a no-op context manager, so callers can write
+    ``with activate(self.tracer):`` unconditionally.  Activations nest;
+    deactivation removes this activation's tracer even if another thread
+    pushed one meanwhile.
+    """
+    return _Activation(tracer)
+
+
+class _NullSpan:
+    """Shared no-op span handle returned when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, /, **attrs):
+    """Open a span on the current tracer (no-op when none is active).
+
+    *name* is positional-only so attribute keys are unrestricted
+    (``span("experiment.run", name=...)`` attaches a ``name`` attr).
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, /, **attrs) -> None:
+    """Record an instantaneous event on the current tracer, if any."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+class Span:
+    """A live span handle: a timed region being recorded.
+
+    Use as a context manager; call :meth:`set` to attach attributes
+    discovered mid-region (iteration counts, byte sizes).  The record is
+    appended to the tracer on exit.
+    """
+
+    __slots__ = ("tracer", "name", "args", "span_id", "parent_id",
+                 "start", "tid")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def set(self, **attrs) -> "Span":
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = tracer._new_id()
+        stack.append(self.span_id)
+        self.tid = threading.get_ident()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        tracer = self.tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        tracer._append({
+            "ph": "X",
+            "name": self.name,
+            "start_s": self.start - tracer._epoch,
+            "dur_s": end - self.start,
+            "pid": tracer._pid,
+            "tid": self.tid,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "args": self.args,
+        })
+        return False
+
+
+class Tracer:
+    """Collects span/event records; thread-safe, append-only.
+
+    One tracer per traced run (or per process — they are cheap).  All
+    timestamps are relative to construction time, so a tracer shared by
+    several runs yields one coherent timeline.
+    """
+
+    def __init__(self):
+        self._epoch = time.perf_counter()
+        #: Wall-clock time of the epoch (for correlating with logs).
+        self.epoch_wall = time.time()
+        self._pid = os.getpid()
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_id(self) -> int:
+        with self._lock:
+            self._counter += 1
+            return self._counter
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def span(self, name: str, /, **attrs) -> Span:
+        """A nested span context manager (parent = enclosing span)."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, /, **attrs) -> None:
+        """Record an instantaneous event under the current span."""
+        stack = self._stack()
+        self._append({
+            "ph": "i",
+            "name": name,
+            "start_s": time.perf_counter() - self._epoch,
+            "dur_s": 0.0,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "id": self._new_id(),
+            "parent": stack[-1] if stack else None,
+            "args": attrs,
+        })
+
+    def add_span(self, name: str, start_s: float, dur_s: float, /,
+                 pid: Optional[int] = None, tid: int = 0,
+                 parent: Optional[int] = None, **attrs) -> None:
+        """Synthesize a complete span from externally measured timing.
+
+        Used for per-shard worker attribution: pool workers measure
+        their own shard durations (scheduling metadata shipped back
+        alongside — never inside — the payloads) and the executor lays
+        them onto the timeline here, stamped with the worker's *pid*.
+        *start_s* is in this tracer's clock (see :meth:`offset`).
+        """
+        self._append({
+            "ph": "X",
+            "name": name,
+            "start_s": start_s,
+            "dur_s": dur_s,
+            "pid": self._pid if pid is None else pid,
+            "tid": tid,
+            "id": self._new_id(),
+            "parent": parent,
+            "args": attrs,
+        })
+
+    def offset(self, perf_t: float) -> float:
+        """Convert a ``time.perf_counter`` reading to tracer time."""
+        return perf_t - self._epoch
+
+    # ------------------------------------------------------------------
+    # Introspection / export.
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """A snapshot copy of all records so far."""
+        with self._lock:
+            return list(self._records)
+
+    def mark(self) -> int:
+        """Current record count — pass to :meth:`summary` for deltas."""
+        with self._lock:
+            return len(self._records)
+
+    def summary(self, since: int = 0) -> Dict[str, Dict[str, float]]:
+        """Aggregate span totals by name: ``{name: {count, total_s}}``.
+
+        The per-run digest attached to ``Result.runtime.telemetry`` —
+        and the shape the sharded-overhead breakdown in
+        ``benchmarks/results/`` is computed from.
+        """
+        totals: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            records = self._records[since:]
+        for record in records:
+            if record["ph"] != "X":
+                continue
+            entry = totals.setdefault(
+                record["name"], {"count": 0, "total_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_s"] += record["dur_s"]
+        for entry in totals.values():
+            entry["total_s"] = round(entry["total_s"], 9)
+        return totals
+
+    def to_jsonl(self) -> str:
+        """One JSON object per record, newline-delimited."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True) for record in self.records
+        ) + "\n"
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` document (load in chrome://tracing)."""
+        trace_events = []
+        for record in self.records:
+            entry = {
+                "name": record["name"],
+                "cat": "repro",
+                "ph": record["ph"],
+                "ts": record["start_s"] * 1e6,
+                "pid": record["pid"],
+                "tid": record["tid"],
+                "args": record["args"],
+            }
+            if record["ph"] == "X":
+                entry["dur"] = record["dur_s"] * 1e6
+            else:
+                entry["s"] = "t"
+            trace_events.append(entry)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"epoch_wall": self.epoch_wall},
+        }
+
+    def write(self, path: str) -> None:
+        """Export to *path*: ``.jsonl`` → JSONL, anything else → Chrome."""
+        if path.endswith(".jsonl"):
+            text = self.to_jsonl()
+        else:
+            text = json.dumps(self.to_chrome())
+        with open(path, "w") as handle:
+            handle.write(text)

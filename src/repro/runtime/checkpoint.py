@@ -19,10 +19,24 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import default_registry
+from repro.obs.trace import span
+
 __all__ = ["RunCheckpoint", "save_checkpoint", "load_checkpoint"]
+
+_REGISTRY = default_registry()
+_WRITES = _REGISTRY.counter(
+    "repro_checkpoint_writes_total", "Checkpoint files written")
+_WRITE_BYTES = _REGISTRY.counter(
+    "repro_checkpoint_write_bytes_total", "Bytes written to checkpoints")
+_WRITE_SECONDS = _REGISTRY.histogram(
+    "repro_checkpoint_write_seconds", "Checkpoint write latency")
+_LOADS = _REGISTRY.counter(
+    "repro_checkpoint_loads_total", "Checkpoint files restored")
 
 #: Format marker (bump on incompatible layout changes).
 _MAGIC = "repro-runtime-checkpoint-v1"
@@ -66,23 +80,34 @@ def save_checkpoint(path: str, checkpoint: RunCheckpoint) -> None:
     """Atomically persist *checkpoint* to *path* (write + rename)."""
     directory = os.path.dirname(os.path.abspath(path)) or "."
     os.makedirs(directory, exist_ok=True)
-    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump({"magic": _MAGIC, "checkpoint": checkpoint}, handle)
-        os.replace(tmp_path, path)
-    except BaseException:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
-        raise
+    start = time.perf_counter()
+    with span("checkpoint.write", shards_done=checkpoint.shards_done) as sp:
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(
+                    {"magic": _MAGIC, "checkpoint": checkpoint}, handle
+                )
+            n_bytes = os.path.getsize(tmp_path)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        sp.set(bytes=n_bytes)
+    _WRITES.inc()
+    _WRITE_BYTES.inc(n_bytes)
+    _WRITE_SECONDS.observe(time.perf_counter() - start)
 
 
 def load_checkpoint(path: str) -> Optional[RunCheckpoint]:
     """Load a checkpoint, or None when *path* does not exist."""
     if not os.path.exists(path):
         return None
-    with open(path, "rb") as handle:
-        blob = pickle.load(handle)
+    with span("checkpoint.load"):
+        with open(path, "rb") as handle:
+            blob = pickle.load(handle)
     if not isinstance(blob, dict) or blob.get("magic") != _MAGIC:
         raise ValueError(f"{path} is not a runtime checkpoint")
+    _LOADS.inc()
     return blob["checkpoint"]

@@ -22,14 +22,30 @@ completion order and worker count.
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import default_registry
+from repro.obs.trace import current_tracer, span
 from repro.runtime.sharding import Shard
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "resolve_executor"]
+
+_REGISTRY = default_registry()
+_SHARDS = _REGISTRY.counter(
+    "repro_shards_executed_total", "Shard tasks executed",
+)
+_SHARD_SECONDS = _REGISTRY.histogram(
+    "repro_shard_seconds", "Per-shard task execution time",
+)
+_PICKLE_BYTES = _REGISTRY.counter(
+    "repro_task_pickle_bytes_total",
+    "Task bytes serialized across the process boundary",
+)
 
 
 def _run_shard(task: Callable, shard: Shard) -> Tuple[int, object]:
@@ -47,6 +63,27 @@ def _run_shard_chunk(
     process boundary: once per chunk instead of once per shard.
     """
     return [_run_shard(task, shard) for shard in chunk]
+
+
+def _run_shard_chunk_timed(
+    task: Callable, chunk: Sequence[Shard]
+) -> Tuple[List[Tuple[int, object]], dict]:
+    """:func:`_run_shard_chunk` plus per-shard timing attribution.
+
+    Used only when a tracer is active on the parent side.  The timing
+    dict rides back *next to* the payload list, never inside it — the
+    runner merges payloads exactly as in the untraced path, so results
+    are bit-identical with and without tracing.
+    """
+    results: List[Tuple[int, object]] = []
+    timings: List[Tuple[int, float, int]] = []
+    for shard in chunk:
+        start = time.perf_counter()
+        results.append(_run_shard(task, shard))
+        timings.append(
+            (shard.index, time.perf_counter() - start, shard.n_samples)
+        )
+    return results, {"pid": os.getpid(), "shards": timings}
 
 
 def _warmup() -> bool:
@@ -83,7 +120,15 @@ class SerialExecutor(Executor):
     kind = "serial"
 
     def map_shards(self, task, shards: Sequence[Shard]) -> List[Tuple[int, object]]:
-        return [_run_shard(task, shard) for shard in shards]
+        results = []
+        for shard in shards:
+            start = time.perf_counter()
+            with span("shard.execute", shard=shard.index,
+                      samples=shard.n_samples, executor=self.kind):
+                results.append(_run_shard(task, shard))
+            _SHARDS.inc()
+            _SHARD_SECONDS.observe(time.perf_counter() - start)
+        return results
 
 
 class ParallelExecutor(Executor):
@@ -141,14 +186,20 @@ class ParallelExecutor(Executor):
     def map_shards(self, task, shards: Sequence[Shard]) -> List[Tuple[int, object]]:
         probed = getattr(self._local, "probed", None)
         if probed is None or probed[0] is not task:
-            try:
-                pickle.dumps(task)
-                probed = (task, None)
-            except Exception as exc:  # unpicklable -> identical serial run
-                probed = (
-                    task,
-                    f"task not picklable ({type(exc).__name__}: {exc})",
-                )
+            # The probe is also where the pickle cost is measured: the
+            # byte count recorded here is exactly what each chunk
+            # submission re-serializes across the process boundary.
+            with span("executor.pickle") as sp:
+                try:
+                    task_bytes = len(pickle.dumps(task))
+                    probed = (task, None, task_bytes)
+                    sp.set(bytes=task_bytes)
+                except Exception as exc:  # unpicklable -> identical serial run
+                    probed = (
+                        task,
+                        f"task not picklable ({type(exc).__name__}: {exc})",
+                        0,
+                    )
             self._local.probed = probed
         self._local.degraded = probed[1]
         if probed[1] is not None:
@@ -159,12 +210,39 @@ class ParallelExecutor(Executor):
         # once per chunk instead of once per shard.
         n_chunks = min(self.workers, len(shards))
         chunks = [list(shards[i::n_chunks]) for i in range(n_chunks)]
-        futures = [
-            pool.submit(_run_shard_chunk, task, chunk) for chunk in chunks
-        ]
+        tracer = current_tracer()
+        with span("executor.submit", chunks=n_chunks, shards=len(shards),
+                  task_bytes=probed[2]):
+            worker = _run_shard_chunk_timed if tracer is not None \
+                else _run_shard_chunk
+            submitted = time.perf_counter()
+            futures = [
+                pool.submit(worker, task, chunk) for chunk in chunks
+            ]
+        _PICKLE_BYTES.inc(probed[2] * n_chunks)
         results: List[Tuple[int, object]] = []
         for future in futures:
-            results.extend(future.result())
+            outcome = future.result()
+            if tracer is None:
+                results.extend(outcome)
+                continue
+            pairs, timing = outcome
+            results.extend(pairs)
+            # Per-shard worker attribution, synthesized parent-side:
+            # shards of one chunk ran back to back from roughly the
+            # submit time, so laying their measured durations out
+            # consecutively gives a faithful per-worker lane in the
+            # Chrome view (stamped with the worker pid).
+            cursor = tracer.offset(submitted)
+            for index, duration, n_samples in timing["shards"]:
+                tracer.add_span(
+                    "shard.execute", cursor, duration,
+                    pid=timing["pid"], shard=index, samples=n_samples,
+                    executor=self.kind, worker_pid=timing["pid"],
+                )
+                cursor += duration
+                _SHARD_SECONDS.observe(duration)
+        _SHARDS.inc(len(shards))
         return results
 
     def close(self) -> None:

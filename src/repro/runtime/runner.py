@@ -22,9 +22,12 @@ import hashlib
 import io
 import os
 import pickle
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs import default_registry
+from repro.obs.trace import event, span
 from repro.runtime.checkpoint import (
     RunCheckpoint,
     load_checkpoint,
@@ -53,6 +56,17 @@ __all__ = [
 #: ``RuntimeInfo.stop_reason`` of a run halted by an observer's cancel
 #: request (distinct from adaptive-stopping reasons).
 CANCELLED = "cancelled"
+
+_REGISTRY = default_registry()
+_WAVES = _REGISTRY.counter("repro_waves_total", "Dispatch waves executed")
+_WAVE_SECONDS = _REGISTRY.histogram(
+    "repro_wave_seconds", "Wave dispatch+execution latency")
+_MERGE_SECONDS = _REGISTRY.histogram(
+    "repro_merge_seconds", "Accumulator merge latency per wave")
+_SAMPLES = _REGISTRY.counter(
+    "repro_samples_total", "Samples accumulated by sharded runs")
+_RESUMED = _REGISTRY.counter(
+    "repro_resumed_shards_total", "Shards restored from checkpoints")
 
 
 class RunObserver:
@@ -103,6 +117,12 @@ class RuntimeInfo:
     resumed_shards: int = 0
     #: Reason the parallel executor degraded to serial, if it did.
     degraded: Optional[str] = None
+    #: Scheduling-side telemetry digest (span totals, metrics snapshot)
+    #: attached by ``Session`` only when tracing/metrics are enabled.
+    #: ``scrub_envelope`` nulls the whole ``runtime`` field, so stored-
+    #: result comparisons never depend on telemetry, and decoding
+    #: pre-telemetry documents falls back to the ``None`` default.
+    telemetry: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -228,6 +248,8 @@ def run_sharded(
                 accumulator = type(accumulator).from_state(
                     restored.accumulator_state
                 )
+            event("run.resume", shards_done=resumed, n_shards=plan.n_shards)
+            _RESUMED.inc(resumed)
 
     stopped_early = False
     stop_reason: Optional[str] = None
@@ -254,16 +276,24 @@ def run_sharded(
                 stop_reason = decision.reason
                 break
         wave = shards[done:done + waves]
-        results = executor.map_shards(task, wave)
+        wave_start = time.perf_counter()
+        with span("run.wave", wave_start_shard=done, shards=len(wave),
+                  executor=executor.kind):
+            results = executor.map_shards(task, wave)
+        _WAVES.inc()
+        _WAVE_SECONDS.observe(time.perf_counter() - wave_start)
         if degraded is None:
             degraded = getattr(executor, "degraded", None)
         # Shard-index order is the determinism linchpin: completion
         # order (and therefore worker count) must never leak into the
         # merge sequence.
-        for _, payload in sorted(results, key=lambda pair: pair[0]):
-            payloads.append(payload)
-            if accumulate is not None and accumulator is not None:
-                accumulate(accumulator, payload)
+        merge_start = time.perf_counter()
+        with span("run.merge", payloads=len(results)):
+            for _, payload in sorted(results, key=lambda pair: pair[0]):
+                payloads.append(payload)
+                if accumulate is not None and accumulator is not None:
+                    accumulate(accumulator, payload)
+        _MERGE_SECONDS.observe(time.perf_counter() - merge_start)
         done += len(wave)
         if checkpoint_path is not None:
             save_checkpoint(
@@ -285,6 +315,7 @@ def run_sharded(
             observer.on_progress(done, len(shards), accumulator)
 
     n_run = shards[done - 1].stop if done else 0
+    _SAMPLES.inc(max(0, n_run))
     info = _build_info(plan, executor, done, n_run, stopped_early,
                        stop_reason, resumed, degraded)
     return ShardedRun(payloads=payloads, accumulator=accumulator, info=info)

@@ -49,16 +49,19 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Transport.
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str,
-                 body: Optional[dict] = None) -> Dict[str, Any]:
+    def _request_text(self, method: str, path: str,
+                      body: Optional[dict] = None,
+                      accept: Optional[str] = None) -> str:
         data = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"}
+        if accept:
+            headers["Accept"] = accept
         request = urllib.request.Request(
-            f"{self.url}{path}", data=data, method=method,
-            headers={"Content-Type": "application/json"},
+            f"{self.url}{path}", data=data, method=method, headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read())
+                return resp.read().decode()
         except urllib.error.HTTPError as exc:
             try:
                 document = json.loads(exc.read())
@@ -66,6 +69,10 @@ class ServiceClient:
                 raise ServiceError(exc.code, error["type"], error["message"])
             except (ValueError, KeyError):
                 raise ServiceError(exc.code, "HTTPError", str(exc))
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Dict[str, Any]:
+        return json.loads(self._request_text(method, path, body))
 
     @staticmethod
     def _job_id(job) -> str:
@@ -77,6 +84,21 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
+
+    def metrics(self, format: str = "json"):
+        """The daemon's ``/metrics``.
+
+        ``format="json"`` (default) returns the snapshot document
+        (``{name: {type, help, series: [...]}}``); ``"prometheus"``
+        returns the raw text exposition as a string.
+        """
+        if format == "prometheus":
+            return self._request_text("GET", "/metrics?format=prometheus")
+        return self._request("GET", "/metrics")["metrics"]
+
+    def timeline(self, job) -> Dict[str, Any]:
+        """Lifecycle event list of one job (plain JSON document)."""
+        return self._request("GET", f"/jobs/{self._job_id(job)}/timeline")
 
     def submit(self, spec) -> Dict[str, Any]:
         """Submit a spec (live object or pre-encoded tagged document).

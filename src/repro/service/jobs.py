@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.api.fingerprint import fingerprint, strip_execution
 from repro.api.futures import RunCancelled
 from repro.api.serialize import decode, encode
+from repro.obs import default_registry, get_logger, log_event
 from repro.api.specs import (
     Characterize,
     CharacterizeLibrary,
@@ -68,6 +69,13 @@ RUNNABLE_SPECS = (
     CharacterizeLibrary,
     Sweep,
 )
+
+
+_LOG = get_logger("service.jobs")
+_REGISTRY = default_registry()
+_JOB_SECONDS = _REGISTRY.histogram(
+    "repro_service_job_seconds",
+    "Job wall time from launch to its final state")
 
 
 class JobError(RuntimeError):
@@ -100,6 +108,12 @@ class Job:
     #: Set by an abandoning shutdown: the watcher must leave the journal
     #: and checkpoints in place so a restarted daemon resumes the job.
     keep_journal: bool = False
+    #: Timeline of lifecycle events (``GET /jobs/<fp>/timeline``): dicts
+    #: of ``{"t": <unix seconds>, "event": <name>, ...fields}`` in
+    #: occurrence order.  Observability only — nothing reads it back.
+    events: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: Wall-clock launch time (None for cached/adopted jobs).
+    started_at: Optional[float] = None
 
 
 class JobRegistry:
@@ -111,6 +125,39 @@ class JobRegistry:
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._watchers: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Observability plumbing.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _event(job: Job, event: str, **fields) -> None:
+        """Append a timeline entry and emit its structured log line.
+
+        Caller holds the registry lock (the events list is shared with
+        :meth:`timeline` readers).  Scheduling-side only: events observe
+        job lifecycle, nothing reads them back into the computation.
+        """
+        entry: Dict[str, Any] = {"t": round(time.time(), 6), "event": event}
+        entry.update((k, v) for k, v in fields.items() if v is not None)
+        job.events.append(entry)
+        log_event(_LOG, f"job.{event}", job=job.fingerprint,
+                  state=job.state, **fields)
+
+    @staticmethod
+    def _count_submission(outcome: str) -> None:
+        _REGISTRY.counter(
+            "repro_service_submissions_total",
+            "Spec submissions by outcome (hit/attached/started)",
+            labels={"outcome": outcome},
+        ).inc()
+
+    @staticmethod
+    def _count_final(state: str) -> None:
+        _REGISTRY.counter(
+            "repro_service_jobs_finished_total",
+            "Jobs reaching a final state (done/failed/cancelled)",
+            labels={"state": state},
+        ).inc()
 
     # ------------------------------------------------------------------
     # Submission.
@@ -152,6 +199,8 @@ class JobRegistry:
             job = self._jobs.get(fp)
             if job is not None and job.state == "running":
                 job.submissions += 1
+                self._event(job, "attached", submissions=job.submissions)
+                self._count_submission("attached")
                 return job, "attached"
             if self.store.has(fp):
                 if job is None or job.state != "done":
@@ -160,6 +209,8 @@ class JobRegistry:
                     self._jobs[fp] = job
                 else:
                     job.submissions += 1
+                self._event(job, "hit", submissions=job.submissions)
+                self._count_submission("hit")
                 return job, "hit"
             # Fresh (or re-submitted after cancel/failure — cancelled
             # jobs kept their checkpoints, so the re-run resumes).
@@ -169,6 +220,7 @@ class JobRegistry:
                 "spec": encode(canonical),
             })
             job = self._launch(fp, canonical)
+            self._count_submission("started")
             return job, "started"
 
     def _service_execution(self, fp: str) -> Execution:
@@ -184,8 +236,11 @@ class JobRegistry:
             canonical, execution=self._service_execution(fp)
         )
         job = Job(fingerprint=fp, spec=canonical)
+        self._event(job, "submitted", spec=type(canonical).__name__)
         job.handle = self.session.submit(exec_spec)
+        job.started_at = time.time()
         self._jobs[fp] = job
+        self._event(job, "started", workers=self.session.workers)
         watcher = threading.Thread(
             target=self._finalize, args=(job,),
             name=f"repro-job-{fp[:12]}", daemon=True,
@@ -193,6 +248,15 @@ class JobRegistry:
         self._watchers.append(watcher)
         watcher.start()
         return job
+
+    def _observe_final(self, job: Job) -> None:
+        """Final-state event + metrics (caller holds the lock)."""
+        duration = None
+        if job.started_at is not None:
+            duration = round(time.time() - job.started_at, 6)
+            _JOB_SECONDS.observe(duration)
+        self._count_final(job.state)
+        self._event(job, job.state, duration_s=duration, error=job.error)
 
     def _finalize(self, job: Job) -> None:
         """Watcher body: wait for the handle and file the outcome."""
@@ -204,6 +268,7 @@ class JobRegistry:
                 job.partial_envelope = exc.partial
                 job.error = str(exc)
                 keep = job.keep_journal
+                self._observe_final(job)
             if not keep:
                 # A user cancel is a decision, not a crash: drop the
                 # journal so a restart does not resurrect the job, but
@@ -215,6 +280,7 @@ class JobRegistry:
                 job.state = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
                 keep = job.keep_journal
+                self._observe_final(job)
             if not keep:
                 # Deterministic workload, deterministic failure: leaving
                 # the journal would make every restart re-fail the job.
@@ -239,9 +305,11 @@ class JobRegistry:
                     job.error = (
                         f"storing result failed: {type(exc).__name__}: {exc}"
                     )
+                    self._observe_final(job)
             else:
                 with self._lock:
                     job.state = "done"
+                    self._observe_final(job)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -315,6 +383,27 @@ class JobRegistry:
             out["envelope"] = job.partial_envelope
         return out
 
+    def timeline(self, fp: str) -> Dict[str, Any]:
+        """Lifecycle event list of one job (``GET /jobs/<fp>/timeline``).
+
+        Plain JSON types; events are in occurrence order.  A job adopted
+        straight from the store (computed by a previous daemon) has an
+        empty timeline — its history died with that process.
+        """
+        job = self.get(fp)
+        with self._lock:
+            events = [dict(entry) for entry in job.events]
+            out: Dict[str, Any] = {
+                "job": fp,
+                "state": job.state,
+                "cached": job.cached,
+                "submissions": job.submissions,
+                "events": events,
+            }
+        if events:
+            out["duration_s"] = round(events[-1]["t"] - events[0]["t"], 6)
+        return out
+
     def result_text(self, fp: str) -> str:
         """The completed envelope's stored JSON text.
 
@@ -337,7 +426,11 @@ class JobRegistry:
         job = self.get(fp)
         if job.handle is None:
             return False
-        return job.handle.cancel()
+        cancelled = job.handle.cancel()
+        if cancelled:
+            with self._lock:
+                self._event(job, "cancel_requested")
+        return cancelled
 
     def recover(self) -> List[str]:
         """Replay the pending-job journal of a killed daemon.
@@ -376,6 +469,8 @@ class JobRegistry:
                 # on every subsequent restart.
                 self.store.clear_journal(fp)
             if outcome == "started":
+                with self._lock:
+                    self._event(job, "recovered", journal=fp)
                 resumed.append(fp)
         return resumed
 

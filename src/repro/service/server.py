@@ -16,9 +16,21 @@ Wire protocol (all bodies JSON):
                              envelope rides along as ``"envelope"``)
 ``GET /jobs/<fp>/result``    the stored envelope, verbatim — the same
                              bytes for every fetch (409 until done)
+``GET /jobs/<fp>/timeline``  lifecycle event list (submitted/started/
+                             attached/done/... with wall timestamps)
 ``DELETE /jobs/<fp>``        cancel at the next wave boundary
 ``GET /healthz``             liveness + store/job counters
+``GET /metrics``             process metrics: JSON snapshot by default,
+                             Prometheus text exposition with
+                             ``?format=prometheus`` (or an ``Accept:
+                             text/plain`` header)
 ==========================  ============================================
+
+Every request is observed: a ``repro_service_requests_total`` counter
+(method/route-template/status labels), a per-route latency histogram,
+and one structured JSON log line (:mod:`repro.obs.logging`) on the
+``repro.service.http`` logger.  The stock ``BaseHTTPRequestHandler``
+stderr chatter is silenced in favour of those lines.
 
 Errors are structured, never tracebacks: ``{"error": {"type": ...,
 "message": ...}}`` with 400 for malformed/disallowed documents, 404 for
@@ -43,18 +55,49 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api.seeding import EXPERIMENT_SEED
 from repro.api.serialize import _resolve, decode, encode
 from repro.api.session import Session
+from repro.obs import configure_logging, default_registry, get_logger, log_event
 from repro.service.jobs import JobError, JobRegistry, UnknownJob
 from repro.service.store import ResultStore
 
 __all__ = ["ServiceConfig", "AnalysisServer", "serve", "validate_document"]
 
 _IMPORT_TAGS = ("__dataclass__", "__callable__")
+
+_LOG = get_logger("service.http")
+_REGISTRY = default_registry()
+
+#: Sub-resources of ``/jobs/<fp>`` with dedicated routes.
+_JOB_TAILS = ("partial", "result", "timeline")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _route_template(parts) -> str:
+    """Collapse a request path onto its route template.
+
+    Metric labels must come from the closed route set — a label per
+    fingerprint (or per garbage path) would grow the registry without
+    bound.  Everything unrecognized lands on ``/other``.
+    """
+    if parts[:1] == ["jobs"]:
+        if len(parts) == 1:
+            return "/jobs"
+        if len(parts) == 2:
+            return "/jobs/{fp}"
+        if len(parts) == 3 and parts[2] in _JOB_TAILS:
+            return f"/jobs/{{fp}}/{parts[2]}"
+        return "/other"
+    if len(parts) == 1 and parts[0] in ("healthz", "metrics"):
+        return "/" + parts[0]
+    return "/other"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,12 +112,19 @@ class ServiceConfig:
     seed: int = EXPERIMENT_SEED
     #: Module roots a submitted document may import types from.
     allow_modules: Tuple[str, ...] = ("repro",)
+    #: Threshold of the structured JSON daemon log (stderr).
+    log_level: str = "info"
 
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if not self.allow_modules:
             raise ValueError("allow_modules must not be empty")
+        if self.log_level not in _LOG_LEVELS:
+            raise ValueError(
+                f"log_level must be one of {list(_LOG_LEVELS)}, "
+                f"got {self.log_level!r}"
+            )
 
 
 class BadRequest(ValueError):
@@ -162,13 +212,17 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.registry
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if self.server.verbose:
-            super().log_message(format, *args)
+        # Silenced: the stdlib default writes unstructured lines to
+        # stderr; _dispatch emits one structured JSON line per request
+        # on the repro.service.http logger instead.
+        pass
 
-    def _send_text(self, status: int, text: str) -> None:
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "application/json") -> None:
         body = text.encode()
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -190,8 +244,11 @@ class _Handler(BaseHTTPRequestHandler):
             raise BadRequest(f"request body is not valid JSON: {exc}")
 
     def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
+        self._status = 0
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        route = _route_template(parts)
         try:
-            parts = [p for p in self.path.split("?")[0].split("/") if p]
             self._route(method, parts)
         except BadRequest as exc:
             self._send_error_json(400, "BadRequest", str(exc))
@@ -206,6 +263,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, type(exc).__name__, str(exc))
         except Exception as exc:  # pragma: no cover - genuine bugs
             self._send_error_json(500, type(exc).__name__, str(exc))
+        finally:
+            duration = time.perf_counter() - start
+            _REGISTRY.counter(
+                "repro_service_requests_total",
+                "HTTP requests by method, route template and status",
+                labels={"method": method, "route": route,
+                        "status": str(self._status)},
+            ).inc()
+            _REGISTRY.histogram(
+                "repro_service_request_seconds",
+                "HTTP request latency by route template",
+                labels={"route": route},
+            ).observe(duration)
+            log_event(_LOG, "http.request", method=method, path=self.path,
+                      route=route, status=self._status,
+                      duration_ms=round(duration * 1e3, 3))
 
     # ------------------------------------------------------------------
     # Routes.
@@ -213,6 +286,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, method: str, parts) -> None:
         if parts == ["healthz"] and method == "GET":
             return self._healthz()
+        if parts == ["metrics"] and method == "GET":
+            return self._metrics()
         if parts == ["jobs"]:
             if method == "POST":
                 return self._submit()
@@ -232,6 +307,8 @@ class _Handler(BaseHTTPRequestHandler):
                     return self._partial(fp)
                 if parts[2] == "result":
                     return self._result(fp)
+                if parts[2] == "timeline":
+                    return self._timeline(fp)
         self._send_error_json(404, "NotFound", self.path)
 
     def _healthz(self) -> None:
@@ -246,6 +323,41 @@ class _Handler(BaseHTTPRequestHandler):
             },
             "store": self.registry.store.stats(),
         })
+
+    def _metrics(self) -> None:
+        """The process-local metrics registry, in either rendering.
+
+        JSON snapshot by default; Prometheus text exposition when the
+        query says ``format=prometheus`` or, absent an explicit format,
+        when the ``Accept`` header asks for ``text/plain`` (what a
+        Prometheus scraper sends).
+        """
+        query = urllib.parse.parse_qs(urllib.parse.urlsplit(self.path).query)
+        fmt = (query.get("format") or [None])[0]
+        accept = self.headers.get("Accept") or ""
+        if fmt not in (None, "json", "prometheus"):
+            raise BadRequest(
+                f"unknown metrics format {fmt!r} (json or prometheus)"
+            )
+        registry = default_registry()
+        # Job-state gauges are refreshed at scrape time — they mirror
+        # the registry's current table rather than counting transitions.
+        jobs = self.registry.jobs()
+        for state in ("running", "done", "failed", "cancelled"):
+            registry.gauge(
+                "repro_service_jobs", "Jobs currently in each state",
+                labels={"state": state},
+            ).set(sum(1 for j in jobs if j.state == state))
+        if fmt == "prometheus" or (fmt is None and "text/plain" in accept):
+            self._send_text(
+                200, registry.to_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            self._send_json(200, {"metrics": registry.snapshot()})
+
+    def _timeline(self, fp: str) -> None:
+        self._send_json(200, self.registry.timeline(fp))
 
     def _submit(self) -> None:
         body = self._read_body()
@@ -312,6 +424,8 @@ class AnalysisServer(ThreadingHTTPServer):
     def __init__(self, config: ServiceConfig, technology=None,
                  verbose: bool = False):
         self.config = config
+        # Kept for API compatibility; request logging is structured now
+        # (repro.service.http logger), not gated on this flag.
         self.verbose = verbose
         store = ResultStore(config.store)
         session = Session(
@@ -348,19 +462,28 @@ class AnalysisServer(ThreadingHTTPServer):
 
 
 def serve(config: ServiceConfig, technology=None) -> int:
-    """Blocking daemon entry point (``python -m repro serve``)."""
-    server = AnalysisServer(config, technology=technology, verbose=True)
+    """Blocking daemon entry point (``python -m repro serve``).
+
+    All daemon output except the one human-readable stdout banner is
+    structured JSON on stderr (one line per request and per job state
+    transition); ``config.log_level`` sets the threshold.
+    """
+    log = configure_logging(config.log_level)
+    server = AnalysisServer(config, technology=technology)
     resumed = server.registry.recover()
     print(f"repro analysis service on {server.url}")
-    print(f"store: {server.registry.store.root} "
-          f"({server.registry.store.stats()})")
+    log_event(log, "serve.start", url=server.url,
+              store=str(server.registry.store.root),
+              store_stats=server.registry.store.stats(),
+              workers=config.workers, seed=config.seed,
+              log_level=config.log_level)
     if resumed:
-        print(f"resuming {len(resumed)} interrupted job(s): "
-              + ", ".join(fp[:12] for fp in resumed))
+        log_event(log, "serve.resume", jobs=len(resumed),
+                  fingerprints=[fp[:12] for fp in resumed])
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down (abandoning running jobs for resume)...")
+        log_event(log, "serve.shutdown", abandon_running=True)
         server.server_close()
         server.registry.shutdown(abandon_running=True)
     return 0

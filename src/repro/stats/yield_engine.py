@@ -43,7 +43,18 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.devices.vs.statistical import StatisticalVSModel
+from repro.obs import default_registry
+from repro.obs.trace import span
 from repro.stats.importance import FailureEstimate, importance_weights
+
+_REGISTRY = default_registry()
+_ROUNDS = _REGISTRY.counter(
+    "repro_yield_rounds_total", "CE adaptation rounds executed")
+_ELITES = _REGISTRY.gauge(
+    "repro_yield_elite_count", "Elite samples in the latest CE round")
+_ESS = _REGISTRY.gauge(
+    "repro_yield_effective_samples",
+    "Kish effective sample size of the latest yield phase")
 
 __all__ = [
     "DEFAULT_YIELD_BLOCK",
@@ -479,26 +490,32 @@ def run_yield(
     for r in range(1, int(n_rounds) + 1):
         plan = plan_shards(int(n_per_round), int(block_size), base_seed,
                            spawn_prefix=prefix + (r,))
-        run = run_sharded(
-            _task(mixture, collect_arrays=True), plan, executor,
-            accumulator=WeightedFailureAccumulator(),
-            accumulate=lambda acc, payload: acc.merge(payload["acc"]),
-            wave_size=wave_size, checkpoint_path=checkpoint_path,
-            observer=observer,
-        )
-        if run.info.stop_reason == CANCELLED:
-            cancelled = True
-            break
-        rounds_run = r
-        adapt_samples += run.info.n_samples
-        values = np.concatenate([p["values"] for p in run.payloads])
-        weights = np.concatenate([p["weights"] for p in run.payloads])
-        x_sigma = np.concatenate([p["x_sigma"] for p in run.payloads])
-        acc = run.accumulator
-        updated, level, n_elite = ce_update(
-            mixture, values, weights, x_sigma, float(threshold),
-            float(elite_fraction), float(smoothing), bool(fail_below),
-        )
+        with span("yield.round", round=r, samples=int(n_per_round)) as sp:
+            run = run_sharded(
+                _task(mixture, collect_arrays=True), plan, executor,
+                accumulator=WeightedFailureAccumulator(),
+                accumulate=lambda acc, payload: acc.merge(payload["acc"]),
+                wave_size=wave_size, checkpoint_path=checkpoint_path,
+                observer=observer,
+            )
+            if run.info.stop_reason == CANCELLED:
+                cancelled = True
+                break
+            rounds_run = r
+            adapt_samples += run.info.n_samples
+            values = np.concatenate([p["values"] for p in run.payloads])
+            weights = np.concatenate([p["weights"] for p in run.payloads])
+            x_sigma = np.concatenate([p["x_sigma"] for p in run.payloads])
+            acc = run.accumulator
+            updated, level, n_elite = ce_update(
+                mixture, values, weights, x_sigma, float(threshold),
+                float(elite_fraction), float(smoothing), bool(fail_below),
+            )
+            sp.set(n_elite=int(n_elite), level=float(level),
+                   ess=float(acc.effective_samples))
+        _ROUNDS.inc()
+        _ELITES.set(int(n_elite))
+        _ESS.set(float(acc.effective_samples))
         at_threshold = (level <= threshold if fail_below
                         else level >= threshold)
         trajectory.append({
@@ -538,12 +555,17 @@ def run_yield(
 
     plan = plan_shards(int(n_samples), int(block_size), base_seed,
                        spawn_prefix=prefix)
-    run = run_sharded(
-        _task(mixture, collect_arrays=False), plan, executor,
-        accumulator=WeightedFailureAccumulator(),
-        accumulate=lambda acc, payload: acc.merge(payload),
-        stop=stop, wave_size=wave_size, checkpoint_path=checkpoint_path,
-        observer=observer,
-    )
+    with span("yield.estimate", samples=int(n_samples),
+              rounds_run=rounds_run) as sp:
+        run = run_sharded(
+            _task(mixture, collect_arrays=False), plan, executor,
+            accumulator=WeightedFailureAccumulator(),
+            accumulate=lambda acc, payload: acc.merge(payload),
+            stop=stop, wave_size=wave_size, checkpoint_path=checkpoint_path,
+            observer=observer,
+        )
+        sp.set(ess=float(run.accumulator.effective_samples),
+               n_samples=run.info.n_samples)
+    _ESS.set(float(run.accumulator.effective_samples))
     estimate = _estimate_from(run.accumulator, rounds_run, adapt_samples)
     return estimate, meta, run.info

@@ -544,6 +544,90 @@ class TestHTTPService:
 
 
 # ----------------------------------------------------------------------
+# Observability surface (PR 8): /metrics and /jobs/<fp>/timeline.
+# ----------------------------------------------------------------------
+class TestObservabilitySurface:
+    def test_metrics_json_reflects_requests_and_jobs(self, server,
+                                                     technology):
+        client = ServiceClient(server.url)
+        job = client.submit(_yield_spec(technology))
+        client.result(job, timeout=120.0)
+        snapshot = client.metrics()
+        requests = snapshot["repro_service_requests_total"]
+        assert requests["type"] == "counter"
+        routes = {tuple(sorted(s["labels"].items())): s["value"]
+                  for s in requests["series"]}
+        assert any(dict(k)["route"] == "/jobs" for k in routes)
+        # Job-state gauges are refreshed at scrape time.
+        states = {s["labels"]["state"]: s["value"]
+                  for s in snapshot["repro_service_jobs"]["series"]}
+        assert states["done"] >= 1
+        # Request latency histogram carries cumulative buckets.
+        latency = snapshot["repro_service_request_seconds"]["series"][0]
+        assert latency["buckets"]["+Inf"] == latency["count"]
+        assert "repro_service_job_seconds" in snapshot
+        assert "repro_service_submissions_total" in snapshot
+
+    def test_metrics_prometheus_exposition(self, server):
+        from tests.test_obs import _assert_valid_prometheus
+
+        client = ServiceClient(server.url)
+        client.health()
+        text = client.metrics(format="prometheus")
+        _assert_valid_prometheus(text)
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert "# TYPE repro_service_request_seconds histogram" in text
+        assert "# TYPE repro_service_jobs gauge" in text
+        # Accept-header negotiation picks the text exposition too.
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{server.url}/metrics", headers={"Accept": "text/plain"})
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+        # And an unknown format is a structured 400.
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/metrics?format=xml")
+        assert err.value.status == 400
+
+    def test_timeline_records_job_lifecycle(self, server, technology):
+        client = ServiceClient(server.url)
+        spec = _yield_spec(technology)
+        job = client.submit(spec)
+        client.result(job, timeout=120.0)
+        timeline = client.timeline(job)
+        events = [entry["event"] for entry in timeline["events"]]
+        assert events[:2] == ["submitted", "started"]
+        assert events[-1] == "done"
+        assert timeline["state"] == "done"
+        assert timeline["duration_s"] >= 0.0
+        stamps = [entry["t"] for entry in timeline["events"]]
+        assert stamps == sorted(stamps)
+        # A store hit shows up on the same job's timeline.
+        again = client.submit(spec)
+        assert again["outcome"] == "hit"
+        assert "hit" in [e["event"]
+                         for e in client.timeline(job)["events"]]
+
+    def test_timeline_unknown_job_is_404(self, server):
+        with pytest.raises(ServiceError) as err:
+            ServiceClient(server.url).timeline("0" * 64)
+        assert err.value.status == 404
+
+    def test_cancel_shows_on_timeline(self, server, technology):
+        client = ServiceClient(server.url)
+        job = client.submit(_sleepy_spec(technology, delay_s=0.02))
+        while (client.status(job)["progress"]["completed"] or 0) < 2:
+            time.sleep(0.02)
+        client.cancel(job)
+        while client.status(job)["state"] == "running":
+            time.sleep(0.02)
+        events = [e["event"] for e in client.timeline(job)["events"]]
+        assert "cancel_requested" in events
+        assert events[-1] == "cancelled"
+
+
+# ----------------------------------------------------------------------
 # RunHandle snapshot atomicity (the PR 7 cross-thread polling fix).
 # ----------------------------------------------------------------------
 class TestRunHandleSnapshot:
