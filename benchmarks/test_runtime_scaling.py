@@ -11,6 +11,12 @@ The >= 2x speedup acceptance at 4 workers is asserted only when the
 machine actually exposes >= 4 CPUs (``os.sched_getaffinity``): process
 pools cannot beat serial on a single core, and the JSON records
 ``cpu_count`` so CI readers can interpret the numbers.
+
+PR 9 adds two comparisons: a hard regression gate — the sharded serial
+run (which now coalesces same-plan shards into one batched Newton
+solve) must stay within 1.2x of the legacy unsharded time — and the
+recorded speedup against the PR-8 sharded-serial baseline captured in
+the previous ``BENCH_runtime.json``.
 """
 
 from __future__ import annotations
@@ -28,6 +34,12 @@ from repro.experiments.fig9_sram_snm import SNMWork
 
 N_SAMPLES = 400
 SHARD_SIZE = 50
+
+#: Sharded-serial samples/sec recorded in ``BENCH_runtime.json`` at the
+#: PR-8 tip on the reference container (single CPU) — the pre-fast-path
+#: baseline the PR-9 speedup is quoted against.
+PR8_SHARDED_SERIAL_SAMPLES_PER_SEC = 160.48
+PR8_LEGACY_SAMPLES_PER_SEC = 348.58
 
 
 def _cpu_count() -> int:
@@ -93,6 +105,18 @@ def test_runtime_scaling_sram_snm(results_dir, record_report):
         "speedup_4_workers_vs_serial": (
             timings["sharded_serial"] / timings["sharded_4_workers"]
         ),
+        "sharded_serial_over_legacy": (
+            timings["sharded_serial"] / timings["legacy_unsharded"]
+        ),
+        "baseline_pr8": {
+            "sharded_serial_samples_per_sec":
+                PR8_SHARDED_SERIAL_SAMPLES_PER_SEC,
+            "legacy_unsharded_samples_per_sec": PR8_LEGACY_SAMPLES_PER_SEC,
+        },
+        "speedup_vs_pr8_sharded_serial": (
+            (N_SAMPLES / timings["sharded_serial"])
+            / PR8_SHARDED_SERIAL_SAMPLES_PER_SEC
+        ),
         "sharded_outputs_bit_identical": True,
         "note": (
             "process pools cannot beat serial without spare cores; the "
@@ -115,9 +139,22 @@ def test_runtime_scaling_sram_snm(results_dir, record_report):
         ),
         f"4-worker speedup vs sharded serial: "
         f"{record['speedup_4_workers_vs_serial']:.2f}x",
+        f"sharded serial vs legacy: "
+        f"{record['sharded_serial_over_legacy']:.2f}x slower "
+        f"(regression gate: <= 1.2x)",
+        f"speedup vs PR-8 sharded serial baseline: "
+        f"{record['speedup_vs_pr8_sharded_serial']:.2f}x",
         "Sharded outputs bit-identical at 1/2/4 workers.",
     ]
     record_report("runtime_scaling", "\n".join(lines))
+
+    # Regression gate (coalesced fast path): the sharded serial run may
+    # cost at most 20% over the legacy unsharded solve.  Both run in
+    # this process on one core, so the gate is fair on any machine.
+    assert record["sharded_serial_over_legacy"] <= 1.2, (
+        "sharded serial regressed past the 1.2x-of-legacy gate: "
+        f"{record['sharded_serial_over_legacy']:.2f}x"
+    )
 
     if cpu_count >= 4:
         assert record["speedup_4_workers_vs_serial"] >= 2.0, (

@@ -15,6 +15,19 @@ the moment the circuit is garbage-collected, so the cache never
 outlives the (potentially multi-megabyte, batched-parameter) plans of
 dead netlists — matching the lifetime behaviour of the PR-1
 per-circuit cache while keeping central accounting.
+
+PR 9 adds a second, **structural** level underneath: when the id-keyed
+level misses (a fresh per-shard circuit, say), the circuit's
+:func:`~repro.circuit.compiled.structural_fingerprint` — topology +
+element types + model class/polarity/temperature, never parameter
+values — is looked up in a cache of value-free
+:class:`~repro.circuit.compiled.PlanStructure` objects.  A structural
+hit skips index bookkeeping and kernel emission entirely and only
+*binds* the circuit's values, which is what kills the per-shard
+recompile storm: a sharded run performs one structure compile per
+distinct circuit topology, not one per shard.  Structures are
+value-free and hold no circuit references, so the structural level
+needs no weakref ceremony — just a bounded LRU.
 """
 
 from __future__ import annotations
@@ -35,6 +48,12 @@ _HITS = _REGISTRY.counter(
     "repro_plan_cache_hits_total", "Compiled-plan cache hits")
 _MISSES = _REGISTRY.counter(
     "repro_plan_cache_misses_total", "Compiled-plan cache misses")
+_STRUCT_HITS = _REGISTRY.counter(
+    "repro_plan_cache_structural_hits_total",
+    "Structural plan-cache hits (value binding only, no compile)")
+_STRUCT_COMPILES = _REGISTRY.counter(
+    "repro_plan_cache_structural_compiles_total",
+    "Structural plan compilations (index bookkeeping + kernel emission)")
 _COMPILE_SECONDS = _REGISTRY.histogram(
     "repro_plan_compile_seconds", "Circuit plan compilation latency")
 
@@ -59,6 +78,10 @@ class PlanCache:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        # Structural level: fingerprint tuple -> PlanStructure.  Small
+        # (value-free index arrays + one exec'd function), so the same
+        # maxsize bound is generous.
+        self._structures: "OrderedDict[tuple, object]" = OrderedDict()
         # Concurrent Session.submit() handles share one session cache
         # from their driver threads; the LRU bookkeeping (get ->
         # move_to_end -> insert -> evict) must not interleave.  The
@@ -66,6 +89,8 @@ class PlanCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.structural_hits = 0
+        self.structural_compiles = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -96,16 +121,55 @@ class PlanCache:
             self.misses += 1
             _MISSES.inc()
 
-        from repro.circuit.compiled import compile_circuit
+        from repro.circuit.compiled import (
+            PlanStructure,
+            UnsupportedCircuitError,
+            compile_circuit,
+            structural_fingerprint,
+        )
 
-        # Compile outside the lock (it can be the expensive part); two
-        # threads racing the same circuit just compile twice, last one
-        # wins — correctness is untouched, plans are pure.
-        compile_start = time.perf_counter()
-        with span("plan.compile") as sp:
-            plan = compile_circuit(circuit)
-            sp.set(compiled=plan is not None)
-        _COMPILE_SECONDS.observe(time.perf_counter() - compile_start)
+        # Structural level: same topology -> reuse the index bookkeeping
+        # and specialized kernel, only bind this circuit's values.
+        skey = structural_fingerprint(circuit)
+        structure = None
+        if skey is not None:
+            with self._lock:
+                structure = self._structures.get(skey)
+                if structure is not None:
+                    self._structures.move_to_end(skey)
+
+        if structure is not None:
+            self.structural_hits += 1
+            _STRUCT_HITS.inc()
+            plan = compile_circuit(circuit, structure)
+        else:
+            # Compile outside the lock (it can be the expensive part);
+            # two threads racing the same circuit just compile twice,
+            # last one wins — correctness is untouched, plans are pure.
+            compile_start = time.perf_counter()
+            with span("plan.compile") as sp:
+                if skey is not None:
+                    try:
+                        structure = PlanStructure(circuit)
+                    except UnsupportedCircuitError:
+                        structure = None
+                    plan = (
+                        compile_circuit(circuit, structure)
+                        if structure is not None
+                        else None
+                    )
+                else:
+                    plan = compile_circuit(circuit)
+                sp.set(compiled=plan is not None)
+            _COMPILE_SECONDS.observe(time.perf_counter() - compile_start)
+            self.structural_compiles += 1
+            _STRUCT_COMPILES.inc()
+            if skey is not None and structure is not None:
+                with self._lock:
+                    self._structures[skey] = structure
+                    self._structures.move_to_end(skey)
+                    while len(self._structures) > self.maxsize:
+                        self._structures.popitem(last=False)
         with self._lock:
             # The weakref callback evicts the entry (plan + pinned
             # parameter arrays) as soon as the circuit itself is
@@ -126,4 +190,11 @@ class PlanCache:
 
     def stats(self) -> dict:
         """Hit/miss counters and current size (for result metadata)."""
-        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self),
+            "structural_hits": self.structural_hits,
+            "structural_compiles": self.structural_compiles,
+            "structures": len(self._structures),
+        }

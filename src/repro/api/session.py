@@ -762,6 +762,7 @@ class Session:
                 args.pop("executor"),
                 model=spec.model,
                 backend=None if self.backend == "auto" else self.backend,
+                coalesce=getattr(execution, "coalesce", True),
                 **args,
             )
             meta = {"finite_rows": accumulator.rows}

@@ -76,14 +76,25 @@ class Execution:
     Parameters
     ----------
     shard_size:
-        Samples per shard; ``None`` defaults to the runtime's fixed
-        :data:`~repro.runtime.sharding.DEFAULT_SHARD_SIZE` (never
-        derived from ``workers``, so the stream is the same at every
-        parallelism level).
+        Samples per shard; ``None`` lets the runtime pick a
+        batch-economics size (:func:`~repro.runtime.sharding.
+        auto_shard_size`: at least ~200 samples per shard, at most a
+        constant fan-out of shards — fixed constants, never derived
+        from ``workers``, so the stream is the same at every
+        parallelism level).  The chosen size is recorded in
+        ``Result.runtime.shard_size``.
     workers:
         Degree of parallelism; 1 runs serially, >= 2 uses the session's
         process-pool executor.  Scheduling only — results are identical
         at every value.
+    coalesce:
+        Batch same-plan shards of a dispatch chunk into ONE Newton
+        solve over the concatenated sample block (circuit-level
+        factory-map runs only; other tasks ignore it).  Scheduling
+        only: per-shard streams are drawn independently and the solve
+        is elementwise along the sample axis, so results are
+        bit-identical either way — disable when a work callable is not
+        elementwise across samples.
     target_rel_err:
         Adaptive stopping: stop between shard waves once the relative
         error (of the sigma estimate for Monte-Carlo — ``1/sqrt(2(n-1))``,
@@ -110,6 +121,7 @@ class Execution:
 
     shard_size: Optional[int] = None
     workers: int = 1
+    coalesce: bool = True
     target_rel_err: Optional[float] = None
     min_samples: int = 0
     max_samples: Optional[int] = None

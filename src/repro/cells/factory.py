@@ -166,6 +166,81 @@ class MonteCarloDeviceFactory(DeviceFactory):
         return twin
 
 
+def _concat_card_values(values, counts, name: str):
+    """Concatenate one card field across member draws (sample axis first).
+
+    Returns ``None`` when the field is a shared constant that needs no
+    replacement.  Scalar values that differ across members are expanded
+    to their member's sample count before concatenation — elementwise
+    model arithmetic then reproduces each member's scalar-broadcast
+    result bit for bit.
+    """
+    first = values[0]
+    if not isinstance(first, (int, float, np.ndarray, np.floating, np.integer)):
+        if any(v != first for v in values[1:]):
+            raise ValueError(
+                f"cannot coalesce card field {name!r}: "
+                "non-numeric values differ across shards"
+            )
+        return None
+    arrays = [np.asarray(v) for v in values]
+    if all(a.ndim == 0 for a in arrays):
+        scalar = arrays[0]
+        if all(a == scalar for a in arrays[1:]):
+            return None
+    return np.concatenate(
+        [
+            np.broadcast_to(a, (n,) + a.shape[1:]) if a.ndim == 0 else a
+            for a, n in zip(arrays, counts)
+        ],
+        axis=0,
+    )
+
+
+class CoalescedFactory(DeviceFactory):
+    """Concatenates several Monte-Carlo factories along the sample axis.
+
+    The cross-shard batching of the fast Newton path: each member keeps
+    its own generator (the shard's stream), so per-member draws are
+    bit-identical to the standalone per-shard run; every device request
+    polls all members **in member order** and returns one batched device
+    whose card fields are the members' draws concatenated along the
+    Monte-Carlo axis.  Because device evaluation and the masked batched
+    Newton solver are elementwise along that axis, rows
+    ``[offset_i, offset_i + n_i)`` of any downstream metric equal member
+    *i*'s standalone result bit for bit — the coalesced-wave determinism
+    contract (ROADMAP "Conventions (PR 9)").
+    """
+
+    def __init__(self, members: List[DeviceFactory]):
+        if not members:
+            raise ValueError("need at least one member factory")
+        self.members = list(members)
+        self.counts = [int(m.n_samples) for m in self.members]
+        self.n_samples = sum(self.counts)
+        self.batch_shape = (self.n_samples,)
+
+    def __call__(self, polarity: str, w_nm: float, l_nm: float) -> DeviceModel:
+        devices = [m(polarity, w_nm, l_nm) for m in self.members]
+        base = devices[0]
+        changes = {}
+        for field in dataclasses.fields(base.params):
+            merged = _concat_card_values(
+                [getattr(d.params, field.name) for d in devices],
+                self.counts, field.name,
+            )
+            if merged is not None:
+                changes[field.name] = merged
+        return base.with_params(base.params.replace(**changes))
+
+    def replay(self) -> "CoalescedFactory":
+        """A fresh coalesced factory replaying every member's stream."""
+        twin = CoalescedFactory([m.replay() for m in self.members])
+        twin.plan_cache = self.plan_cache
+        twin.backend = self.backend
+        return twin
+
+
 class RecordingFactory(DeviceFactory):
     """Wraps a factory, remembering every device it hands out.
 

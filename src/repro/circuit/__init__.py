@@ -20,8 +20,10 @@ from repro.circuit.waveforms import DC, Pulse, PiecewiseLinear, Step
 from repro.circuit.ac import ac_analysis, ACResult
 from repro.circuit.compiled import (
     CompiledCircuit,
+    PlanStructure,
     UnsupportedCircuitError,
     compile_circuit,
+    structural_fingerprint,
 )
 from repro.circuit.dcop import dc_operating_point, ConvergenceError
 from repro.circuit.dcsweep import dc_sweep
@@ -48,8 +50,10 @@ __all__ = [
     "ACResult",
     "ConvergenceError",
     "CompiledCircuit",
+    "PlanStructure",
     "UnsupportedCircuitError",
     "compile_circuit",
+    "structural_fingerprint",
     "NewtonInfo",
     "NewtonOptions",
 ]

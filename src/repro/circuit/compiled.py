@@ -27,9 +27,26 @@ Ground bookkeeping uses an augmented unknown vector: index ``n`` is a
 dump row that absorbs every ground contribution and is sliced off before
 the solve, so no masking appears in the hot loop.
 
+Compilation is split in two (PR 9):
+
+* A :class:`PlanStructure` is the **value-free** part — element
+  classification, per-group index arrays, and the specialized numpy
+  assembly kernel emitted by :mod:`repro.codegen.kernels`.  It depends
+  only on the circuit's *structural fingerprint*
+  (:func:`structural_fingerprint`: topology + element types + model
+  class/polarity/temperature, never parameter values or batch shapes),
+  so every per-shard circuit a factory stamps out shares one structure.
+* A :class:`CompiledCircuit` **binds** a structure to one circuit's
+  values: stacked device cards, the constant conductance matrix, the
+  linear charge Jacobian.  Binding is cheap — no index bookkeeping, no
+  ``exec``.
+
 Sample-for-sample the arithmetic is elementwise, so a batched solve
 reproduces the scalar (``batch = ()``) solve of each sample exactly —
-the property ``tests/test_batched_circuit.py`` locks in.
+the property ``tests/test_batched_circuit.py`` locks in.  The emitted
+kernel replays the interpreted path's stamp order operation for
+operation, so kernel and non-kernel assemblies are bitwise identical
+too.
 """
 
 from __future__ import annotations
@@ -42,7 +59,13 @@ import numpy as np
 
 from repro.circuit import elements as _el
 
-__all__ = ["CompiledCircuit", "UnsupportedCircuitError", "compile_circuit"]
+__all__ = [
+    "CompiledCircuit",
+    "PlanStructure",
+    "UnsupportedCircuitError",
+    "compile_circuit",
+    "structural_fingerprint",
+]
 
 #: Charge terminal order of a MOSFET group (matches ``MOSFET.charge_terminals``).
 _TERMS = ("g", "d", "s")
@@ -121,12 +144,54 @@ def _scatter_add(target: np.ndarray, idx: np.ndarray, values: np.ndarray) -> Non
     np.add.at(flat_t, (slice(None), idx), flat_v)
 
 
-class _MosfetGroup:
-    """All MOSFETs sharing one stacked model evaluation."""
+def _scatter_program(idx: np.ndarray) -> tuple:
+    """Duplicate-free rounds replaying :func:`_scatter_add` bit for bit.
 
-    def __init__(self, elements: List[_el.MOSFET], n: int):
+    ``np.add.at`` applies the additions of repeated indices in position
+    order, but pays an unbuffered per-element inner loop to do it.  The
+    same accumulation decomposes into **rounds**: round *k* holds the
+    ``(k+1)``-th occurrence (in position order) of every index, so each
+    round is duplicate-free and applies as one vectorized fancy-index
+    ``+=``.  Applying the rounds in order feeds every target cell its
+    contributions in exactly the position order ``np.add.at`` used —
+    float addition order identical, results bitwise identical.  Most
+    stamp index arrays need one round plus a small remainder (shared
+    nodes, the ground dump row), so the hot path becomes a couple of
+    gather/add/scatter passes instead of a scalar loop.
+    """
+    idx = np.asarray(idx)
+    occurrence = np.empty(idx.shape, dtype=np.intp)
+    counts: dict = {}
+    for pos, value in enumerate(idx.tolist()):
+        occurrence[pos] = counts.get(value, 0)
+        counts[value] = occurrence[pos] + 1
+    n_rounds = max(counts.values(), default=0)
+    return tuple(
+        (idx[positions], positions)
+        for k in range(n_rounds)
+        for positions in (np.flatnonzero(occurrence == k),)
+    )
+
+
+def _apply_scatter(target: np.ndarray, program: tuple, values: np.ndarray) -> None:
+    """Run a :func:`_scatter_program` — semantics of :func:`_scatter_add`."""
+    values = np.broadcast_to(values, target.shape[:-1] + values.shape[-1:])
+    for cols, positions in program:
+        target[..., cols] += values[..., positions]
+
+
+class _MosfetGroupStructure:
+    """Index arrays for all MOSFETs sharing one stacked evaluation.
+
+    Value-free: built from terminal node indices only, shareable across
+    every circuit with the same structural fingerprint.  ``slots`` are
+    the members' positions in ``circuit.elements``, used at bind time to
+    gather the matching models out of a concrete netlist.
+    """
+
+    def __init__(self, slots: List[int], elements: List[_el.MOSFET], n: int):
         naug = n + 1
-        self.device = _stack_devices([e.model for e in elements])
+        self.slots = list(slots)
 
         def aug(index: int) -> int:
             return index if index >= 0 else n
@@ -151,6 +216,34 @@ class _MosfetGroup:
             [term[ti] * naug + term[tj] for ti in _TERMS for tj in _TERMS]
         )
 
+        # Scatter programs: duplicate-free rounds equivalent (bitwise) to
+        # ``np.add.at`` over the index arrays above; built once per
+        # structure, shared by the interpreted path and the kernel.
+        self.f_prog = _scatter_program(self.f_idx)
+        self.j_prog = _scatter_program(self.j_idx)
+        self.qf_prog = _scatter_program(self.qf_idx)
+        self.qj_prog = _scatter_program(self.qj_idx)
+
+
+class _MosfetGroup:
+    """A group structure bound to one circuit's stacked device."""
+
+    def __init__(self, structure: _MosfetGroupStructure, models):
+        self.structure = structure
+        self.device = _stack_devices(models)
+        self.g_idx = structure.g_idx
+        self.d_idx = structure.d_idx
+        self.s_idx = structure.s_idx
+        self.n_dev = structure.n_dev
+        self.f_idx = structure.f_idx
+        self.j_idx = structure.j_idx
+        self.qf_idx = structure.qf_idx
+        self.qj_idx = structure.qj_idx
+        self.f_prog = structure.f_prog
+        self.j_prog = structure.j_prog
+        self.qf_prog = structure.qf_prog
+        self.qj_prog = structure.qj_prog
+
     def gather(self, v_aug: np.ndarray):
         return (
             v_aug[..., self.g_idx],
@@ -166,18 +259,32 @@ class _MosfetGroup:
         )
 
 
-class _CapacitorGroup:
-    """All linear capacitors, stacked."""
+class _CapacitorGroupStructure:
+    """Index arrays for the stacked linear-capacitor group (value-free)."""
 
-    def __init__(self, elements: List[_el.Capacitor], n: int):
+    def __init__(self, slots: List[int], elements: List[_el.Capacitor], n: int):
         def aug(index: int) -> int:
             return index if index >= 0 else n
 
+        self.slots = list(slots)
         self.n1_idx = np.array([aug(e.n1) for e in elements])
         self.n2_idx = np.array([aug(e.n2) for e in elements])
-        self.c = _stack_field([e.capacitance for e in elements])
         self.qf_idx = np.concatenate([self.n1_idx, self.n2_idx])
+        self.qf_prog = _scatter_program(self.qf_idx)
         self.n_cap = len(elements)
+
+
+class _CapacitorGroup:
+    """The capacitor structure bound to one circuit's values."""
+
+    def __init__(self, structure: _CapacitorGroupStructure, elements):
+        self.structure = structure
+        self.n1_idx = structure.n1_idx
+        self.n2_idx = structure.n2_idx
+        self.qf_idx = structure.qf_idx
+        self.qf_prog = structure.qf_prog
+        self.n_cap = structure.n_cap
+        self.c = _stack_field([e.capacitance for e in elements])
 
     def charge_flat(self, v_aug: np.ndarray) -> np.ndarray:
         dv = v_aug[..., self.n1_idx] - v_aug[..., self.n2_idx]
@@ -185,44 +292,157 @@ class _CapacitorGroup:
         return np.concatenate([q, -q], axis=-1)
 
 
-class CompiledCircuit:
-    """Precomputed vectorized assembly for one :class:`Circuit`.
+def _mosfet_signature(model) -> tuple:
+    """The group key / structural identity of one MOSFET's model."""
+    return (
+        type(model),
+        int(model.polarity),
+        getattr(model, "temperature", None),
+        getattr(model, "derivatives", None),
+    )
 
-    Compilation snapshots element parameters (device cards, resistances,
-    capacitances); only *waveform* levels may change between solves.
-    :meth:`Circuit.add` invalidates the owner's cached compilation.
+
+def structural_fingerprint(circuit) -> Optional[tuple]:
+    """Topology-only plan key, or None for unplannable netlists.
+
+    Two circuits with equal fingerprints compile to identical index
+    bookkeeping and specialized kernels — only parameter *values* (and
+    batch shapes) differ, and those bind per circuit.  Covers node
+    indices, element types and order, and each MOSFET's model
+    class/polarity/temperature/derivative mode.  Deliberately excludes
+    parameter values, parameter identities and batch shapes, so the
+    fresh per-shard circuits a Monte-Carlo factory builds all map to one
+    key.
+    """
+    parts: List[tuple] = [("nodes", circuit.n_nodes)]
+    for element in circuit.elements:
+        if type(element) is _el.Resistor:
+            parts.append(("R", element.n1, element.n2))
+        elif type(element) is _el.Capacitor:
+            parts.append(("C", element.n1, element.n2))
+        elif type(element) is _el.VoltageSource:
+            parts.append(("V", element.pos, element.neg))
+        elif type(element) is _el.CurrentSource:
+            parts.append(("I", element.pos, element.neg))
+        elif type(element) is _el.MOSFET:
+            model = element.model
+            params = getattr(model, "params", None)
+            if params is None or not dataclasses.is_dataclass(params):
+                return None
+            parts.append(
+                ("M", element.d, element.g, element.s)
+                + _mosfet_signature(model)
+            )
+        else:
+            return None
+    return tuple(parts)
+
+
+class PlanStructure:
+    """The value-free half of a compiled plan.
+
+    Element classification (slot lists into ``circuit.elements``),
+    stacked-group index arrays, and the specialized assembly kernel.
+    Built once per structural fingerprint and shared by every
+    :class:`CompiledCircuit` bound from it.
     """
 
     def __init__(self, circuit):
-        # Weak back-reference only: plans are held by caches that may
-        # outlive the netlist, and a strong ref would pin the circuit
-        # (and its batched parameter arrays) for the cache's lifetime.
-        self._circuit_ref = weakref.ref(circuit)
         self.n = circuit.assign_branches()
         self.n_nodes = circuit.n_nodes
-        self.batch = circuit.batch_shape
-        n = self.n
+        self.fingerprint = structural_fingerprint(circuit)
 
-        resistors: List[_el.Resistor] = []
-        capacitors: List[_el.Capacitor] = []
-        self.vsources: List[_el.VoltageSource] = []
-        self.isources: List[_el.CurrentSource] = []
-        mosfets: List[_el.MOSFET] = []
-        for element in circuit.elements:
+        self.resistor_slots: List[int] = []
+        self.capacitor_slots: List[int] = []
+        self.vsource_slots: List[int] = []
+        self.isource_slots: List[int] = []
+        mosfet_slots: List[int] = []
+        for slot, element in enumerate(circuit.elements):
             if type(element) is _el.Resistor:
-                resistors.append(element)
+                self.resistor_slots.append(slot)
             elif type(element) is _el.Capacitor:
-                capacitors.append(element)
+                self.capacitor_slots.append(slot)
             elif type(element) is _el.VoltageSource:
-                self.vsources.append(element)
+                self.vsource_slots.append(slot)
             elif type(element) is _el.CurrentSource:
-                self.isources.append(element)
+                self.isource_slots.append(slot)
             elif type(element) is _el.MOSFET:
-                mosfets.append(element)
+                model = element.model
+                params = getattr(model, "params", None)
+                if params is None or not dataclasses.is_dataclass(params):
+                    raise UnsupportedCircuitError(
+                        "MOSFET model without a dataclass card"
+                    )
+                mosfet_slots.append(slot)
             else:
                 raise UnsupportedCircuitError(
                     f"unsupported element {type(element).__name__}"
                 )
+
+        # Stacked device groups, keyed by (class, polarity, temperature,
+        # derivative mode) in first-appearance order.
+        grouped: "dict[tuple, List[int]]" = {}
+        for slot in mosfet_slots:
+            key = _mosfet_signature(circuit.elements[slot].model)
+            grouped.setdefault(key, []).append(slot)
+        self.mos_group_structures = [
+            _MosfetGroupStructure(
+                slots, [circuit.elements[i] for i in slots], self.n
+            )
+            for slots in grouped.values()
+        ]
+        self.cap_structure = (
+            _CapacitorGroupStructure(
+                self.capacitor_slots,
+                [circuit.elements[i] for i in self.capacitor_slots],
+                self.n,
+            )
+            if self.capacitor_slots
+            else None
+        )
+
+        # Specialized flat DC assembly kernel (repro.codegen.kernels);
+        # None when emission is disabled, in which case CompiledCircuit
+        # falls back to the interpreted per-group loop.
+        from repro.codegen.kernels import build_dc_kernel
+
+        self.dc_kernel_source, self.dc_kernel = build_dc_kernel(self)
+
+
+class CompiledCircuit:
+    """A :class:`PlanStructure` bound to one :class:`Circuit`'s values.
+
+    Compilation snapshots element parameters (device cards, resistances,
+    capacitances); only *waveform* levels may change between solves.
+    :meth:`Circuit.add` invalidates the owner's cached compilation.
+    Pass a pre-built *structure* (from a circuit with an equal
+    :func:`structural_fingerprint`) to skip the index bookkeeping and
+    kernel emission — the structural-cache fast path of
+    :class:`repro.api.plans.PlanCache`.
+    """
+
+    def __init__(self, circuit, structure: Optional[PlanStructure] = None):
+        # Weak back-reference only: plans are held by caches that may
+        # outlive the netlist, and a strong ref would pin the circuit
+        # (and its batched parameter arrays) for the cache's lifetime.
+        self._circuit_ref = weakref.ref(circuit)
+        n = circuit.assign_branches()
+        if structure is None:
+            structure = PlanStructure(circuit)
+        elif structure.n != n:
+            raise UnsupportedCircuitError(
+                "plan structure does not match circuit topology"
+            )
+        self.structure = structure
+        self.n = structure.n
+        self.n_nodes = structure.n_nodes
+        self.batch = circuit.batch_shape
+
+        elements = circuit.elements
+        resistors = [elements[i] for i in structure.resistor_slots]
+        capacitors = [elements[i] for i in structure.capacitor_slots]
+        self.vsources = [elements[i] for i in structure.vsource_slots]
+        self.isources = [elements[i] for i in structure.isource_slots]
 
         # Constant linear Jacobian: resistor conductances + source pattern.
         lin_batch = ()
@@ -267,17 +487,17 @@ class CompiledCircuit:
                     c_lin[..., a, b] += sign * cval
         self.c_lin = c_lin
 
-        # Stacked device groups, keyed by (class, polarity, temperature).
-        grouped = {}
-        for element in mosfets:
-            model = element.model
-            params = getattr(model, "params", None)
-            if params is None or not dataclasses.is_dataclass(params):
-                raise UnsupportedCircuitError("MOSFET model without a dataclass card")
-            key = (type(model), model.polarity, getattr(model, "temperature", None))
-            grouped.setdefault(key, []).append(element)
-        self.mos_groups = [_MosfetGroup(els, n) for els in grouped.values()]
-        self.cap_group = _CapacitorGroup(capacitors, n) if capacitors else None
+        # Bind stacked device groups: structure supplies the indices,
+        # this circuit supplies the cards.
+        self.mos_groups = [
+            _MosfetGroup(gs, [elements[i].model for i in gs.slots])
+            for gs in structure.mos_group_structures
+        ]
+        self.cap_group = (
+            _CapacitorGroup(structure.cap_structure, capacitors)
+            if structure.cap_structure is not None
+            else None
+        )
 
     @property
     def circuit(self):
@@ -329,12 +549,12 @@ class CompiledCircuit:
         jac_flat = np.zeros(batch + (naug * naug,))
         for grp in self.mos_groups:
             ids, gm, gds, gms = self.device_iv(grp, v_aug)
-            _scatter_add(
-                res_aug, grp.f_idx, np.concatenate([ids, -ids], axis=-1)
+            _apply_scatter(
+                res_aug, grp.f_prog, np.concatenate([ids, -ids], axis=-1)
             )
-            _scatter_add(
+            _apply_scatter(
                 jac_flat,
-                grp.j_idx,
+                grp.j_prog,
                 np.concatenate([gm, gds, gms, -gm, -gds, -gms], axis=-1),
             )
         return v_aug, res_aug, jac_flat
@@ -357,8 +577,23 @@ class CompiledCircuit:
         return _Assembled(jacobian, residual)
 
     def assemble_dc(self, t: float):
-        """DC assembly closure for :func:`repro.circuit.mna.newton_solve`."""
+        """DC assembly closure for :func:`repro.circuit.mna.newton_solve`.
+
+        Uses the specialized flat kernel emitted at structure-compile
+        time when available; the interpreted per-group loop otherwise.
+        Both replay the identical stamp order, so the choice is
+        invisible in the bits.
+        """
         b = self.source_vector(t)
+        kernel = self.structure.dc_kernel
+        if kernel is not None:
+            devices = tuple(grp.device for grp in self.mos_groups)
+            j_const = self.j_const
+
+            def assemble(v: np.ndarray) -> _Assembled:
+                return _Assembled(*kernel(v, j_const, b, devices))
+
+            return assemble
 
         def assemble(v: np.ndarray) -> _Assembled:
             _, res_aug, jac_flat = self._nonlinear(v)
@@ -410,11 +645,11 @@ class CompiledCircuit:
                         ),
                         axis=-1,
                     )
-                    _scatter_add(jac_flat, grp.qj_idx, coeff * cap_vals)
+                    _apply_scatter(jac_flat, grp.qj_prog, coeff * cap_vals)
                 i_comp = coeff * (q_new - q_hist[k])
                 if not use_be:
                     i_comp = i_comp - i_hist[k]
-                _scatter_add(res_aug, grp.qf_idx, i_comp)
+                _apply_scatter(res_aug, grp.qf_prog, i_comp)
             return self._finish(v, base_jac, res_aug, jac_flat, b)
 
         return assemble
@@ -429,11 +664,14 @@ class CompiledCircuit:
             i_hist[k] = np.broadcast_to(i_new, q_new.shape).copy()
 
 
-def compile_circuit(circuit) -> Optional[CompiledCircuit]:
+def compile_circuit(
+    circuit, structure: Optional[PlanStructure] = None
+) -> Optional[CompiledCircuit]:
     """Compile *circuit*, or return None when it contains elements the
     vectorized engine does not know (callers fall back to the generic
-    per-element assembly)."""
+    per-element assembly).  A pre-built *structure* skips straight to
+    value binding."""
     try:
-        return CompiledCircuit(circuit)
+        return CompiledCircuit(circuit, structure)
     except UnsupportedCircuitError:
         return None

@@ -1,0 +1,114 @@
+"""Specialized numpy assembly kernels, generated per plan structure.
+
+The interpreted compiled path (:class:`repro.circuit.compiled.
+CompiledCircuit`) walks the stacked device groups in a small Python
+loop.  For hot Newton solves even that loop — attribute lookups, method
+dispatch, list iteration — shows up, so this module emits a **flat,
+loop-free numpy source function** specialized to one
+:class:`~repro.circuit.compiled.PlanStructure`: device groups unrolled,
+index gathers baked in as precomputed constant arrays, the residual and
+Jacobian scatter-adds fused into one call per group.  The source is
+compiled once with ``exec`` and cached on the structure, so every
+circuit bound from the same structural fingerprint reuses the callable.
+
+Bit-identity contract: the emitted code replays the interpreted path's
+arithmetic operation for operation and in the same accumulation order —
+the structure's precomputed scatter rounds unrolled per (residual,
+Jacobian) per group, groups in structure order — so kernel and
+interpreted assemblies agree bitwise.  ``tests/test_codegen.py`` pins
+this.
+
+Set ``REPRO_KERNELS=0`` in the environment to disable emission (the
+interpreted loop then runs everywhere); useful when bisecting.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["kernels_enabled", "emit_dc_kernel_source", "build_dc_kernel"]
+
+
+def kernels_enabled() -> bool:
+    """Whether specialized kernel emission is switched on."""
+    return os.environ.get("REPRO_KERNELS", "1") not in ("0", "false", "off")
+
+
+def emit_dc_kernel_source(structure) -> str:
+    """Numpy source of the flat DC assemble kernel for *structure*.
+
+    The generated function has signature
+    ``assemble_dc(v, j_const, b, devices)`` and returns
+    ``(jacobian, residual)``; *devices* are the bound stacked models in
+    group order (values live in the closure of the caller, never in the
+    kernel).
+    """
+    n = structure.n
+    naug = n + 1
+    lines = [
+        "def assemble_dc(v, j_const, b, devices):",
+        '    """Flat DC assembly specialized to one plan structure."""',
+        "    batch = v.shape[:-1]",
+        "    v_aug = np.concatenate([v, np.zeros(batch + (1,))], axis=-1)",
+        f"    res_aug = np.zeros(batch + ({naug},))",
+        f"    jac_flat = np.zeros(batch + ({naug * naug},))",
+    ]
+    for k, grp in enumerate(structure.mos_group_structures):
+        lines += [
+            f"    # group {k}: {grp.n_dev} stacked device(s)",
+            f"    ids, gm, gds, gms = devices[{k}].ids_and_derivatives(",
+            f"        v_aug[..., _G{k}], v_aug[..., _D{k}], v_aug[..., _S{k}])",
+            "    ids, gm, gds, gms = np.broadcast_arrays(ids, gm, gds, gms)",
+            "    f_vals = np.concatenate([ids, -ids], axis=-1)",
+            "    j_vals = np.concatenate("
+            "[gm, gds, gms, -gm, -gds, -gms], axis=-1)",
+        ]
+        # Scatter rounds unrolled in program order: each round is
+        # duplicate-free, and round order replays np.add.at's per-cell
+        # accumulation order (see circuit.compiled._scatter_program).
+        for r, _ in enumerate(grp.f_prog):
+            lines.append(
+                f"    res_aug[..., _FC{k}_{r}] += f_vals[..., _FP{k}_{r}]"
+            )
+        for r, _ in enumerate(grp.j_prog):
+            lines.append(
+                f"    jac_flat[..., _JC{k}_{r}] += j_vals[..., _JP{k}_{r}]"
+            )
+    lines += [
+        f"    jac_nl = jac_flat.reshape(batch + ({naug}, {naug}))"
+        f"[..., :{n}, :{n}]",
+        "    jacobian = jac_nl + j_const",
+        f"    residual = (res_aug[..., :{n}]"
+        " + np.matmul(j_const, v[..., None])[..., 0] + b)",
+        "    return jacobian, residual",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def build_dc_kernel(structure) -> Tuple[Optional[str], Optional[object]]:
+    """Emit + ``exec``-compile the DC kernel for *structure*.
+
+    Returns ``(source, callable)``; ``(None, None)`` when emission is
+    disabled via ``REPRO_KERNELS=0``.
+    """
+    if not kernels_enabled():
+        return None, None
+
+    source = emit_dc_kernel_source(structure)
+    namespace = {"np": np}
+    for k, grp in enumerate(structure.mos_group_structures):
+        namespace[f"_G{k}"] = grp.g_idx
+        namespace[f"_D{k}"] = grp.d_idx
+        namespace[f"_S{k}"] = grp.s_idx
+        for r, (cols, positions) in enumerate(grp.f_prog):
+            namespace[f"_FC{k}_{r}"] = cols
+            namespace[f"_FP{k}_{r}"] = positions
+        for r, (cols, positions) in enumerate(grp.j_prog):
+            namespace[f"_JC{k}_{r}"] = cols
+            namespace[f"_JP{k}_{r}"] = positions
+    code = compile(source, f"<repro-kernel n={structure.n}>", "exec")
+    exec(code, namespace)
+    return source, namespace["assemble_dc"]

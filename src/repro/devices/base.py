@@ -17,6 +17,14 @@ Conventions
 * Source/drain symmetry is handled here once: subclasses implement the
   model in normalized space (NMOS-like, ``vds >= 0``) and the base class
   applies polarity folding and terminal swapping.
+* Derivatives come in two flavours, selected by the ``derivatives``
+  constructor switch: ``"analytic"`` (default) dispatches to the
+  closed-form normalized-space gradient hooks ``_ids_grad_normalized`` /
+  ``_charges_grad_normalized`` when the model implements them, and the
+  base class applies the same polarity/swap chain rule it applies to the
+  values; ``"fd"`` (or a model without the hooks) falls back to the
+  stacked finite-difference stamps.  Analytic derivatives cut the model
+  evaluations per Newton iteration from four to one.
 """
 
 from __future__ import annotations
@@ -59,11 +67,32 @@ def _fd_bias_points(vg, vd, vs, h):
     return vg4, vd4, vs4
 
 
+def _fold_bias(vg, vd, vs, sign):
+    """Polarity-folded, source/drain-swapped normalized bias.
+
+    Returns ``(vgs_eff, vds_eff, swap)`` — the single place the
+    terminal-to-normalized coordinate change lives, shared by the value
+    and the analytic-derivative paths so both see identical arithmetic.
+    """
+    vgs = sign * (np.asarray(vg, dtype=float) - vs)
+    vds = sign * (np.asarray(vd, dtype=float) - vs)
+    swap = vds < 0.0
+    # Swapped device: the physical source plays the drain role.
+    vgs_eff = np.where(swap, vgs - vds, vgs)
+    vds_eff = np.abs(vds)
+    return vgs_eff, vds_eff, swap
+
+
 class DeviceModel(abc.ABC):
     """Abstract four-terminal (gate/drain/source, bulk folded) MOSFET model."""
 
-    def __init__(self, polarity: Polarity):
+    def __init__(self, polarity: Polarity, derivatives: str = "analytic"):
+        if derivatives not in ("analytic", "fd"):
+            raise ValueError(
+                f"derivatives must be 'analytic' or 'fd', got {derivatives!r}"
+            )
         self.polarity = Polarity(polarity)
+        self.derivatives = derivatives
 
     # ------------------------------------------------------------------
     # Normalized-space hooks implemented by concrete models.
@@ -76,6 +105,17 @@ class DeviceModel(abc.ABC):
     def _charges_normalized(self, vgs, vds) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Terminal charges ``(qg, qd, qs)`` [C] in normalized space."""
 
+    #: Optional analytic-gradient hooks.  A model that implements them
+    #: returns, for ``_ids_grad_normalized(vgs, vds)``, the triple
+    #: ``(ids, d ids/d vgs, d ids/d vds)`` and, for
+    #: ``_charges_grad_normalized(vgs, vds)``, the pair
+    #: ``((qg, qd, qs), {t: (dq_t/dvgs, dq_t/dvds)})`` over terminals
+    #: ``'g'/'d'/'s'`` — all in normalized (NMOS-like, vds >= 0) space.
+    #: Left as ``None`` here so :meth:`ids_and_derivatives` can detect
+    #: absence and fall back to finite differences.
+    _ids_grad_normalized = None
+    _charges_grad_normalized = None
+
     # ------------------------------------------------------------------
     # Public terminal-space API.
     # ------------------------------------------------------------------
@@ -86,65 +126,96 @@ class DeviceModel(abc.ABC):
         and source/drain swap for ``vds < 0`` (model symmetry).
         """
         sign = float(self.polarity)
-        vgs = sign * (np.asarray(vg, dtype=float) - vs)
-        vds = sign * (np.asarray(vd, dtype=float) - vs)
-
-        swap = vds < 0.0
-        # Swapped device: the physical source plays the drain role.
-        vgs_eff = np.where(swap, vgs - vds, vgs)
-        vds_eff = np.abs(vds)
+        vgs_eff, vds_eff, swap = _fold_bias(vg, vd, vs, sign)
         ids_n = self._ids_normalized(vgs_eff, vds_eff)
         return sign * np.where(swap, -ids_n, ids_n)
 
     def charges(self, vg, vd, vs):
         """Terminal charges ``(qg, qd, qs)`` [C] given node voltages."""
         sign = float(self.polarity)
-        vgs = sign * (np.asarray(vg, dtype=float) - vs)
-        vds = sign * (np.asarray(vd, dtype=float) - vs)
-
-        swap = vds < 0.0
-        vgs_eff = np.where(swap, vgs - vds, vgs)
-        vds_eff = np.abs(vds)
+        vgs_eff, vds_eff, swap = _fold_bias(vg, vd, vs, sign)
         qg, qd, qs = self._charges_normalized(vgs_eff, vds_eff)
         qd_out = np.where(swap, qs, qd)
         qs_out = np.where(swap, qd, qs)
         return sign * qg, sign * qd_out, sign * qs_out
 
     # ------------------------------------------------------------------
-    # Derivatives (finite difference; robust against model smoothing).
+    # Derivatives: analytic when the model provides gradient hooks,
+    # finite difference otherwise (robust against model smoothing).
     # ------------------------------------------------------------------
     def ids_and_derivatives(self, vg, vd, vs):
         """Return ``(ids, gm, gds, gms)``.
 
-        ``gm = d ids/d vg``, ``gds = d ids/d vd``, ``gms = d ids/d vs``;
-        evaluated by forward differences (an inexact Jacobian only costs
-        Newton an occasional extra iteration, and forward differences
-        halve the model-evaluation count of the inner solver loop).  All
-        four bias points share one stacked model call
-        (:func:`_fd_bias_points`).
+        ``gm = d ids/d vg``, ``gds = d ids/d vd``, ``gms = d ids/d vs``.
+        With ``derivatives="analytic"`` (the default) and a model that
+        implements :attr:`_ids_grad_normalized`, one closed-form model
+        evaluation replaces the four stacked finite-difference bias
+        points; the base class folds the normalized-space gradient back
+        through polarity and source/drain swap.  ``derivatives="fd"`` or
+        a hook-less model uses forward differences (an inexact Jacobian
+        only costs Newton an occasional extra iteration).
         """
-        h = _FD_STEP
-        i4 = self.ids(*_fd_bias_points(vg, vd, vs, h))
-        i0 = i4[0]
-        return i0, (i4[1] - i0) / h, (i4[2] - i0) / h, (i4[3] - i0) / h
+        grad = self._ids_grad_normalized
+        if grad is None or self.derivatives != "analytic":
+            h = _FD_STEP
+            i4 = self.ids(*_fd_bias_points(vg, vd, vs, h))
+            i0 = i4[0]
+            return i0, (i4[1] - i0) / h, (i4[2] - i0) / h, (i4[3] - i0) / h
+
+        sign = float(self.polarity)
+        vgs_eff, vds_eff, swap = _fold_bias(vg, vd, vs, sign)
+        ids_n, dig, did = grad(vgs_eff, vds_eff)
+        ids = sign * np.where(swap, -ids_n, ids_n)
+        # Chain rule through the folding.  Unswapped: vgs_eff = s(vg-vs),
+        # vds_eff = s(vd-vs).  Swapped: vgs_eff = s(vg-vd), vds_eff =
+        # s(vs-vd), and ids = -s*ids_n — the polarity sign squares away
+        # in every conductance.
+        gm = np.where(swap, -dig, dig)
+        gds = np.where(swap, dig + did, did)
+        gms = np.where(swap, -did, -(dig + did))
+        return ids, gm, gds, gms
 
     def charges_and_capacitance(self, vg, vd, vs):
         """Return ``(q, cmat)`` for the transient companion model.
 
         ``q`` is the terminal charge tuple ``(qg, qd, qs)``; ``cmat`` the
-        dict ``{(i, j): dq_i/dv_j}`` over terminals ``'g'/'d'/'s'``,
-        computed by forward differences.  As in
-        :meth:`ids_and_derivatives`, the four bias points share one
-        stacked model evaluation (:func:`_fd_bias_points`).
+        dict ``{(i, j): dq_i/dv_j}`` over terminals ``'g'/'d'/'s'``.
+        Analytic when the model implements
+        :attr:`_charges_grad_normalized` and ``derivatives="analytic"``,
+        forward differences otherwise; either way the swap folding mirror
+        of :meth:`charges` is applied here once.
         """
-        h = _FD_STEP
-        terminals = ("g", "d", "s")
-        q4 = self.charges(*_fd_bias_points(vg, vd, vs, h))
-        q0 = tuple(q[0] for q in q4)
+        grad = self._charges_grad_normalized
+        if grad is None or self.derivatives != "analytic":
+            h = _FD_STEP
+            terminals = ("g", "d", "s")
+            q4 = self.charges(*_fd_bias_points(vg, vd, vs, h))
+            q0 = tuple(q[0] for q in q4)
+            cmat = {}
+            for j, term_j in enumerate(terminals):
+                for i, term_i in enumerate(terminals):
+                    cmat[(term_i, term_j)] = (q4[i][j + 1] - q0[i]) / h
+            return q0, cmat
+
+        sign = float(self.polarity)
+        vgs_eff, vds_eff, swap = _fold_bias(vg, vd, vs, sign)
+        (qg_n, qd_n, qs_n), grads = grad(vgs_eff, vds_eff)
+        qd_out = np.where(swap, qs_n, qd_n)
+        qs_out = np.where(swap, qd_n, qs_n)
+        q0 = (sign * qg_n, sign * qd_out, sign * qs_out)
+        # Terminal i maps to normalized terminal sigma(i): identity when
+        # unswapped, d<->s when swapped.  With A = dq_sigma(i)/dvgs and
+        # B = dq_sigma(i)/dvds at the folded bias, the terminal-space row
+        # is (A, B, -(A+B)) unswapped and (A, -(A+B), B) swapped — the
+        # polarity sign cancels as in the current Jacobian.
+        sigma = {"g": "g", "d": "s", "s": "d"}
         cmat = {}
-        for j, term_j in enumerate(terminals):
-            for i, term_i in enumerate(terminals):
-                cmat[(term_i, term_j)] = (q4[i][j + 1] - q0[i]) / h
+        for term in ("g", "d", "s"):
+            a_n, b_n = grads[term]
+            a_s, b_s = grads[sigma[term]]
+            cmat[(term, "g")] = np.where(swap, a_s, a_n)
+            cmat[(term, "d")] = np.where(swap, -(a_s + b_s), b_n)
+            cmat[(term, "s")] = np.where(swap, b_s, -(a_n + b_n))
         return q0, cmat
 
     def capacitance_matrix(self, vg, vd, vs):

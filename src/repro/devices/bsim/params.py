@@ -92,12 +92,21 @@ class BSIMParams:
 
     @property
     def batch_shape(self):
-        """Broadcast shape of all varied fields (``()`` for a scalar card)."""
+        """Broadcast shape of all varied fields (``()`` for a scalar card).
+
+        Cached on first access: the card is frozen and numpy array shapes
+        are fixed at construction, yet plan fingerprinting asks for this
+        on every solve of a sweep.
+        """
+        cached = self.__dict__.get("_batch_shape")
+        if cached is not None:
+            return cached
         shape = ()
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
             if isinstance(value, np.ndarray):
                 shape = np.broadcast_shapes(shape, value.shape)
+        object.__setattr__(self, "_batch_shape", shape)
         return shape
 
     def validate(self) -> None:

@@ -70,11 +70,21 @@ def _apply_temperature(params: VSParams, temperature: float) -> VSParams:
     return params.replace(mu_cm2=mu, vxo_cm_s=vxo, vt0=vt0)
 
 
+def _sigmoid(x):
+    """Numerically safe logistic ``1 / (1 + exp(-x))`` (softplus')."""
+    return 0.5 * (1.0 + np.tanh(0.5 * x))
+
+
 class VSDevice(DeviceModel):
     """A MOSFET instance evaluated with the Virtual Source model."""
 
-    def __init__(self, params: VSParams, temperature: float = T_NOMINAL):
-        super().__init__(params.polarity)
+    def __init__(
+        self,
+        params: VSParams,
+        temperature: float = T_NOMINAL,
+        derivatives: str = "analytic",
+    ):
+        super().__init__(params.polarity, derivatives)
         params.validate()
         self.params = _apply_temperature(params, temperature)
         self.temperature = temperature
@@ -83,6 +93,52 @@ class VSDevice(DeviceModel):
     # ------------------------------------------------------------------
     # Internal pieces, exposed for tests and for the sensitivity code.
     # ------------------------------------------------------------------
+    def _consts(self):
+        """Param-only subexpressions of the Eq. 2-4 chain, cached per card.
+
+        Unit conversions, the DIBL exponential and the charge prefactors
+        depend only on the parameter card, yet the straightforward
+        implementation re-derived them at every bias point of every
+        Newton iteration.  Each cached value is computed by exactly the
+        expression it replaces (same operations, same grouping), so the
+        evaluated bits are unchanged — only the redundant re-derivation
+        goes away.  Keyed by card identity: stacked or ``replace``-d
+        devices re-derive on first use.
+        """
+        cached = self.__dict__.get("_vs_consts")
+        p = self.params
+        if cached is not None and cached[0] is p:
+            return cached[1]
+        phit = self.phit
+        n = np.asarray(p.n0, dtype=float)
+        alpha_phit = np.asarray(p.alpha_sm, dtype=float) * phit
+        beta = np.asarray(p.beta, dtype=float)
+        w_si = p.w_si
+        vxo_si = p.vxo_si
+        vdsat_strong = vxo_si * p.l_si / p.mu_si
+        consts = {
+            "n": n,
+            "alpha_phit": alpha_phit,
+            "half_shift": alpha_phit / 2.0,
+            "nphit": n * phit,
+            "cq": p.cinv_si * n * phit,
+            "cinv": p.cinv_si,
+            "vt0": np.asarray(p.vt0, dtype=float),
+            "delta": p.dibl(),
+            "vdsat_strong": vdsat_strong,
+            "phit_minus_vdsat": phit - vdsat_strong,
+            "beta": beta,
+            "inv_beta": 1.0 / beta,
+            "neg_exp": -(1.0 + 1.0 / beta),
+            "w_si": w_si,
+            "vxo_si": vxo_si,
+            "area": w_si * p.l_si,
+            "c_ov_d": np.asarray(p.cgdo_f_m, dtype=float) * w_si,
+            "c_ov_s": np.asarray(p.cgso_f_m, dtype=float) * w_si,
+        }
+        self.__dict__["_vs_consts"] = (p, consts)
+        return consts
+
     def threshold_voltage(self, vds):
         """Bias-dependent threshold ``VT = VT0 - delta(Leff) Vds`` (Eq. 4)."""
         p = self.params
@@ -114,35 +170,101 @@ class VSDevice(DeviceModel):
         slices of it, and the hot-loop I-V/C-V hooks below pay for it
         exactly once per bias point.
         """
-        p = self.params
+        c = self._consts()
         phit = self.phit
-        n = np.asarray(p.n0, dtype=float)
-        alpha_phit = np.asarray(p.alpha_sm, dtype=float) * phit
-        vt = self.threshold_voltage(vds)
+        alpha_phit = c["alpha_phit"]
+        vds = np.asarray(vds, dtype=float)
+        vt = c["vt0"] - c["delta"] * vds
         vgs = np.asarray(vgs, dtype=float)
         # Fermi blend between weak inversion (ff ~ 1) and strong (ff ~ 0):
-        ff = _fermi((vgs - (vt - alpha_phit / 2.0)) / alpha_phit)
+        ff = _fermi((vgs - (vt - c["half_shift"])) / alpha_phit)
         veff = vgs - (vt - alpha_phit * ff)
-        qixo = p.cinv_si * n * phit * _softplus(veff / (n * phit))
+        qixo = c["cq"] * _softplus(veff / c["nphit"])
 
-        vdsat_strong = p.vxo_si * p.l_si / p.mu_si
-        vdsat = vdsat_strong * (1.0 - ff) + phit * ff
-        beta = np.asarray(p.beta, dtype=float)
-        ratio = np.asarray(vds, dtype=float) / vdsat
-        fs = ratio / np.power(1.0 + np.power(ratio, beta), 1.0 / beta)
+        vdsat = c["vdsat_strong"] * (1.0 - ff) + phit * ff
+        ratio = vds / vdsat
+        fs = ratio / np.power(1.0 + np.power(ratio, c["beta"]), c["inv_beta"])
         return qixo, fs, vdsat
+
+    def _core_grad_normalized(self, vgs, vds):
+        """Eq. 2-4 chain with closed-form bias gradients.
+
+        Returns ``(qixo, fs, dqixo, dfs)`` where each ``d*`` is the pair
+        ``(d/dvgs, d/dvds)``.  The value arithmetic repeats
+        :meth:`_core_normalized` operation for operation so the analytic
+        path's residual is bitwise the finite-difference path's — only
+        the Jacobian changes.
+        """
+        c = self._consts()
+        phit = self.phit
+        alpha_phit = c["alpha_phit"]
+        delta = c["delta"]
+        vds = np.asarray(vds, dtype=float)
+        vt = c["vt0"] - delta * vds
+        vgs = np.asarray(vgs, dtype=float)
+
+        ff = _fermi((vgs - (vt - c["half_shift"])) / alpha_phit)
+        veff = vgs - (vt - alpha_phit * ff)
+        x = veff / c["nphit"]
+        qixo = c["cq"] * _softplus(x)
+
+        vdsat = c["vdsat_strong"] * (1.0 - ff) + phit * ff
+        ratio = vds / vdsat
+        rbeta = np.power(ratio, c["beta"])
+        fs = ratio / np.power(1.0 + rbeta, c["inv_beta"])
+
+        # d ff / d u with u the fermi argument; du/dvgs = 1/alpha_phit,
+        # du/dvds = delta/alpha_phit (through VT = VT0 - delta*Vds).
+        dff_du = -ff * (1.0 - ff)
+        dff_g = dff_du / alpha_phit
+        dff_d = dff_du * delta / alpha_phit
+
+        # veff = vgs - vt + alpha_phit*ff  =>  both partials share the
+        # (1 + dff_du) self-consistency factor.
+        dveff_g = 1.0 + alpha_phit * dff_g
+        dveff_d = delta + alpha_phit * dff_d
+
+        sig = _sigmoid(x)
+        cinv = c["cinv"]
+        dqixo_g = cinv * sig * dveff_g
+        dqixo_d = cinv * sig * dveff_d
+
+        dvdsat_g = c["phit_minus_vdsat"] * dff_g
+        dvdsat_d = c["phit_minus_vdsat"] * dff_d
+
+        ratio_over_vdsat = ratio / vdsat
+        dratio_g = -ratio_over_vdsat * dvdsat_g
+        dratio_d = 1.0 / vdsat - ratio_over_vdsat * dvdsat_d
+
+        # dfs/dr = (1 + r^beta)^-(1 + 1/beta) — the r^(beta-1) factors
+        # cancel, so r = 0 is regular.
+        dfs_dr = np.power(1.0 + rbeta, c["neg_exp"])
+        dfs_g = dfs_dr * dratio_g
+        dfs_d = dfs_dr * dratio_d
+        return qixo, fs, (dqixo_g, dqixo_d), (dfs_g, dfs_d)
 
     # ------------------------------------------------------------------
     # DeviceModel hooks.
     # ------------------------------------------------------------------
     def _ids_normalized(self, vgs, vds):
-        p = self.params
+        c = self._consts()
         qixo, fs, _ = self._core_normalized(vgs, vds)
-        return p.w_si * fs * qixo * p.vxo_si
+        return c["w_si"] * fs * qixo * c["vxo_si"]
+
+    def _ids_grad_normalized(self, vgs, vds):
+        c = self._consts()
+        qixo, fs, (dqixo_g, dqixo_d), (dfs_g, dfs_d) = (
+            self._core_grad_normalized(vgs, vds)
+        )
+        scale = c["w_si"] * c["vxo_si"]
+        ids = c["w_si"] * fs * qixo * c["vxo_si"]
+        dig = scale * (dfs_g * qixo + fs * dqixo_g)
+        did = scale * (dfs_d * qixo + fs * dqixo_d)
+        return ids, dig, did
 
     def _charges_normalized(self, vgs, vds):
-        p = self.params
-        area = p.w_si * p.l_si
+        c = self._consts()
+        area = c["area"]
         qixo, fs, _ = self._core_normalized(vgs, vds)
         qixd = qixo * (1.0 - fs)
 
@@ -156,13 +278,50 @@ class VSDevice(DeviceModel):
         # Overlap / fringe charge (normalized space: vs = 0).
         vgs = np.asarray(vgs, dtype=float)
         vds = np.asarray(vds, dtype=float)
-        q_ov_d = np.asarray(p.cgdo_f_m, dtype=float) * p.w_si * (vgs - vds)
-        q_ov_s = np.asarray(p.cgso_f_m, dtype=float) * p.w_si * vgs
+        q_ov_d = c["c_ov_d"] * (vgs - vds)
+        q_ov_s = c["c_ov_s"] * vgs
 
         qg = q_gate + q_ov_d + q_ov_s
         qd = -q_drain - q_ov_d
         qs = -q_source - q_ov_s
         return qg, qd, qs
+
+    def _charges_grad_normalized(self, vgs, vds):
+        c = self._consts()
+        area = c["area"]
+        qixo, fs, (dqixo_g, dqixo_d), (dfs_g, dfs_d) = (
+            self._core_grad_normalized(vgs, vds)
+        )
+        qixd = qixo * (1.0 - fs)
+        dqixd_g = dqixo_g * (1.0 - fs) - qixo * dfs_g
+        dqixd_d = dqixo_d * (1.0 - fs) - qixo * dfs_d
+
+        q_drain = area * (qixo / 6.0 + qixd / 3.0)
+        q_source = area * (qixo / 3.0 + qixd / 6.0)
+        q_gate = q_drain + q_source
+        dq_drain_g = area * (dqixo_g / 6.0 + dqixd_g / 3.0)
+        dq_drain_d = area * (dqixo_d / 6.0 + dqixd_d / 3.0)
+        dq_source_g = area * (dqixo_g / 3.0 + dqixd_g / 6.0)
+        dq_source_d = area * (dqixo_d / 3.0 + dqixd_d / 6.0)
+
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        c_ov_d = c["c_ov_d"]
+        c_ov_s = c["c_ov_s"]
+        q_ov_d = c_ov_d * (vgs - vds)
+        q_ov_s = c_ov_s * vgs
+
+        qg = q_gate + q_ov_d + q_ov_s
+        qd = -q_drain - q_ov_d
+        qs = -q_source - q_ov_s
+        zero = np.zeros(np.broadcast(vgs, vds, qixo).shape)
+        grads = {
+            "g": (dq_drain_g + dq_source_g + c_ov_d + c_ov_s + zero,
+                  dq_drain_d + dq_source_d - c_ov_d + zero),
+            "d": (-dq_drain_g - c_ov_d + zero, -dq_drain_d + c_ov_d + zero),
+            "s": (-dq_source_g - c_ov_s + zero, -dq_source_d + zero),
+        }
+        return (qg, qd, qs), grads
 
     # ------------------------------------------------------------------
     # Convenience figure-of-merit extraction.
@@ -176,5 +335,5 @@ class VSDevice(DeviceModel):
         return self.ids(0.0, vdd, 0.0)
 
     def with_params(self, params: VSParams) -> "VSDevice":
-        """New device sharing temperature but with a different card."""
-        return VSDevice(params, self.temperature)
+        """New device sharing temperature/derivative mode, new card."""
+        return VSDevice(params, self.temperature, self.derivatives)

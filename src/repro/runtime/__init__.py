@@ -53,8 +53,11 @@ from repro.runtime.runner import (
 )
 from repro.runtime.sharding import (
     DEFAULT_SHARD_SIZE,
+    MAX_AUTO_SHARDS,
+    MIN_AUTO_SHARD_SIZE,
     Shard,
     ShardPlan,
+    auto_shard_size,
     plan_shards,
     shard_rng,
     shard_sequence,
@@ -77,6 +80,9 @@ __all__ = [
     "plan_for_execution",
     "stop_rule_for_execution",
     "DEFAULT_SHARD_SIZE",
+    "MIN_AUTO_SHARD_SIZE",
+    "MAX_AUTO_SHARDS",
+    "auto_shard_size",
     "shard_rng",
     "shard_sequence",
     "Executor",

@@ -53,6 +53,19 @@ def _run_shard(task: Callable, shard: Shard) -> Tuple[int, object]:
     return shard.index, task(shard)
 
 
+def _chunk_runner(task: Callable) -> Optional[Callable]:
+    """The task's coalesced chunk entry point, when it opts in.
+
+    A task that exposes ``run_chunk(shards) -> [(index, payload), ...]``
+    *and* carries a truthy ``coalesce`` flag evaluates a whole chunk as
+    one batched call (``FactoryMapTask``: one Newton solve over the
+    concatenated sample block).  Everything else runs shard by shard.
+    """
+    if getattr(task, "coalesce", False):
+        return getattr(task, "run_chunk", None)
+    return None
+
+
 def _run_shard_chunk(
     task: Callable, chunk: Sequence[Shard]
 ) -> List[Tuple[int, object]]:
@@ -60,9 +73,20 @@ def _run_shard_chunk(
 
     Chunking bounds the number of times the task — which may embed a
     whole characterized technology or timing graph — crosses the
-    process boundary: once per chunk instead of once per shard.
+    process boundary: once per chunk instead of once per shard.  It is
+    also the coalescing unit: a task with a chunk runner (see
+    :func:`_chunk_runner`) evaluates its whole chunk in one batched
+    call, results split back per shard.
     """
+    run_chunk = _chunk_runner(task)
+    if run_chunk is not None:
+        return run_chunk(chunk)
     return [_run_shard(task, shard) for shard in chunk]
+
+
+#: Worker-side span names worth shipping back for the parent timeline
+#: (scheduling metadata only — payloads never ride in the timing dict).
+_SHIPPED_SPANS = frozenset({"newton.solve", "plan.compile"})
 
 
 def _run_shard_chunk_timed(
@@ -73,17 +97,40 @@ def _run_shard_chunk_timed(
     Used only when a tracer is active on the parent side.  The timing
     dict rides back *next to* the payload list, never inside it — the
     runner merges payloads exactly as in the untraced path, so results
-    are bit-identical with and without tracing.
+    are bit-identical with and without tracing.  A worker-local tracer
+    additionally captures the hot inner spans (``newton.solve``,
+    ``plan.compile``); their records ship back as plain tuples under
+    ``"spans"`` for parent-side synthesis next to the per-shard
+    ``shard.execute`` lanes.
     """
+    from repro.obs.trace import Tracer, activate
+
+    tracer = Tracer()
     results: List[Tuple[int, object]] = []
     timings: List[Tuple[int, float, int]] = []
-    for shard in chunk:
-        start = time.perf_counter()
-        results.append(_run_shard(task, shard))
-        timings.append(
-            (shard.index, time.perf_counter() - start, shard.n_samples)
-        )
-    return results, {"pid": os.getpid(), "shards": timings}
+    run_chunk = _chunk_runner(task)
+    with activate(tracer):
+        if run_chunk is not None:
+            start = time.perf_counter()
+            results = run_chunk(chunk)
+            timings.append((
+                chunk[0].index,
+                time.perf_counter() - start,
+                sum(shard.n_samples for shard in chunk),
+            ))
+        else:
+            for shard in chunk:
+                start = time.perf_counter()
+                results.append(_run_shard(task, shard))
+                timings.append(
+                    (shard.index, time.perf_counter() - start, shard.n_samples)
+                )
+    spans = [
+        (rec["name"], rec["start_s"], rec["dur_s"], rec["args"])
+        for rec in tracer.records
+        if rec["ph"] == "X" and rec["name"] in _SHIPPED_SPANS
+    ]
+    return results, {"pid": os.getpid(), "shards": timings, "spans": spans}
 
 
 def _warmup() -> bool:
@@ -120,6 +167,19 @@ class SerialExecutor(Executor):
     kind = "serial"
 
     def map_shards(self, task, shards: Sequence[Shard]) -> List[Tuple[int, object]]:
+        run_chunk = _chunk_runner(task)
+        if run_chunk is not None and len(shards) > 1:
+            # Coalesced execution: the whole wave is one batched call
+            # (and one shard.execute span covering it).
+            start = time.perf_counter()
+            with span("shard.execute", shard=shards[0].index,
+                      shards=len(shards),
+                      samples=sum(s.n_samples for s in shards),
+                      executor=self.kind, coalesced=True):
+                results = run_chunk(shards)
+            _SHARDS.inc(len(shards))
+            _SHARD_SECONDS.observe(time.perf_counter() - start)
+            return results
         results = []
         for shard in shards:
             start = time.perf_counter()
@@ -242,6 +302,15 @@ class ParallelExecutor(Executor):
                 )
                 cursor += duration
                 _SHARD_SECONDS.observe(duration)
+            # Hot inner spans measured by the worker's own tracer
+            # (newton.solve, plan.compile) land on the same worker
+            # lane; their clocks start at chunk start ~= submit time.
+            base = tracer.offset(submitted)
+            for name, start_s, dur_s, args in timing.get("spans", ()):
+                tracer.add_span(
+                    name, base + start_s, dur_s, pid=timing["pid"],
+                    worker_pid=timing["pid"], **args,
+                )
         _SHARDS.inc(len(shards))
         return results
 

@@ -35,8 +35,8 @@ from repro.runtime.checkpoint import (
 )
 from repro.runtime.executors import Executor
 from repro.runtime.sharding import (
-    DEFAULT_SHARD_SIZE,
     ShardPlan,
+    auto_shard_size,
     plan_shards,
 )
 from repro.runtime.stopping import StopDecision, StopRule
@@ -482,14 +482,16 @@ def plan_for_execution(execution, n_samples: int, base_seed: int,
     """Shard plan an ``Execution`` spec implies for an *n_samples* run.
 
     An explicit ``shard_size`` wins; otherwise every engaged execution
-    defaults to :data:`~repro.runtime.sharding.DEFAULT_SHARD_SIZE`.
-    Nothing here may consult the worker count — the partition (and
-    through it the sample stream) must be identical at every
-    parallelism level, including ``workers=1``.  *spawn_prefix* nests
-    the shard streams under an enclosing sweep point.
+    sizes shards through :func:`~repro.runtime.sharding.auto_shard_size`
+    (batch economics: >= ~200 samples per shard, a constant fan-out cap
+    on the shard count).  Nothing here may consult the worker count —
+    the partition (and through it the sample stream) must be identical
+    at every parallelism level, including ``workers=1``.
+    *spawn_prefix* nests the shard streams under an enclosing sweep
+    point.
     """
     shard_size = getattr(execution, "shard_size", None)
     if shard_size is None and execution is not None:
-        shard_size = DEFAULT_SHARD_SIZE
+        shard_size = auto_shard_size(n_samples)
     return plan_shards(n_samples, shard_size, base_seed,
                        spawn_prefix=spawn_prefix)

@@ -21,10 +21,11 @@ of the plan (and of checkpoint fingerprints), never of scheduling.
 
 The one thing the stream *does* depend on is the shard size: changing
 ``shard_size`` re-partitions the draw and produces a different (equally
-valid) sample set.  ``Execution(shard_size=None)`` therefore means "one
-shard spanning the whole run", and the legacy unsharded entry points
-(``execution=None`` end to end) keep their historical single-stream
-draws so the golden figures stay pinned.
+valid) sample set.  ``Execution(shard_size=None)`` sizes shards
+automatically through :func:`auto_shard_size` — still a pure function
+of the sample count (never of the worker count) — and the legacy
+unsharded entry points (``execution=None`` end to end) keep their
+historical single-stream draws so the golden figures stay pinned.
 """
 
 from __future__ import annotations
@@ -36,6 +37,9 @@ import numpy as np
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
+    "MIN_AUTO_SHARD_SIZE",
+    "MAX_AUTO_SHARDS",
+    "auto_shard_size",
     "Shard",
     "ShardPlan",
     "plan_shards",
@@ -43,11 +47,37 @@ __all__ = [
     "shard_rng",
 ]
 
-#: Shard size used when execution options engage the runtime without an
-#: explicit ``shard_size``.  A fixed constant — never derived from the
-#: worker count — so the default-sharded stream is still worker-count
-#: invariant.
+#: Historical fixed shard size of PR 3-8 (kept for callers that want a
+#: deterministic constant); execution specs without an explicit
+#: ``shard_size`` now size shards through :func:`auto_shard_size`.
 DEFAULT_SHARD_SIZE = 1024
+
+#: Floor of the automatic shard size.  The batched Newton solver's
+#: per-solve fixed costs (plan lookup, assembly dispatch, LU setup)
+#: amortize across the sample axis; below a few hundred samples per
+#: shard they dominate, so the automatic sizing never goes smaller.
+MIN_AUTO_SHARD_SIZE = 200
+
+#: Fan-out cap of the automatic sizing: at most this many shards per
+#: run.  A *constant* — deliberately not the worker count, which the
+#: shard partition must never consult — chosen comfortably above any
+#: realistic pool width so wide pools still fill.
+MAX_AUTO_SHARDS = 32
+
+
+def auto_shard_size(n_samples: int) -> int:
+    """Batch-economics shard size for runs without an explicit one.
+
+    ``max(MIN_AUTO_SHARD_SIZE, ceil(n_samples / MAX_AUTO_SHARDS))`` —
+    big enough that per-shard fixed costs amortize (~200 samples
+    minimum), few enough shards that scheduling overhead stays small.
+    Pure function of the sample count and two module constants, so the
+    resulting stream honours the worker-invariance contract; the chosen
+    size lands in ``Result.runtime.shard_size``.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    return max(MIN_AUTO_SHARD_SIZE, -(-int(n_samples) // MAX_AUTO_SHARDS))
 
 
 @dataclass(frozen=True)

@@ -214,31 +214,72 @@ class FactoryMapTask:
     (a picklable callable: module-level function or frozen dataclass).
     Worker processes keep their own compiled-plan caches — plans are
     per-process state, and each long-lived pool worker compiles once.
+
+    With ``coalesce`` (the default) executors batch all same-task shards
+    of a chunk through :meth:`run_chunk` — one Newton solve over the
+    concatenated sample block instead of one per shard.  Each shard's
+    stream is still drawn by its own generator, and the batched solve is
+    elementwise along the sample axis, so the per-shard rows are
+    bit-identical to the unbatched path at every worker count.
     """
 
     technology: object              #: Technology
     work: Callable
     model: str = "vs"
     backend: Optional[str] = None
+    coalesce: bool = True
 
-    def __call__(self, shard: Shard) -> np.ndarray:
+    def _factory(self, shard: Shard):
         from repro.cells.factory import MonteCarloDeviceFactory
 
-        factory = MonteCarloDeviceFactory(
+        return MonteCarloDeviceFactory(
             self.technology, shard.n_samples, rng=shard.rng(),
             model=self.model,
         )
+
+    def _equip(self, factory):
         factory.plan_cache = _process_plan_cache()
         if self.backend is not None:
             factory.backend = self.backend
+        return factory
+
+    def _work(self, factory, n_samples: int) -> np.ndarray:
         values = np.asarray(self.work(factory))
-        if values.ndim < 1 or values.shape[0] != shard.n_samples:
+        if values.ndim < 1 or values.shape[0] != n_samples:
             raise TypeError(
                 "factory-map work must return an array with the "
                 f"Monte-Carlo axis first; got shape {values.shape} for a "
-                f"{shard.n_samples}-sample shard"
+                f"{n_samples}-sample shard"
             )
         return values
+
+    def __call__(self, shard: Shard) -> np.ndarray:
+        return self._work(self._equip(self._factory(shard)), shard.n_samples)
+
+    def run_chunk(self, shards) -> list:
+        """Evaluate several shards as ONE batched factory-map call.
+
+        The cross-shard batching of the fast Newton path: per-shard
+        factories draw their own streams (identical request order, so
+        identical draws), a :class:`~repro.cells.factory.
+        CoalescedFactory` concatenates the sampled cards along the
+        sample axis, *work* runs once on the combined block, and the
+        result rows are split back at the shard boundaries.  Returns
+        ``(shard_index, payload)`` pairs like an executor shard loop.
+        """
+        if not self.coalesce or len(shards) <= 1:
+            return [(shard.index, self(shard)) for shard in shards]
+        from repro.cells.factory import CoalescedFactory
+
+        factory = self._equip(
+            CoalescedFactory([self._factory(shard) for shard in shards])
+        )
+        values = self._work(factory, factory.n_samples)
+        pairs, offset = [], 0
+        for shard in shards:
+            pairs.append((shard.index, values[offset:offset + shard.n_samples]))
+            offset += shard.n_samples
+        return pairs
 
 
 def run_factory_map(
@@ -248,6 +289,7 @@ def run_factory_map(
     executor: Executor,
     model: str = "vs",
     backend: Optional[str] = None,
+    coalesce: bool = True,
     stop: Optional[StopRule] = None,
     wave_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
@@ -260,6 +302,7 @@ def run_factory_map(
     """
     task = FactoryMapTask(
         technology=technology, work=work, model=model, backend=backend,
+        coalesce=bool(coalesce),
     )
     return run_array_task(
         task, plan, executor, stop=stop, wave_size=wave_size,

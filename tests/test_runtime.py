@@ -444,8 +444,11 @@ class TestWorkerCountInvariance:
 
     def test_default_shard_size_is_worker_independent(self, session):
         # Regression: with shard_size unset, the partition must come
-        # from the fixed runtime default, never from the worker count —
-        # Execution(workers=1) and Execution(workers=2) share one stream.
+        # from the automatic batch-economics sizing, never from the
+        # worker count — Execution(workers=1) and Execution(workers=2)
+        # share one stream.
+        from repro.runtime.sharding import auto_shard_size
+
         results = {
             w: session.run(MonteCarlo(
                 n_samples=2000, w_nm=600.0, seed_offset=3,
@@ -454,7 +457,8 @@ class TestWorkerCountInvariance:
             for w in (1, 2)
         }
         assert results[1].runtime.shard_size == results[2].runtime.shard_size
-        assert results[1].runtime.n_shards == 2      # 2000 / default 1024
+        assert results[1].runtime.shard_size == auto_shard_size(2000) == 200
+        assert results[1].runtime.n_shards == 10     # 2000 / auto 200
         np.testing.assert_array_equal(
             results[1].payload.samples["idsat"],
             results[2].payload.samples["idsat"],
