@@ -1,0 +1,140 @@
+"""Cluster-executor throughput on the Fig. 9 SRAM SNM Monte-Carlo.
+
+Times the same SNM workload serially and on a localhost cluster —
+coordinator in-process, two ``python -m repro worker`` subprocess
+agents — and records samples/sec for both in machine-readable
+``BENCH_cluster.json``.  Also re-asserts the headline PR-10 invariant
+on a real workload: the cluster output is bit-identical to serial.
+
+Honesty note: on a single-CPU container the cluster CANNOT beat
+serial — two worker processes time-slice one core and every shard
+result additionally pays pickling plus a TCP round trip.  The JSON
+records ``cpu_count`` so readers can interpret the ratio; no speedup
+is asserted unless the machine actually exposes spare cores, and even
+then only a modest one (localhost TCP is not a fabric).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import Execution, Session
+from repro.cells.sram import SRAMSpec
+from repro.cluster import ClusterExecutor
+from repro.experiments.fig9_sram_snm import SNMWork
+
+N_SAMPLES = 300
+SHARD_SIZE = 50
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _timed_map(session, work, execution):
+    start = time.perf_counter()
+    values, _ = session.map_mc(work, N_SAMPLES, model="vs", seed_offset=75,
+                               execution=execution)
+    return values, time.perf_counter() - start
+
+
+def _spawn_worker(address: str, name: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--connect", address,
+         "--name", name],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def test_cluster_scaling_sram_snm(results_dir, record_report):
+    serial_session = Session()
+    work = SNMWork(SRAMSpec(), serial_session.technology.vdd, "read")
+    serial_execution = Execution(shard_size=SHARD_SIZE, workers=1)
+    try:
+        # Warm the compiled-plan cache outside the timed window.
+        serial_session.map_mc(work, SHARD_SIZE, model="vs", seed_offset=76,
+                              execution=serial_execution)
+        serial_values, serial_s = _timed_map(serial_session, work,
+                                             serial_execution)
+    finally:
+        serial_session.close()
+
+    executor = ClusterExecutor("tcp://127.0.0.1:0", worker_wait=120.0)
+    workers = [_spawn_worker(executor.address, f"bench{i}")
+               for i in range(2)]
+    cluster_session = Session(executor=executor)
+    try:
+        executor.warm()
+        # Warm the worker-process plan caches before timing, exactly
+        # as the pool benchmark does for its fork/spawn workers.
+        cluster_session.map_mc(
+            work, SHARD_SIZE * 2, model="vs", seed_offset=76,
+            execution=Execution(shard_size=SHARD_SIZE, workers="cluster"),
+        )
+        cluster_values, cluster_s = _timed_map(
+            cluster_session, work,
+            Execution(shard_size=SHARD_SIZE, workers="cluster"),
+        )
+    finally:
+        cluster_session.close()
+        executor.close()
+        for proc in workers:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    # The PR-10 invariant on a real workload: scheduling only.
+    np.testing.assert_array_equal(serial_values, cluster_values)
+
+    cpu_count = _cpu_count()
+    record = {
+        "benchmark": "fig9 SRAM READ-SNM Monte-Carlo (VS model)",
+        "n_samples": N_SAMPLES,
+        "shard_size": SHARD_SIZE,
+        "cpu_count": cpu_count,
+        "workloads": {
+            "sharded_serial": {
+                "seconds": serial_s,
+                "samples_per_sec": N_SAMPLES / serial_s,
+            },
+            "cluster_2_workers_localhost": {
+                "seconds": cluster_s,
+                "samples_per_sec": N_SAMPLES / cluster_s,
+            },
+        },
+        "speedup_cluster_vs_serial": serial_s / cluster_s,
+        "outputs_bit_identical": True,
+        "note": (
+            "localhost cluster, 2 worker subprocesses; on a single-CPU "
+            "machine the workers time-slice one core and the ratio "
+            "measures protocol overhead (pickle + TCP round trips), "
+            "not scaling — read it together with cpu_count"
+        ),
+    }
+    (results_dir / "BENCH_cluster.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        "Cluster executor scaling -- fig9 SRAM READ SNM "
+        f"({N_SAMPLES} MC, shard {SHARD_SIZE}, {cpu_count} CPUs)",
+        f"{'sharded_serial':28s} {serial_s:7.2f} s  "
+        f"{N_SAMPLES / serial_s:8.1f} samples/s",
+        f"{'cluster_2_workers_localhost':28s} {cluster_s:7.2f} s  "
+        f"{N_SAMPLES / cluster_s:8.1f} samples/s",
+        f"cluster vs serial: {serial_s / cluster_s:.2f}x",
+        "Cluster output bit-identical to serial.",
+    ]
+    record_report("cluster_scaling", "\n".join(lines))

@@ -23,6 +23,14 @@ the two store contracts that make the service trustworthy:
 Run from the repository root::
 
     python scripts/smoke_test.py
+    python scripts/smoke_test.py --cluster
+
+``--cluster`` runs the distributed variant instead: the daemon starts
+with ``--cluster 127.0.0.1:<port>`` so jobs execute on worker agents,
+two ``python -m repro worker`` subprocesses join, one is SIGKILLed
+mid-job (the coordinator reshards its leases to the survivor), and the
+checks prove the envelope is still bit-identical to a local serial run
+and that a resubmission is a store hit.
 
 Exit status 0 on success, 1 on any failed check.
 """
@@ -64,12 +72,25 @@ def free_port() -> int:
         return sock.getsockname()[1]
 
 
-def start_daemon(port: int) -> subprocess.Popen:
+def start_daemon(port: int, cluster: str = None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    argv = [sys.executable, "-m", "repro", "serve", "--port", str(port),
+            "--store", STORE, "--workers", "1"]
+    if cluster is not None:
+        argv += ["--cluster", cluster]
+    return subprocess.Popen(
+        argv, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def start_worker(address: str, name: str) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
     return subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", str(port),
-         "--store", STORE, "--workers", "1"],
+        [sys.executable, "-m", "repro", "worker", "--connect", address,
+         "--name", name],
         cwd=REPO_ROOT, env=env,
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
@@ -143,9 +164,91 @@ def yield_spec(technology, n_samples: int) -> Yield:
     )
 
 
+def cluster_main() -> int:
+    """The ``--cluster`` variant: serve --cluster + worker agents."""
+    import shutil
+
+    shutil.rmtree(STORE, ignore_errors=True)
+    port = free_port()
+    cluster_port = free_port()
+    cluster = f"127.0.0.1:{cluster_port}"
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=120.0)
+
+    print(f"[smoke] starting daemon on port {port} with cluster at "
+          f"{cluster}, store {STORE}")
+    daemon = start_daemon(port, cluster=cluster)
+    workers = [start_worker(cluster, f"smoke{i}") for i in range(2)]
+    session = None
+    try:
+        wait_healthy(client, daemon)
+        check("daemon healthy with --cluster", True)
+
+        session = Session(seed=EXPERIMENT_SEED, executor=1)
+
+        # --- submit: the job executes on the worker agents ----------
+        spec = yield_spec(session.technology, n_samples=2_000_000)
+        job = client.submit(spec)
+        check("cluster job started", job["outcome"] == "started",
+              f"outcome={job['outcome']}")
+
+        # --- worker death mid-job -----------------------------------
+        # Wait for real progress (leases are out), then SIGKILL one
+        # agent; the coordinator must reshard its leases and resume on
+        # the survivor without touching the result.
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            progress = client.status(job)["progress"]
+            if (progress["completed"] or 0) >= 2:
+                break
+            time.sleep(0.02)
+        else:
+            raise RuntimeError("cluster job never made progress")
+        workers[0].send_signal(signal.SIGKILL)
+        workers[0].wait(timeout=30)
+        check("worker SIGKILLed mid-job", True,
+              f"at {progress['completed']}/{progress['total']} shards")
+
+        envelope = client.result(job, timeout=600.0)
+        check("job completed on the surviving worker", True)
+        reference = session.run(spec)
+        check("cluster envelope bit-identical to Session(executor=1).run",
+              dumps(scrub_envelope(envelope)) == (
+                  dumps(scrub_envelope(reference))),
+              f"p={envelope.payload.probability:.3e}")
+
+        # --- store hit on resubmission ------------------------------
+        again = client.submit(spec)
+        check("resubmission is a store hit",
+              again["outcome"] == "hit" and again["job"] == job["job"],
+              f"outcome={again['outcome']}")
+        print_job_timing(client, job)
+    finally:
+        if session is not None:
+            session.close()
+        for proc in workers:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
+        if daemon.poll() is None:
+            daemon.terminate()
+            try:
+                daemon.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+        shutil.rmtree(STORE, ignore_errors=True)
+
+    if failures:
+        print(f"[smoke] FAILED: {failures}")
+        return 1
+    print("[smoke] all cluster checks passed")
+    return 0
+
+
 def main() -> int:
     import shutil
 
+    if "--cluster" in sys.argv[1:]:
+        return cluster_main()
     shutil.rmtree(STORE, ignore_errors=True)
     port = free_port()
     client = ServiceClient(f"http://127.0.0.1:{port}", timeout=120.0)

@@ -17,6 +17,9 @@ Usage::
     python -m repro serve --port 7373 --store ./store --workers 4
                                          # analysis service daemon (HTTP)
     python -m repro serve --log-level debug   # JSON log lines on stderr
+    python -m repro serve --cluster 0.0.0.0:7400   # jobs run on the cluster
+    python -m repro worker --connect host:7400 --concurrency 2
+                                         # cluster worker agent (elastic)
 
 Every experiment is a declarative entry in the :mod:`repro.api`
 registry and executes through one :class:`repro.api.Session`, which
@@ -64,13 +67,83 @@ def _serve_main(argv) -> int:
                         help="threshold of the structured JSON log on "
                              "stderr (one line per HTTP request and per "
                              "job state transition)")
+    parser.add_argument("--cluster", default=None, metavar="HOST:PORT",
+                        help="run jobs on a cluster instead of a local "
+                             "pool: bind a coordinator at HOST:PORT and "
+                             "wait for 'python -m repro worker' agents "
+                             "(overrides --workers; envelopes stay "
+                             "bit-identical to serial)")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.cluster is not None:
+        from repro.cluster import parse_address
+
+        try:
+            parse_address(args.cluster)
+        except ValueError as exc:
+            parser.error(str(exc))
     return serve(ServiceConfig(
         host=args.host, port=args.port, store=args.store,
         workers=args.workers, seed=args.seed, log_level=args.log_level,
+        cluster=args.cluster,
     ))
+
+
+def _worker_main(argv) -> int:
+    """The ``python -m repro worker`` verb: join a cluster coordinator."""
+    from repro.cluster import WorkerAgent, WorkerConfig, parse_address
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Cluster worker agent: connect to a coordinator "
+                    "(Session(executor='tcp://...') or serve --cluster), "
+                    "pull shard leases, stream results back.  Reconnects "
+                    "with exponential backoff; safe to SIGKILL — the "
+                    "coordinator reshards its leases to survivors.",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address (tcp://host:port or "
+                             "bare host:port)")
+    parser.add_argument("--concurrency", type=int, default=1,
+                        help="shard chunks executed concurrently by this "
+                             "agent (default 1)")
+    parser.add_argument("--name", default=None,
+                        help="worker name shown in coordinator telemetry "
+                             "(default: hostname-pid)")
+    parser.add_argument("--heartbeat", type=float, default=1.0,
+                        help="seconds between heartbeat frames (default 1)")
+    parser.add_argument("--max-connects", type=int, default=None,
+                        dest="max_connects",
+                        help="give up after this many failed connection "
+                             "attempts (default: retry forever)")
+    parser.add_argument("--allow-module", action="append", default=None,
+                        dest="allow_modules", metavar="ROOT",
+                        help="additional top-level module root admitted "
+                             "by the wire validator (repeatable; 'repro' "
+                             "is always allowed)")
+    args = parser.parse_args(argv)
+    if args.concurrency < 1:
+        parser.error("--concurrency must be >= 1")
+    if args.heartbeat <= 0:
+        parser.error("--heartbeat must be > 0")
+    try:
+        parse_address(args.connect)
+    except ValueError as exc:
+        parser.error(str(exc))
+    allow = ("repro",) + tuple(args.allow_modules or ())
+    agent = WorkerAgent(WorkerConfig(
+        connect=args.connect,
+        name=args.name,
+        concurrency=args.concurrency,
+        heartbeat_interval=args.heartbeat,
+        max_connects=args.max_connects,
+        allow_modules=allow,
+    ))
+    try:
+        return agent.run()
+    except KeyboardInterrupt:
+        return 0
 
 
 def main(argv=None) -> int:
@@ -78,6 +151,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate DATE-2013 statistical-VS paper artifacts.",

@@ -62,6 +62,18 @@ def _batch_samples(batch_shape: tuple) -> Optional[int]:
     return int(np.prod(batch_shape))
 
 
+def _executor_key(instance):
+    """Cache key of an executor instance in the session's pool table.
+
+    Process pools are keyed (and deduplicated) by worker count; a
+    cluster executor's live worker count is elastic, so it keys on the
+    sentinel ``"cluster"`` — the same value ``Execution.workers``
+    carries to select it.
+    """
+    return "cluster" if getattr(instance, "kind", None) == "cluster" \
+        else instance.workers
+
+
 class Session:
     """Facade over the technology, seeding, backends, and plan cache.
 
@@ -81,9 +93,12 @@ class Session:
     executor:
         Session-wide parallelism for statistical workloads: ``None``/1
         for serial, an integer >= 2 for a process pool of that many
-        workers, or a :class:`repro.runtime.Executor` instance.  With
-        workers engaged, statistical specs default to the sharded
-        runtime (output still worker-count invariant — the shard/seed
+        workers, a ``"tcp://host:port"`` address to bind a
+        :class:`repro.cluster.ClusterExecutor` coordinator there
+        (remote agents connect with ``python -m repro worker``), or a
+        :class:`repro.runtime.Executor` instance.  With workers
+        engaged, statistical specs default to the sharded runtime
+        (output still worker-count invariant — the shard/seed
         contract); specs may override per run via their ``execution``.
     shard_size:
         Session default shard size for runtime-routed runs (``None``
@@ -139,16 +154,18 @@ class Session:
             from repro.runtime import Executor, resolve_executor
 
             borrowed = isinstance(executor, Executor)
-            if not borrowed and int(executor) < 1:
+            if (not borrowed and not isinstance(executor, str)
+                    and int(executor) < 1):
                 # Mirror Execution(workers=...) and the CLI: a
                 # miscomputed worker count must fail loudly, not
                 # silently run serial.
                 raise ValueError(f"executor workers must be >= 1, got {executor}")
             instance = resolve_executor(executor)
-            self._executors[instance.workers] = instance
+            key = _executor_key(instance)
+            self._executors[key] = instance
             if borrowed:
-                self._borrowed_workers.add(instance.workers)
-            self._default_workers = instance.workers
+                self._borrowed_workers.add(key)
+            self._default_workers = key
         self.shard_size = shard_size
         self.tracer = tracer
         if metrics is True:
@@ -186,8 +203,12 @@ class Session:
     # Parallel runtime plumbing.
     # ------------------------------------------------------------------
     @property
-    def workers(self) -> int:
-        """Session-default degree of parallelism (1 = serial)."""
+    def workers(self):
+        """Session-default degree of parallelism.
+
+        An int (1 = serial) or the string ``"cluster"`` when the
+        session was built with ``executor="tcp://host:port"``.
+        """
         return self._default_workers
 
     def default_execution(self) -> Optional[Execution]:
@@ -216,16 +237,27 @@ class Session:
 
         workers = execution.workers if execution is not None else 1
         with self._lock:
+            if workers == "cluster":
+                instance = self._executors.get("cluster")
+                if instance is None:
+                    raise ValueError(
+                        'Execution(workers="cluster") needs a session '
+                        'with a cluster executor — construct it with '
+                        'Session(executor="tcp://host:port")'
+                    )
+                return instance
             if workers not in self._executors:
                 self._executors[workers] = resolve_executor(workers)
             return self._executors[workers]
 
     def close(self) -> None:
-        """Shut down the process pools this session spawned.
+        """Shut down the executors this session spawned.
 
-        Executor instances the caller passed into ``Session(executor=)``
-        are borrowed, not owned — they are released from the cache but
-        left running for their owner to close.
+        Idempotent — a second ``close()`` (or ``__exit__`` after an
+        explicit close) is a no-op.  Executor instances the caller
+        passed into ``Session(executor=)`` are borrowed, not owned —
+        they are released from the cache but left running for their
+        owner to close.
         """
         with self._lock:
             for workers, executor in self._executors.items():
@@ -233,6 +265,13 @@ class Session:
                     executor.close()
             self._executors.clear()
             self._borrowed_workers.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def _effective_execution(
         self, spec_execution: Optional[Execution]

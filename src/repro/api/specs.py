@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, fields
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 __all__ = [
     "AnalysisSpec",
@@ -85,8 +85,10 @@ class Execution:
         ``Result.runtime.shard_size``.
     workers:
         Degree of parallelism; 1 runs serially, >= 2 uses the session's
-        process-pool executor.  Scheduling only — results are identical
-        at every value.
+        process-pool executor, and the string ``"cluster"`` dispatches
+        on the session's cluster executor (a session constructed with
+        ``executor="tcp://host:port"``; see :mod:`repro.cluster`).
+        Scheduling only — results are identical at every value.
     coalesce:
         Batch same-plan shards of a dispatch chunk into ONE Newton
         solve over the concatenated sample block (circuit-level
@@ -120,7 +122,7 @@ class Execution:
     """
 
     shard_size: Optional[int] = None
-    workers: int = 1
+    workers: Union[int, str] = 1
     coalesce: bool = True
     target_rel_err: Optional[float] = None
     min_samples: int = 0
@@ -131,7 +133,13 @@ class Execution:
     def __post_init__(self):
         if self.shard_size is not None and self.shard_size <= 0:
             raise ValueError("shard_size must be positive")
-        if self.workers < 1:
+        if isinstance(self.workers, str):
+            if self.workers != "cluster":
+                raise ValueError(
+                    f"workers must be an int >= 1 or 'cluster', "
+                    f"got {self.workers!r}"
+                )
+        elif self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.target_rel_err is not None and self.target_rel_err <= 0.0:
             raise ValueError("target_rel_err must be positive")

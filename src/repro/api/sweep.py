@@ -77,7 +77,9 @@ def _pin_point_workers(spec):
     must not spawn a nested pool of its own.
     """
     execution = getattr(spec, "execution", None)
-    if execution is not None and execution.workers > 1:
+    # != 1 rather than > 1: workers may also be the string "cluster",
+    # and a point running on a remote agent must pin to serial too.
+    if execution is not None and execution.workers != 1:
         return replace(spec, execution=replace(execution, workers=1))
     return spec
 

@@ -1,0 +1,56 @@
+"""Elastic multi-host cluster executor (stdlib-only networking).
+
+The subsystem behind ``Session(executor="tcp://host:port")``,
+``Execution(workers="cluster")`` and ``python -m repro serve
+--cluster``: a lease-based coordinator (:class:`ClusterExecutor`)
+implementing the :class:`repro.runtime.Executor` protocol over TCP,
+and pull-based worker agents (``python -m repro worker``) executing
+shard chunks through the same coalescing path as the process pool.
+
+Everything here is scheduling: shard streams, merge order and
+checkpoints are owned by :mod:`repro.runtime`, which is why cluster
+envelopes are bit-identical to ``Session(executor=1)`` at every worker
+count, through worker death, lease theft, duplicate frames and
+coordinator restarts (ROADMAP "Conventions (PR 10)").
+
+:mod:`repro.cluster.wire` is the shared trust boundary — one
+module-root allowlist and one frame codec for both the analysis
+service and the cluster protocol.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterExecutor,
+    ClusterWorkerError,
+    CoordinatorCrash,
+    FaultInjector,
+    ScriptedFaults,
+    parse_address,
+)
+from repro.cluster.wire import (
+    PROTOCOL,
+    BadRequest,
+    WireError,
+    read_frame,
+    restricted_loads,
+    validate_document,
+    write_frame,
+)
+from repro.cluster.worker import WorkerAgent, WorkerConfig
+
+__all__ = [
+    "ClusterExecutor",
+    "ClusterWorkerError",
+    "CoordinatorCrash",
+    "FaultInjector",
+    "ScriptedFaults",
+    "WorkerAgent",
+    "WorkerConfig",
+    "parse_address",
+    "PROTOCOL",
+    "BadRequest",
+    "WireError",
+    "read_frame",
+    "write_frame",
+    "restricted_loads",
+    "validate_document",
+]

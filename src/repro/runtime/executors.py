@@ -315,30 +315,47 @@ class ParallelExecutor(Executor):
         return results
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the pool down.  Idempotent: the pool reference is taken
+        before shutdown, so concurrent or repeated calls are no-ops."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        # Never raise here: at interpreter shutdown the attributes (or
+        # the modules shutdown() needs) may already be gone, and GC
+        # runs __del__ at arbitrary moments.
         try:
-            self.close()
-        except Exception:
+            if getattr(self, "_pool", None) is not None:
+                self.close()
+        except BaseException:
             pass
 
 
 def resolve_executor(
-    executor: Union[None, int, Executor],
+    executor: Union[None, int, str, Executor],
 ) -> Executor:
     """Normalize a user-facing executor selection to an instance.
 
     ``None`` or ``1`` mean serial; an integer >= 2 builds a process
-    pool of that many workers; an :class:`Executor` instance passes
-    through untouched.
+    pool of that many workers; a ``"tcp://host:port"`` string binds a
+    cluster coordinator there (:class:`repro.cluster.ClusterExecutor`);
+    an :class:`Executor` instance passes through untouched.
     """
     if executor is None:
         return SerialExecutor()
     if isinstance(executor, Executor):
         return executor
+    if isinstance(executor, str):
+        if executor.startswith("tcp://"):
+            from repro.cluster import ClusterExecutor
+
+            return ClusterExecutor(executor)
+        raise ValueError(
+            f"unrecognized executor address {executor!r} "
+            f"(expected 'tcp://host:port')"
+        )
     workers = int(executor)
     if workers <= 1:
         return SerialExecutor()

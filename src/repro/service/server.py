@@ -39,37 +39,34 @@ unknown fingerprints, 409 for not-ready results, 500 for genuine bugs.
 **Trust boundary.**  Decoding a tagged document imports the dataclass
 types and callables it names (:mod:`repro.api.serialize` is
 unpickle-like by design).  The service therefore validates every
-``__dataclass__``/``__callable__`` tag *before* decoding: the module
-prefix must sit under an allowlisted root (default ``("repro",)``),
-the qualname must be a single top-level name (a dotted qualname
-getattr-walks from the module object and would reach modules an
-allowed module merely imports — ``repro.x:os.system``), and the name
-must resolve to an object actually *defined* under an allowed root
-(a real dataclass type, for ``__dataclass__`` tags).  A submission can
-therefore only instantiate this package's own validated frozen specs,
-never ``os:system`` — however it is spelled.
+``__dataclass__``/``__callable__`` tag *before* decoding through
+:func:`repro.cluster.wire.validate_document` — the shared allowlist
+also guarding the cluster protocol's frames (one allowlist, one codec;
+see that module's docstring for the full admission rules).  A
+submission can therefore only instantiate this package's own validated
+frozen specs, never ``os:system`` — however it is spelled.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import threading
 import time
 import urllib.parse
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api.seeding import EXPERIMENT_SEED
-from repro.api.serialize import _resolve, decode, encode
+from repro.api.serialize import decode, encode
 from repro.api.session import Session
+from repro.cluster.wire import BadRequest, validate_document
 from repro.obs import configure_logging, default_registry, get_logger, log_event
 from repro.service.jobs import JobError, JobRegistry, UnknownJob
 from repro.service.store import ResultStore
 
-__all__ = ["ServiceConfig", "AnalysisServer", "serve", "validate_document"]
-
-_IMPORT_TAGS = ("__dataclass__", "__callable__")
+__all__ = ["ServiceConfig", "AnalysisServer", "serve", "validate_document",
+           "BadRequest"]
 
 _LOG = get_logger("service.http")
 _REGISTRY = default_registry()
@@ -100,7 +97,7 @@ def _route_template(parts) -> str:
     return "/other"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclass(frozen=True)
 class ServiceConfig:
     """Daemon configuration (the ``python -m repro serve`` flags)."""
 
@@ -114,6 +111,13 @@ class ServiceConfig:
     allow_modules: Tuple[str, ...] = ("repro",)
     #: Threshold of the structured JSON daemon log (stderr).
     log_level: str = "info"
+    #: Cluster coordinator bind address (``host:port`` or
+    #: ``tcp://host:port``).  When set, the daemon dispatches every job
+    #: through a :class:`repro.cluster.ClusterExecutor` listening there
+    #: (``workers`` is ignored); remote agents connect with ``python -m
+    #: repro worker --connect``.  Envelopes — and therefore store keys —
+    #: are identical either way: the shard/seed contract.
+    cluster: Optional[str] = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -125,77 +129,18 @@ class ServiceConfig:
                 f"log_level must be one of {list(_LOG_LEVELS)}, "
                 f"got {self.log_level!r}"
             )
+        if self.cluster is not None:
+            from repro.cluster import parse_address
 
+            parse_address(self.cluster)  # raises ValueError on bad form
 
-class BadRequest(ValueError):
-    """Client-side document problem (HTTP 400)."""
-
-
-def _under_allowed_root(module: str, allow_modules: Tuple[str, ...]) -> bool:
-    return any(
-        module == root or module.startswith(root + ".")
-        for root in allow_modules
-    )
-
-
-def _validate_tag(tag: str, name: str, allow_modules: Tuple[str, ...]) -> None:
-    """One ``module:qualname`` tag value's full admission check."""
-    module, _, qualname = name.partition(":")
-    if not _under_allowed_root(module, allow_modules):
-        raise BadRequest(
-            f"document imports {name!r}, outside the allowed "
-            f"module roots {list(allow_modules)}"
-        )
-    if not qualname or "." in qualname:
-        # encode() only ever emits top-level qualnames.  A dotted one
-        # getattr-walks from the module object, which reaches modules an
-        # allowed module merely *imports* — "repro.x:os.system" would
-        # pass the prefix check above and resolve to os.system.
-        raise BadRequest(
-            f"document tag {name!r} is not a top-level name in its module"
-        )
-    try:
-        obj = _resolve(name)
-    except Exception as exc:
-        raise BadRequest(f"cannot resolve document tag {name!r}: {exc}")
-    defined_in = getattr(obj, "__module__", None)
-    if not isinstance(defined_in, str) or not _under_allowed_root(
-        defined_in, allow_modules
-    ):
-        # Catches objects re-exported into an allowed module from
-        # elsewhere (stdlib modules/functions imported at its top level).
-        raise BadRequest(
-            f"document tag {name!r} resolves to an object defined in "
-            f"{defined_in!r}, outside the allowed module roots "
-            f"{list(allow_modules)}"
-        )
-    if tag == "__dataclass__" and not (
-        isinstance(obj, type) and dataclasses.is_dataclass(obj)
-    ):
-        raise BadRequest(
-            f"document tag {name!r} does not name a dataclass type"
-        )
-
-
-def validate_document(document: Any, allow_modules: Tuple[str, ...]) -> None:
-    """Reject documents whose tags would resolve outside *allow_modules*.
-
-    Runs on the raw parsed JSON before :func:`~repro.api.serialize.
-    decode` touches it, walking every nesting level — a disallowed
-    import buried inside a sweep axis value is as rejected as a
-    top-level one.  Each tag must name an allowlisted module, carry an
-    undotted qualname, and resolve to an object defined under an
-    allowed root (see the module docstring's trust-boundary note).
-    """
-    if isinstance(document, dict):
-        for tag in _IMPORT_TAGS:
-            if tag in document:
-                _validate_tag(tag, str(document[tag]), allow_modules)
-        for value in document.values():
-            validate_document(value, allow_modules)
-    elif isinstance(document, list):
-        for value in document:
-            validate_document(value, allow_modules)
+    @property
+    def executor(self):
+        """What the service session runs on: an address or a count."""
+        if self.cluster is None:
+            return self.workers
+        return (self.cluster if "://" in self.cluster
+                else f"tcp://{self.cluster}")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -431,7 +376,7 @@ class AnalysisServer(ThreadingHTTPServer):
         session = Session(
             technology=technology,
             seed=config.seed,
-            executor=config.workers,
+            executor=config.executor,
         )
         self.registry = JobRegistry(store, session)
         self._thread: Optional[threading.Thread] = None
@@ -476,7 +421,7 @@ def serve(config: ServiceConfig, technology=None) -> int:
               store=str(server.registry.store.root),
               store_stats=server.registry.store.stats(),
               workers=config.workers, seed=config.seed,
-              log_level=config.log_level)
+              cluster=config.cluster, log_level=config.log_level)
     if resumed:
         log_event(log, "serve.resume", jobs=len(resumed),
                   fingerprints=[fp[:12] for fp in resumed])
