@@ -73,6 +73,14 @@ def _serve_main(argv) -> int:
                              "wait for 'python -m repro worker' agents "
                              "(overrides --workers; envelopes stay "
                              "bit-identical to serial)")
+    parser.add_argument("--token", default=None,
+                        help="shared secret workers must present in the "
+                             "cluster handshake (default: the "
+                             "REPRO_CLUSTER_TOKEN environment variable; "
+                             "without one, anyone who can reach the "
+                             "coordinator port can join and inject "
+                             "results — only bind non-loopback addresses "
+                             "on trusted networks)")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
@@ -83,6 +91,13 @@ def _serve_main(argv) -> int:
             parse_address(args.cluster)
         except ValueError as exc:
             parser.error(str(exc))
+    if args.token is not None:
+        # The coordinator is constructed deep inside the service session
+        # (resolve_executor on the address string); the environment
+        # variable is the documented channel for the shared secret.
+        import os
+
+        os.environ["REPRO_CLUSTER_TOKEN"] = args.token
     return serve(ServiceConfig(
         host=args.host, port=args.port, store=args.store,
         workers=args.workers, seed=args.seed, log_level=args.log_level,
@@ -122,6 +137,11 @@ def _worker_main(argv) -> int:
                         help="additional top-level module root admitted "
                              "by the wire validator (repeatable; 'repro' "
                              "is always allowed)")
+    parser.add_argument("--token", default=None,
+                        help="shared secret presented to the coordinator "
+                             "(default: the REPRO_CLUSTER_TOKEN "
+                             "environment variable); a rejection is "
+                             "fatal, not retried")
     args = parser.parse_args(argv)
     if args.concurrency < 1:
         parser.error("--concurrency must be >= 1")
@@ -139,6 +159,7 @@ def _worker_main(argv) -> int:
         heartbeat_interval=args.heartbeat,
         max_connects=args.max_connects,
         allow_modules=allow,
+        token=args.token,
     ))
     try:
         return agent.run()

@@ -47,11 +47,14 @@ dispatch, result acceptance), so the failure matrix in
 
 from __future__ import annotations
 
+import hmac
+import os
 import pickle
 import queue
 import socket
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -96,6 +99,11 @@ _DUPES_C = _REGISTRY.counter(
     "repro_cluster_duplicate_results_total",
     "Shard results suppressed by first-completion-wins",
 )
+
+
+def _is_loopback(host: str) -> bool:
+    return (host in ("localhost", "::1", "0:0:0:0:0:0:0:1")
+            or host.startswith("127."))
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -307,6 +315,7 @@ class ClusterExecutor(Executor):
         max_lease_retries: int = 8,
         allow_modules: Tuple[str, ...] = ("repro",),
         faults: Optional[FaultInjector] = None,
+        token: Optional[str] = None,
     ):
         host, port = parse_address(address)
         self.heartbeat_timeout = float(heartbeat_timeout)
@@ -316,6 +325,13 @@ class ClusterExecutor(Executor):
         self.max_lease_retries = int(max_lease_retries)
         self.allow_modules = tuple(allow_modules)
         self.faults = faults if faults is not None else FaultInjector()
+        # Shared-secret handshake: a worker's hello must carry the same
+        # token or it is refused before registration.  Defaults to the
+        # REPRO_CLUSTER_TOKEN environment variable so the Session
+        # string/`serve --cluster` paths pick it up without plumbing.
+        if token is None:
+            token = os.environ.get("REPRO_CLUSTER_TOKEN") or None
+        self.token = token
 
         self._workers: Dict[str, _RemoteWorker] = {}
         #: Signaled on every membership change (join/death).
@@ -333,6 +349,15 @@ class ClusterExecutor(Executor):
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self.address = f"tcp://{self.host}:{self.port}"
+        if self.token is None and not _is_loopback(self.host):
+            warnings.warn(
+                f"cluster coordinator is listening on {self.address} "
+                f"without a token: any peer that can reach the port can "
+                f"register as a worker and inject results.  Pass "
+                f"token=... (or set REPRO_CLUSTER_TOKEN) unless the "
+                f"network is trusted.",
+                RuntimeWarning, stacklevel=2,
+            )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True,
             name=f"repro-cluster-accept-{self.port}",
@@ -444,6 +469,16 @@ class ClusterExecutor(Executor):
                 write_frame(conn, {"type": "error",
                                    "error": f"protocol {PROTOCOL} required"})
                 conn.close()
+                return
+            if self.token is not None and not hmac.compare_digest(
+                str(hello.get("token") or ""), self.token
+            ):
+                # Refused before registration: an unauthenticated peer
+                # never receives task blobs and never holds a lease.
+                write_frame(conn, {"type": "error", "code": "auth",
+                                   "error": "bad or missing cluster token"})
+                conn.close()
+                event("cluster.auth-reject", addr=f"{addr[0]}:{addr[1]}")
                 return
             worker = self._register(hello, conn, addr)
             worker.send({
@@ -563,6 +598,16 @@ class ClusterExecutor(Executor):
         self, gen: int, blob: bytes, shards: Sequence[Shard]
     ) -> List[Tuple[int, object]]:
         self._wait_for_workers()
+        # A wave that aborted mid-flight (ClusterWorkerError, injected
+        # coordinator crash, lease give-up) leaves its in-flight leases
+        # in worker.leases.  Under _dispatch_lock no other wave can be
+        # active, so anything still there is stale: drop it, or every
+        # such lease would hold one of the worker's concurrency slots
+        # forever (with the default concurrency=1, a shared daemon
+        # executor would deadlock after one failing job).
+        with self._membership:
+            for worker in self._workers.values():
+                worker.leases.clear()
         state = _RunState(gen, blob, shards)
         # Contiguous chunks, ~2 per worker slot: small enough that a
         # fast worker can steal queued work from a slow one, large
@@ -681,8 +726,14 @@ class ClusterExecutor(Executor):
             if kind == "frame":
                 self._handle_frame(state, worker, header, blob)
             elif kind == "gone":
+                # Only leases of the *current* wave may be requeued: a
+                # stale lease from an aborted run holds that run's Shard
+                # objects, and resharding those into this wave would
+                # merge foreign results into state.completed.
                 for lease in list(worker.leases.values()):
-                    self._void_lease(state, lease, f"worker died ({header})")
+                    if state.leases.get(lease.lease_id) is lease:
+                        self._void_lease(state, lease,
+                                         f"worker died ({header})")
                 worker.leases.clear()
             # "join" is a pure wakeup; _fill sees the new worker.
             try:
@@ -709,12 +760,17 @@ class ClusterExecutor(Executor):
             self._apply_result(state, worker, header, blob)
         elif kind == "error":
             lease = state.leases.get(header.get("lease"))
+            if lease is None:
+                # Stale error from a wave that already aborted: free the
+                # slot its lease may still hold, but never let it abort
+                # (or reshard) the current wave.
+                worker.leases.pop(header.get("lease"), None)
+                return
             if header.get("code") == "unknown-run":
                 # The worker evicted (or never got) this run's task —
                 # re-send on the next lease to it.
                 worker.sent_runs.discard(state.gen)
-                if lease is not None:
-                    self._void_lease(state, lease, "worker missed task blob")
+                self._void_lease(state, lease, "worker missed task blob")
             else:
                 # A task exception is deterministic — every worker would
                 # raise it on the same shard — so it propagates like the
@@ -728,7 +784,12 @@ class ClusterExecutor(Executor):
                       header: dict, blob: bytes) -> None:
         lease = state.leases.get(header.get("lease"))
         if lease is None:
-            return  # stale frame from a previous wave/run
+            # Stale frame from a wave that aborted mid-flight: its
+            # payload is never merged, but the slot the lease was
+            # holding must come back or the worker permanently loses
+            # one unit of concurrency.
+            worker.leases.pop(header.get("lease"), None)
+            return
         try:
             pairs, timing = restricted_loads(blob, self.allow_modules)
         except WireError as exc:
@@ -804,7 +865,9 @@ class ClusterExecutor(Executor):
                     f"heartbeat timeout ({self.heartbeat_timeout:.3g}s)",
                 )
                 for lease in list(worker.leases.values()):
-                    self._void_lease(state, lease, "worker heartbeat timeout")
+                    if state.leases.get(lease.lease_id) is lease:
+                        self._void_lease(state, lease,
+                                         "worker heartbeat timeout")
                 worker.leases.clear()
         for lease in list(state.leases.values()):
             if lease.status == "out" and now > lease.deadline:

@@ -24,9 +24,13 @@ object and would reach modules an allowed module merely imports —
 ``repro.x:os.system``), and the resolved object must actually be
 *defined* under an allowed root.  A document or frame can therefore
 only instantiate this package's own validated types, never
-``os:system`` — however it is spelled.  The PR-7 RCE regression tests
-(``tests/test_service.py`` and ``tests/test_cluster.py``) pin both
-entry points.
+``os:system`` — however it is spelled.  Frame blobs additionally admit
+an *exact* ``module:name`` list of container/ndarray machinery
+(:data:`_INFRA_ALLOW`) — name-level, never whole modules, because
+``builtins`` also defines ``eval``/``exec``/``__import__`` and
+``numpy.load(allow_pickle=True)`` nests an unrestricted unpickle.  The
+RCE regression tests (``tests/test_service.py`` and
+``tests/test_cluster.py``) pin both entry points and both spellings.
 
 Frame layout (all integers big-endian)::
 
@@ -75,12 +79,32 @@ MAX_BLOB_BYTES = 1 << 33
 #: see :mod:`repro.api.serialize`).
 _IMPORT_TAGS = ("__dataclass__", "__callable__")
 
-#: Module roots every frame blob may reference *in addition to* the
-#: configured allowlist: the containers and array machinery that any
-#: pickled shard payload is built from.  Deliberately tiny — notably no
-#: ``os``, ``subprocess``, ``functools`` or anything else with callable
-#: side effects.
-_INFRA_ROOTS = ("builtins", "collections", "copyreg", "numpy")
+#: Exact ``module -> {names}`` pairs every frame blob may reference *in
+#: addition to* the configured allowlist roots: the containers and
+#: array machinery that any pickled shard payload is built from.
+#: Name-level on purpose — a blanket module root would admit
+#: ``builtins:eval``/``builtins:__import__`` (arbitrary code via a
+#: forged REDUCE opcode) or ``numpy:load`` (whose ``allow_pickle=True``
+#: nests an *unrestricted* unpickle).  Nothing listed here is callable
+#: with side effects.
+_INFRA_ALLOW = {
+    "builtins": frozenset({
+        "bool", "bytearray", "bytes", "complex", "dict", "float",
+        "frozenset", "int", "list", "object", "range", "set", "slice",
+        "str", "tuple",
+    }),
+    "collections": frozenset({
+        "Counter", "OrderedDict", "defaultdict", "deque",
+    }),
+    "copyreg": frozenset({"_reconstructor"}),
+    "numpy": frozenset({"dtype", "ndarray"}),
+    # numpy 2 moved numpy.core under numpy._core; pickles written by
+    # either spelling resolve through the same objects.
+    "numpy._core.multiarray": frozenset({"_reconstruct", "scalar"}),
+    "numpy.core.multiarray": frozenset({"_reconstruct", "scalar"}),
+    "numpy._core.numeric": frozenset({"_frombuffer"}),
+    "numpy.core.numeric": frozenset({"_frombuffer"}),
+}
 
 
 class WireError(ValueError):
@@ -235,7 +259,7 @@ class _AllowlistUnpickler(pickle.Unpickler):
 
     def __init__(self, file: BinaryIO, allow_modules: Tuple[str, ...]):
         super().__init__(file)
-        self._allow = tuple(allow_modules) + _INFRA_ROOTS
+        self._allow = tuple(allow_modules)
 
     def find_class(self, module: str, name: str):
         label = f"{module}:{name}"
@@ -244,17 +268,24 @@ class _AllowlistUnpickler(pickle.Unpickler):
                 f"frame pickle names {label!r}, not a top-level name "
                 f"in its module"
             )
-        if not _under_allowed_root(module, self._allow):
+        if not _under_allowed_root(module, self._allow) \
+                and name not in _INFRA_ALLOW.get(module, ()):
             raise WireError(
                 f"frame pickle imports {label!r}, outside the allowed "
-                f"module roots {list(self._allow)}"
+                f"module roots {list(self._allow)} and the infra "
+                f"name allowlist"
             )
         obj = super().find_class(module, name)
         if isinstance(obj, types.ModuleType):
             raise WireError(f"frame pickle resolves {label!r} to a module")
+        # Mirror _validate_tag exactly: an object whose provenance cannot
+        # be established (__module__ missing or not a string) is rejected,
+        # not waved through — the two halves of the trust boundary must
+        # agree.
         defined_in = getattr(obj, "__module__", None)
-        if isinstance(defined_in, str) and not _under_allowed_root(
-            defined_in, self._allow
+        if not isinstance(defined_in, str) or not (
+            _under_allowed_root(defined_in, self._allow)
+            or name in _INFRA_ALLOW.get(defined_in, ())
         ):
             raise WireError(
                 f"frame pickle tag {label!r} resolves to an object "

@@ -86,12 +86,20 @@ class WorkerConfig:
     #: forever — the elastic default).
     max_connects: Optional[int] = None
     allow_modules: Tuple[str, ...] = ("repro",)
+    #: Shared secret presented in the hello frame (must match the
+    #: coordinator's).  ``None`` falls back to the REPRO_CLUSTER_TOKEN
+    #: environment variable; an auth rejection is fatal, not retried.
+    token: Optional[str] = None
 
     def __post_init__(self):
         if self.concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         if self.heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
+
+
+class _AuthRejected(Exception):
+    """The coordinator refused our token — reconnecting cannot help."""
 
 
 class WorkerAgent:
@@ -106,6 +114,8 @@ class WorkerAgent:
     def __init__(self, config: WorkerConfig):
         self.config = config
         self.name = config.name or f"{socket.gethostname()}-{os.getpid()}"
+        self._token = (config.token
+                       or os.environ.get("REPRO_CLUSTER_TOKEN") or None)
         self._stop = threading.Event()
         self._conn: Optional[socket.socket] = None
         self._thread: Optional[threading.Thread] = None
@@ -173,6 +183,10 @@ class WorkerAgent:
             self._conn = conn
             try:
                 self._serve(conn)
+            except _AuthRejected as exc:
+                log_event(_LOG, "worker.auth-rejected", worker=self.name,
+                          error=str(exc))
+                return 1
             except (WireError, OSError) as exc:
                 log_event(_LOG, "worker.disconnect", worker=self.name,
                           error=str(exc))
@@ -186,14 +200,19 @@ class WorkerAgent:
         return 0
 
     def _serve(self, conn: socket.socket) -> None:
-        write_frame(conn, {
+        hello = {
             "type": "hello", "protocol": PROTOCOL, "name": self.name,
             "pid": os.getpid(), "concurrency": self.config.concurrency,
-        })
+        }
+        if self._token is not None:
+            hello["token"] = self._token
+        write_frame(conn, hello)
         frame = read_frame(conn, self.config.allow_modules)
         if frame is None:
             return
         welcome = frame[0]
+        if welcome.get("type") == "error" and welcome.get("code") == "auth":
+            raise _AuthRejected(str(welcome.get("error")))
         if welcome.get("type") != "welcome" \
                 or welcome.get("protocol") != PROTOCOL:
             raise WireError(f"unexpected handshake reply: {welcome}")
@@ -220,13 +239,21 @@ class WorkerAgent:
                 header, blob = frame
                 kind = header.get("type")
                 if kind == "task":
-                    tasks[int(header["run"])] = restricted_loads(
+                    run = int(header["run"])
+                    tasks[run] = restricted_loads(
                         blob, self.config.allow_modules
                     )
+                    tasks.move_to_end(run)  # re-sent blob is fresh too
                     while len(tasks) > _TASK_CACHE_SIZE:
                         tasks.popitem(last=False)
                 elif kind == "lease":
-                    task = tasks.get(int(header["run"]))
+                    run = int(header["run"])
+                    task = tasks.get(run)
+                    if task is not None:
+                        # True LRU: a lease for a cached run refreshes
+                        # its recency, so the coordinator's actively
+                        # dispatched blob is the last thing evicted.
+                        tasks.move_to_end(run)
                     if task is None:
                         with send_lock:
                             write_frame(conn, {

@@ -22,8 +22,10 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.api import Characterize, Execution, MonteCarlo, Session, Sweep, Yield
@@ -136,6 +138,13 @@ def _shards(n, base_seed=42):
 
 #: Allowlist admitting this test module's own task classes on the wire.
 TEST_ALLOW = ("repro", __name__.partition(".")[0])
+
+
+class _Moduleless:
+    """Provenance-free object for the defined-in rejection test."""
+
+
+_Moduleless.__module__ = None
 
 
 def _counter_total(name):
@@ -284,6 +293,54 @@ class TestSharedValidator:
     def test_restricted_loads_rejects_corrupt_blob(self):
         with pytest.raises(wire.WireError, match="malformed"):
             restricted_loads(b"\x80\x05 definitely not a pickle")
+
+    def test_restricted_loads_rejects_builtins_eval(self):
+        # The infra allowlist is name-level, not module-level: 'eval',
+        # 'exec' and '__import__' are all defined in 'builtins' (with
+        # undotted names), so a blanket 'builtins' root would hand a
+        # forged REDUCE frame arbitrary code execution.
+        evil = b"cbuiltins\neval\n(S'__import__(\"os\").getpid()'\ntR."
+        with pytest.raises(wire.WireError, match="builtins:eval"):
+            restricted_loads(evil)
+
+    @pytest.mark.parametrize("name", ["exec", "__import__", "getattr",
+                                      "open", "compile", "vars"])
+    def test_restricted_loads_rejects_builtins_callables(self, name):
+        blob = b"cbuiltins\n" + name.encode() + b"\n."
+        with pytest.raises(wire.WireError, match=f"builtins:{name}"):
+            restricted_loads(blob)
+
+    def test_restricted_loads_rejects_numpy_load(self):
+        # numpy.load(..., allow_pickle=True) nests an *unrestricted*
+        # unpickle — a blanket 'numpy' root would readmit the RCE one
+        # level down.
+        with pytest.raises(wire.WireError, match="numpy:load"):
+            restricted_loads(b"cnumpy\nload\n.")
+
+    def test_restricted_loads_admits_real_shard_payloads(self):
+        # Everything an actual (pairs, timing) result frame is built
+        # from must still clear the name-level allowlist.
+        payload = {
+            "contig": np.arange(5.0),
+            "strided": np.arange(10.0)[::2],
+            "scalar": np.float64(1.5),
+            "structured": np.zeros(2, dtype=[("a", "f8"), ("b", "i4")]),
+            "complex": 1 + 2j,
+            "ordered": __import__("collections").OrderedDict(a=1),
+        }
+        out = restricted_loads(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        assert out["contig"].tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert out["strided"].tolist() == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert out["scalar"] == 1.5 and out["complex"] == 1 + 2j
+
+    def test_restricted_loads_rejects_moduleless_objects(self):
+        # An object whose provenance cannot be established (__module__
+        # is None) must be rejected under an allowed root, exactly like
+        # _validate_tag does on the document side.
+        blob = f"c{TEST_ALLOW[1]}\n_Moduleless\n.".encode()
+        with pytest.raises(wire.WireError, match="defined in"):
+            restricted_loads(blob, TEST_ALLOW)
 
 
 # ----------------------------------------------------------------------
@@ -568,6 +625,192 @@ class TestElasticity:
             pairs = executor.map_shards(_EchoTask(), _shards(13))
         assert [index for index, _ in pairs] == list(range(13))
         assert pairs[4][1] == (40, 50, 42)
+
+
+# ----------------------------------------------------------------------
+# Executor reuse: an aborted wave must not poison the next one.
+# ----------------------------------------------------------------------
+def _map_in_thread(executor, task, shards, timeout=60.0):
+    """Run map_shards off-thread so a regression deadlocks the thread,
+    not the test suite."""
+    result = {}
+    runner = threading.Thread(
+        target=lambda: result.setdefault(
+            "pairs", executor.map_shards(task, shards)),
+        daemon=True,
+    )
+    runner.start()
+    runner.join(timeout)
+    assert not runner.is_alive(), "map_shards deadlocked on a reused executor"
+    return result["pairs"]
+
+
+class TestExecutorReuseAfterFailure:
+    def test_wave_after_task_error_still_dispatches(self):
+        # Regression: the aborted wave's lease used to stay in
+        # worker.leases forever — with the default concurrency=1 the
+        # worker had no free slot left and every later wave on the same
+        # executor (e.g. the shared serve --cluster daemon executor)
+        # deadlocked.
+        with _cluster(1, allow=TEST_ALLOW) as (executor, _):
+            with pytest.raises(ClusterWorkerError, match="boom"):
+                executor.map_shards(_BoomTask(), _shards(3))
+            pairs = _map_in_thread(executor, _EchoTask(), _shards(5))
+        assert [index for index, _ in pairs] == list(range(5))
+        assert pairs[2][1] == (20, 30, 42)
+
+    def test_stale_error_frames_do_not_poison_next_wave(self):
+        # Both workers report the deterministic task failure; the first
+        # error frame aborts wave 1, the second may still be queued (or
+        # in flight) when wave 2 starts.  It must be discarded — not
+        # raised as a ClusterWorkerError against the healthy wave, and
+        # its lease must not be resharded into it.
+        with _cluster(2, allow=TEST_ALLOW) as (executor, _):
+            with pytest.raises(ClusterWorkerError, match="boom"):
+                executor.map_shards(_BoomTask(), _shards(8))
+            pairs = _map_in_thread(executor, _EchoTask(), _shards(8))
+        assert [index for index, _ in pairs] == list(range(8))
+
+    def test_repeated_failures_then_success(self):
+        # The daemon-executor pattern: several failing jobs in a row,
+        # then a good one, all on one executor and one worker slot.
+        with _cluster(1, allow=TEST_ALLOW) as (executor, _):
+            for _ in range(3):
+                with pytest.raises(ClusterWorkerError, match="boom"):
+                    executor.map_shards(_BoomTask(), _shards(2))
+            pairs = _map_in_thread(executor, _EchoTask(), _shards(4))
+        assert [index for index, _ in pairs] == list(range(4))
+
+
+# ----------------------------------------------------------------------
+# Authentication: the hello/welcome shared-secret handshake.
+# ----------------------------------------------------------------------
+class TestClusterAuth:
+    def test_wrong_token_is_rejected_and_fatal(self):
+        executor = ClusterExecutor("tcp://127.0.0.1:0", token="sesame")
+        agent = WorkerAgent(WorkerConfig(
+            connect=executor.address, token="wrong", reconnect_base=0.01,
+        ))
+        try:
+            # Fatal, not retried: run() returns instead of spinning on
+            # reconnect, and the peer was never registered as a worker.
+            assert agent.run() == 1
+            assert not executor._workers
+        finally:
+            executor.close()
+
+    def test_missing_token_is_rejected(self):
+        executor = ClusterExecutor("tcp://127.0.0.1:0", token="sesame")
+        agent = WorkerAgent(WorkerConfig(
+            connect=executor.address, reconnect_base=0.01,
+        ))
+        try:
+            assert agent.run() == 1
+            assert not executor._workers
+        finally:
+            executor.close()
+
+    def test_matching_token_serves_leases(self):
+        executor = ClusterExecutor("tcp://127.0.0.1:0", token="sesame",
+                                   allow_modules=TEST_ALLOW)
+        agent = WorkerAgent(WorkerConfig(
+            connect=executor.address, token="sesame",
+            allow_modules=TEST_ALLOW,
+        )).start()
+        try:
+            pairs = executor.map_shards(_EchoTask(), _shards(4))
+        finally:
+            agent.stop()
+            executor.close()
+        assert [index for index, _ in pairs] == list(range(4))
+
+    def test_env_var_token_reaches_both_sides(self, monkeypatch):
+        # The Session("tcp://...") and serve --cluster paths construct
+        # the coordinator deep inside resolve_executor, so the secret
+        # travels via REPRO_CLUSTER_TOKEN.
+        monkeypatch.setenv("REPRO_CLUSTER_TOKEN", "sesame")
+        executor = ClusterExecutor("tcp://127.0.0.1:0",
+                                   allow_modules=TEST_ALLOW)
+        assert executor.token == "sesame"
+        agent = WorkerAgent(WorkerConfig(
+            connect=executor.address, allow_modules=TEST_ALLOW,
+        )).start()
+        try:
+            pairs = executor.map_shards(_EchoTask(), _shards(3))
+        finally:
+            agent.stop()
+            executor.close()
+        assert [index for index, _ in pairs] == list(range(3))
+
+    def test_non_loopback_bind_without_token_warns(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLUSTER_TOKEN", raising=False)
+        with pytest.warns(RuntimeWarning, match="token"):
+            executor = ClusterExecutor("tcp://0.0.0.0:0")
+        executor.close()
+
+    def test_non_loopback_bind_with_token_is_silent(self):
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            executor = ClusterExecutor("tcp://0.0.0.0:0", token="sesame")
+        executor.close()
+
+
+# ----------------------------------------------------------------------
+# Worker task cache: true LRU, not FIFO.
+# ----------------------------------------------------------------------
+class TestWorkerTaskCache:
+    def test_task_cache_evicts_least_recently_used(self, monkeypatch):
+        # Cache size 2; runs 1 and 2 are cached, then a lease touches
+        # run 1 before run 3 arrives.  FIFO would evict run 1 (the
+        # oldest *insert*) and answer the next run-1 lease with
+        # unknown-run; LRU evicts run 2 and serves it from cache.
+        from repro.cluster import worker as worker_mod
+
+        monkeypatch.setattr(worker_mod, "_TASK_CACHE_SIZE", 2)
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+        agent = WorkerAgent(WorkerConfig(
+            connect=f"127.0.0.1:{port}", allow_modules=TEST_ALLOW,
+        )).start()
+        conn, _ = server.accept()
+
+        def next_frame():
+            while True:
+                frame = read_frame(conn, TEST_ALLOW)
+                assert frame is not None, "worker hung up mid-test"
+                if frame[0].get("type") != "heartbeat":
+                    return frame
+
+        def lease(lease_id, run):
+            write_frame(conn, {
+                "type": "lease", "lease": lease_id, "run": run,
+                "shards": [{"index": 0, "start": 0, "stop": 10,
+                            "base_seed": 42, "spawn_prefix": []}],
+            })
+            return next_frame()[0]
+
+        try:
+            hello = next_frame()[0]
+            assert hello["type"] == "hello"
+            write_frame(conn, {"type": "welcome", "protocol": wire.PROTOCOL,
+                               "heartbeat_timeout": 15.0})
+            blob = pickle.dumps(_EchoTask(),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            write_frame(conn, {"type": "task", "run": 1}, blob)
+            write_frame(conn, {"type": "task", "run": 2}, blob)
+            assert lease(1, 1)["type"] == "result"   # refreshes run 1
+            write_frame(conn, {"type": "task", "run": 3}, blob)  # evicts 2
+            reply = lease(2, 1)
+            assert reply["type"] == "result", f"run 1 was evicted: {reply}"
+            evicted = lease(3, 2)
+            assert evicted["type"] == "error"
+            assert evicted["code"] == "unknown-run"
+        finally:
+            agent.stop()
+            conn.close()
+            server.close()
 
 
 # ----------------------------------------------------------------------
